@@ -1,0 +1,315 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one per panel), plus micro-benchmarks of the hot paths.
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benches run the Small instances so the whole suite stays in
+// CI budgets; cmd/scorebench regenerates the full Medium/Paper outputs.
+package score_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/score-dc/score"
+	"github.com/score-dc/score/internal/experiments"
+	"github.com/score-dc/score/internal/flowtable"
+	"github.com/score-dc/score/internal/ga"
+	"github.com/score-dc/score/internal/netsim"
+	"github.com/score-dc/score/internal/token"
+)
+
+const benchSeed = 20140630
+
+// BenchmarkFig2MigrationRatio regenerates the migrated-VM-ratio series
+// (Fig. 2): 5 token passes under RR and HLF.
+func BenchmarkFig2MigrationRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2MigratedRatio(experiments.ScaleSmall, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3TrafficMatrices regenerates the sparse/medium/dense ToR
+// heatmaps (Fig. 3a–c).
+func BenchmarkFig3TrafficMatrices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3TrafficMatrices(experiments.ScaleSmall, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3CanonicalCostRatio regenerates one canonical-tree panel
+// of Fig. 3d–f (GA reference + HLF and RR runs).
+func BenchmarkFig3CanonicalCostRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3CostRatio(experiments.Canonical, experiments.Sparse,
+			experiments.ScaleSmall, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3FatTreeCostRatio regenerates one fat-tree panel of
+// Fig. 3g–i.
+func BenchmarkFig3FatTreeCostRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3CostRatio(experiments.FatTree, experiments.Sparse,
+			experiments.ScaleSmall, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4aLinkUtilization and BenchmarkFig4bScoreVsRemedy share
+// one driver: the S-CORE vs Remedy comparison produces both the
+// utilization CDFs (4a) and the cost-ratio series (4b).
+func BenchmarkFig4aLinkUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4ScoreVsRemedy(experiments.ScaleSmall, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4bScoreVsRemedy aliases the same experiment under the
+// figure-index name for discoverability.
+func BenchmarkFig4bScoreVsRemedy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4ScoreVsRemedy(experiments.ScaleSmall, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5aFlowTableType1/Type2 measure the flow-table operation
+// triple (add, lookup-by-IP, delete) per flow, the quantity behind
+// Fig. 5a's sweep.
+func benchmarkFlowTable(b *testing.B, set flowtable.TypeSet) {
+	keys := flowtable.GenerateKeys(set, 100000)
+	now := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl := flowtable.New(len(keys))
+		for _, k := range keys {
+			tbl.Add(k, now)
+		}
+		_ = tbl.LookupByIP(keys[0].Src)
+		for _, k := range keys {
+			tbl.Delete(k)
+		}
+	}
+	b.ReportMetric(float64(3*len(keys)), "ops/iter")
+}
+
+func BenchmarkFig5aFlowTableType1(b *testing.B) { benchmarkFlowTable(b, flowtable.Type1) }
+
+func BenchmarkFig5aFlowTableType2(b *testing.B) { benchmarkFlowTable(b, flowtable.Type2) }
+
+// BenchmarkFig5bMigratedBytes regenerates the migrated-bytes
+// distribution (Fig. 5b).
+func BenchmarkFig5bMigratedBytes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig5bMigratedBytes(200, benchSeed)
+	}
+}
+
+// BenchmarkFig5cMigrationTime regenerates the migration-time sweep
+// (Fig. 5c); downtime (Fig. 5d) comes from the same model sweep.
+func BenchmarkFig5cMigrationTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig5cdMigrationSweep(100, benchSeed)
+	}
+}
+
+// BenchmarkFig5dDowntime aliases the sweep under the Fig. 5d name.
+func BenchmarkFig5dDowntime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig5cdMigrationSweep(100, benchSeed)
+	}
+}
+
+// ---- Ablation benches (DESIGN.md §8) ----
+
+// BenchmarkAblationLinkWeights sweeps exponential/linear/uniform weight
+// families.
+func BenchmarkAblationLinkWeights(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationLinkWeights(experiments.ScaleSmall, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMigrationCost sweeps Theorem 1's c_m threshold.
+func BenchmarkAblationMigrationCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationMigrationCost(experiments.ScaleSmall, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTokenPolicies compares all four token policies.
+func BenchmarkAblationTokenPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationTokenPolicies(experiments.ScaleSmall, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Micro-benchmarks of the hot paths ----
+
+func benchEngine(b *testing.B) (*score.Engine, *rand.Rand) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(benchSeed))
+	topo, err := score.NewCanonicalTree(score.ScaledCanonicalConfig(16, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := score.NewCluster(score.UniformHosts(topo.Hosts(), 8, 32768, 1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pm := score.NewPlacementManager(cl, 1)
+	for i := 0; i < topo.Hosts()*4; i++ {
+		if _, err := pm.CreateVM(1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := pm.PlaceRandom(rng); err != nil {
+		b.Fatal(err)
+	}
+	tm, err := score.GenerateTraffic(score.DefaultGenConfig(topo.Racks()), topo, cl, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cost, err := score.NewCostModel(score.PaperWeights()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := score.NewEngine(topo, cost, cl, tm, score.DefaultEngineConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, rng
+}
+
+// BenchmarkCostDelta measures Eq. (5): the per-decision ΔC computation.
+func BenchmarkCostDelta(b *testing.B) {
+	eng, rng := benchEngine(b)
+	vms := eng.Cluster().VMs()
+	n := eng.Cluster().NumHosts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := vms[rng.Intn(len(vms))]
+		_ = eng.Delta(u, score.HostID(rng.Intn(n)))
+	}
+}
+
+// BenchmarkBestMigration measures a full token-holder decision: ranking,
+// capacity probing and ΔC maximization.
+func BenchmarkBestMigration(b *testing.B) {
+	eng, rng := benchEngine(b)
+	vms := eng.Cluster().VMs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = eng.BestMigration(vms[rng.Intn(len(vms))])
+	}
+}
+
+// BenchmarkTotalCost measures Eq. (2) over the full pair set.
+func BenchmarkTotalCost(b *testing.B) {
+	eng, _ := benchEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.TotalCost()
+	}
+}
+
+// BenchmarkTokenEncodeDecode measures the wire codec at DC scale
+// (10,000 entries ≈ the paper's |V|-sized message).
+func BenchmarkTokenEncodeDecode(b *testing.B) {
+	ids := make([]score.VMID, 10000)
+	for i := range ids {
+		ids[i] = score.VMID(i * 7)
+	}
+	tok := token.New(ids)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := tok.Encode()
+		if _, err := token.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHLFNext measures one Algorithm 1 pass over a 10k-entry token.
+func BenchmarkHLFNext(b *testing.B) {
+	ids := make([]score.VMID, 10000)
+	for i := range ids {
+		ids[i] = score.VMID(i)
+	}
+	tok := token.New(ids)
+	rng := rand.New(rand.NewSource(1))
+	for _, e := range tok.Entries() {
+		tok.SetLevel(e.ID, uint8(rng.Intn(4)))
+	}
+	pol := token.HighestLevelFirst{}
+	view := token.HolderView{Holder: 5000, OwnLevel: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := pol.Next(tok, view); !ok {
+			b.Fatal("no next")
+		}
+	}
+}
+
+// BenchmarkDESEventThroughput measures raw scheduler throughput.
+func BenchmarkDESEventThroughput(b *testing.B) {
+	e := netsim.NewEngine()
+	var fire func()
+	count := 0
+	fire = func() {
+		count++
+		if count < b.N {
+			e.After(0.001, fire)
+		}
+	}
+	b.ResetTimer()
+	e.After(0.001, fire)
+	e.Run()
+}
+
+// BenchmarkGAGeneration measures one GA generation on the small
+// instance (population 30).
+func BenchmarkGAGeneration(b *testing.B) {
+	eng, rng := benchEngine(b)
+	cfg := ga.DefaultConfig()
+	cfg.Population = 30
+	cfg.MinGenerations = 1
+	cfg.MaxGenerations = 1
+	cfg.StopGenerations = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ga.Optimize(eng, cfg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetworkRecompute measures routing the full TM over the
+// topology (the per-sample utilization refresh).
+func BenchmarkNetworkRecompute(b *testing.B) {
+	eng, _ := benchEngine(b)
+	net := netsim.NewNetwork(eng.Topology())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Recompute(eng.Traffic(), eng.Cluster())
+	}
+}

@@ -1,0 +1,260 @@
+// Command scorebench regenerates every table and figure of the paper's
+// evaluation (Section VI) and writes both human-readable output and CSV
+// series.
+//
+// Usage:
+//
+//	scorebench [-scale small|medium|paper] [-seed N] [-out DIR] [-only fig2,fig3,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/score-dc/score/internal/experiments"
+	"github.com/score-dc/score/internal/stats"
+	"github.com/score-dc/score/internal/viz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scorebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scaleFlag := flag.String("scale", "medium", "instance scale: small, medium, or paper")
+	seed := flag.Int64("seed", 20140630, "deterministic seed")
+	outDir := flag.String("out", "results", "directory for CSV output (empty disables)")
+	only := flag.String("only", "", "comma-separated subset: fig2,fig3tm,fig3,fig4,fig5a,fig5b,fig5cd,ablations")
+	maxFlows := flag.Int("maxflows", 1000000, "flow-table sweep upper bound for fig5a")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "small":
+		scale = experiments.ScaleSmall
+	case "medium":
+		scale = experiments.ScaleMedium
+	case "paper":
+		scale = experiments.ScalePaper
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleFlag)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	enabled := func(k string) bool { return len(want) == 0 || want[k] }
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	w := os.Stdout
+
+	if enabled("fig2") {
+		fmt.Fprintf(w, "== Fig 2 (scale=%s seed=%d) ==\n", scale, *seed)
+		res, err := experiments.Fig2MigratedRatio(scale, *seed)
+		if err != nil {
+			return fmt.Errorf("fig2: %w", err)
+		}
+		res.Render(w)
+		if *outDir != "" {
+			iters := make([]float64, res.Iterations)
+			for i := range iters {
+				iters[i] = float64(i + 1)
+			}
+			if err := writeCSV(*outDir, "fig2_migrated_ratio.csv",
+				[]string{"iteration", "rr", "hlf"}, iters, res.RR, res.HLF); err != nil {
+				return err
+			}
+		}
+	}
+
+	if enabled("fig3tm") {
+		fmt.Fprintf(w, "\n== Fig 3a-c (scale=%s) ==\n", scale)
+		res, err := experiments.Fig3TrafficMatrices(scale, *seed)
+		if err != nil {
+			return fmt.Errorf("fig3tm: %w", err)
+		}
+		res.Render(w)
+		if *outDir != "" {
+			if err := writeMatrixCSV(*outDir, "fig3a_tor_matrix.csv", res.SparseTor); err != nil {
+				return err
+			}
+		}
+	}
+
+	if enabled("fig3") {
+		for _, family := range []experiments.Family{experiments.Canonical, experiments.FatTree} {
+			for _, density := range []experiments.Density{experiments.Sparse, experiments.Medium, experiments.Dense} {
+				fmt.Fprintf(w, "\n== Fig 3 curves: %s / %s ==\n", family, density)
+				res, err := experiments.Fig3CostRatio(family, density, scale, *seed)
+				if err != nil {
+					return fmt.Errorf("fig3 %s/%s: %w", family, density, err)
+				}
+				res.Render(w)
+				if *outDir != "" {
+					name := fmt.Sprintf("fig3_%s_%s.csv", family, density)
+					if err := writeCSV(*outDir, name,
+						[]string{"time_s", "hlf_ratio", "rr_time_s", "rr_ratio"},
+						res.HLF.T, res.HLF.V, res.RR.T, res.RR.V); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+
+	if enabled("fig4") {
+		fmt.Fprintf(w, "\n== Fig 4: S-CORE vs Remedy ==\n")
+		res, err := experiments.Fig4ScoreVsRemedy(scale, *seed)
+		if err != nil {
+			return fmt.Errorf("fig4: %w", err)
+		}
+		res.Render(w)
+		if *outDir != "" {
+			if err := writeCDFCSV(*outDir, "fig4a_core_cdf.csv", map[string][]float64{
+				"baseline": res.BaselineCore, "remedy": res.RemedyCore, "score": res.ScoreCore,
+			}); err != nil {
+				return err
+			}
+			if err := writeCDFCSV(*outDir, "fig4a_agg_cdf.csv", map[string][]float64{
+				"baseline": res.BaselineAgg, "remedy": res.RemedyAgg, "score": res.ScoreAgg,
+			}); err != nil {
+				return err
+			}
+			if err := writeCSV(*outDir, "fig4b_cost_ratio.csv",
+				[]string{"time_s", "score_ratio", "remedy_time_s", "remedy_ratio"},
+				res.ScoreRatio.T, res.ScoreRatio.V, res.RemedyRatio.T, res.RemedyRatio.V); err != nil {
+				return err
+			}
+		}
+	}
+
+	if enabled("fig5a") {
+		fmt.Fprintf(w, "\n== Fig 5a: flow table stress (up to %d flows) ==\n", *maxFlows)
+		res := experiments.Fig5aFlowTable(*maxFlows)
+		res.Render(w)
+		if *outDir != "" {
+			sizes := make([]float64, len(res.Sizes))
+			for i, n := range res.Sizes {
+				sizes[i] = float64(n)
+			}
+			if err := writeCSV(*outDir, "fig5a_flowtable.csv",
+				[]string{"flows", "add_t1", "lookup_t1", "delete_t1", "add_t2", "lookup_t2", "delete_t2"},
+				sizes, res.AddType1, res.LookupType1, res.DeleteType1,
+				res.AddType2, res.LookupType2, res.DeleteType2); err != nil {
+				return err
+			}
+		}
+	}
+
+	if enabled("fig5b") {
+		fmt.Fprintf(w, "\n== Fig 5b: migrated bytes distribution ==\n")
+		res := experiments.Fig5bMigratedBytes(200, *seed)
+		res.Render(w)
+		if *outDir != "" {
+			if err := writeCSV(*outDir, "fig5b_migrated_bytes.csv",
+				[]string{"migrated_mb"}, res.Samples); err != nil {
+				return err
+			}
+		}
+	}
+
+	if enabled("ablations") {
+		fmt.Fprintf(w, "\n== Ablations (DESIGN.md §8) ==\n")
+		aw, err := experiments.AblationLinkWeights(scale, *seed)
+		if err != nil {
+			return fmt.Errorf("ablation weights: %w", err)
+		}
+		aw.Render(w)
+		ac, err := experiments.AblationMigrationCost(scale, *seed)
+		if err != nil {
+			return fmt.Errorf("ablation cm: %w", err)
+		}
+		ac.Render(w)
+		ap, err := experiments.AblationTokenPolicies(scale, *seed)
+		if err != nil {
+			return fmt.Errorf("ablation policies: %w", err)
+		}
+		ap.Render(w)
+	}
+
+	if enabled("fig5cd") {
+		fmt.Fprintf(w, "\n== Fig 5c/5d: migration time and downtime vs load ==\n")
+		res := experiments.Fig5cdMigrationSweep(100, *seed)
+		res.Render(w)
+		if *outDir != "" {
+			if err := writeCSV(*outDir, "fig5cd_migration_sweep.csv",
+				[]string{"load", "time_mean_s", "time_std_s", "down_mean_ms", "down_std_ms"},
+				res.Loads, res.TimeMean, res.TimeStd, res.DownMean, res.DownStd); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSV(dir, name string, headers []string, cols ...[]float64) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return viz.WriteCSV(f, headers, cols...)
+}
+
+func writeMatrixCSV(dir, name string, m [][]float64) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, row := range m {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = fmt.Sprintf("%g", v)
+		}
+		if _, err := fmt.Fprintln(f, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeCDFCSV(dir, name string, series map[string][]float64) error {
+	headers := make([]string, 0, 2*len(series))
+	cols := make([][]float64, 0, 2*len(series))
+	for _, key := range sortedKeys(series) {
+		c := stats.NewCDF(series[key])
+		xs, ps := c.Points(100)
+		headers = append(headers, key+"_util", key+"_p")
+		cols = append(cols, xs, ps)
+	}
+	return writeCSV(dir, name, headers, cols...)
+}
+
+func sortedKeys(m map[string][]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := range keys {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	return keys
+}

@@ -1,0 +1,32 @@
+// Command scoretb runs the testbed-model experiments of Section VI-C
+// (Fig. 5): the flow-table stress test and the live-migration envelope
+// (migrated bytes, total time, downtime) under increasing background
+// load.
+//
+// Usage:
+//
+//	scoretb [-maxflows N] [-migrations N] [-reps N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/score-dc/score/internal/experiments"
+)
+
+func main() {
+	maxFlows := flag.Int("maxflows", 1000000, "flow-table sweep upper bound")
+	migrations := flag.Int("migrations", 200, "modeled migrations for the bytes distribution")
+	reps := flag.Int("reps", 100, "repetitions per background-load point")
+	seed := flag.Int64("seed", 20140630, "random seed")
+	flag.Parse()
+
+	fmt.Fprintf(os.Stdout, "S-CORE testbed-model experiments (Fig. 5)\n\n")
+	experiments.Fig5aFlowTable(*maxFlows).Render(os.Stdout)
+	fmt.Fprintln(os.Stdout)
+	experiments.Fig5bMigratedBytes(*migrations, *seed).Render(os.Stdout)
+	fmt.Fprintln(os.Stdout)
+	experiments.Fig5cdMigrationSweep(*reps, *seed).Render(os.Stdout)
+}

@@ -1,0 +1,482 @@
+// Package cluster models the server-side substrate of a data center:
+// virtual machines, physical hosts, and the allocation of VMs to hosts.
+//
+// The paper (Section II) defines V as the set of VMs, S as the set of
+// servers, and an allocation A mapping every VM u to a hosting server
+// σ̂A(u). Each server can accommodate a bounded number of VMs (16 in the
+// paper's evaluation) and has finite RAM and NIC capacity, which the
+// migration target-selection protocol (Section V-B5) probes before a
+// migration is admitted.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// VMID uniquely identifies a VM. The paper uses the VM's IPv4 address as a
+// 32-bit identifier carried in the token (Section V-B2), "capable of
+// representing over 4 billion IDs before recycling".
+type VMID uint32
+
+// HostID identifies a physical server within the data center.
+type HostID int32
+
+// NoHost is the HostID returned for unplaced VMs.
+const NoHost HostID = -1
+
+// VM describes a virtual machine and its server-side resource demand.
+type VM struct {
+	ID VMID
+	// RAMMB is the provisioned guest memory in MiB. The paper's testbed
+	// VMs are allocated 196 MB each; heterogeneous sizes are supported
+	// because the capacity-response protocol reports available RAM.
+	RAMMB int
+	// CPUMilli is the provisioned CPU share in millicores. Zero means
+	// the VM declares no CPU demand. The paper notes S-CORE "can be
+	// easily extended to add more constraints such as an individual
+	// host's CPU, RAM, and bandwidth availability" (Section V-B); this
+	// field is that extension.
+	CPUMilli int
+}
+
+// Host describes a physical server.
+type Host struct {
+	ID HostID
+	// Slots is the maximum number of VMs the server accommodates
+	// (16 in the paper's simulations, "to model a typical DC server").
+	Slots int
+	// RAMMB is the total guest-usable memory.
+	RAMMB int
+	// NICMbps is the server's network interface speed (1 Gb/s in the
+	// paper's testbed). Used by the bandwidth-threshold admission check
+	// of Section V-C.
+	NICMbps float64
+	// CPUMilli is the server's CPU capacity in millicores. Zero
+	// disables CPU admission (all-slots-equal, the paper's base model).
+	CPUMilli int
+}
+
+// Errors returned by allocation mutations.
+var (
+	ErrUnknownVM    = errors.New("cluster: unknown VM")
+	ErrUnknownHost  = errors.New("cluster: unknown host")
+	ErrNoCapacity   = errors.New("cluster: host lacks capacity")
+	ErrAlreadyHosts = errors.New("cluster: VM already placed")
+	ErrNotPlaced    = errors.New("cluster: VM not placed")
+)
+
+// Cluster binds a set of hosts and VMs together with the current
+// allocation. The zero value is not usable; construct with New.
+//
+// Cluster is not safe for concurrent mutation; the simulation engine
+// serializes all allocation changes through its event loop, mirroring the
+// fact that in the real system only the token holder's hypervisor mutates
+// placement at any instant.
+type Cluster struct {
+	hosts []Host // dense, indexed by HostID
+	vms   map[VMID]VM
+
+	vmHost  map[VMID]HostID
+	hostVMs [][]VMID // dense, indexed by HostID; unordered sets
+	ramUsed []int    // MiB in use per host
+	cpuUsed []int    // millicores in use per host
+}
+
+// New creates a cluster over the given hosts with no VMs placed.
+// Host IDs must be dense, i.e. hosts[i].ID == i.
+func New(hosts []Host) (*Cluster, error) {
+	c := &Cluster{
+		hosts:   make([]Host, len(hosts)),
+		vms:     make(map[VMID]VM),
+		vmHost:  make(map[VMID]HostID),
+		hostVMs: make([][]VMID, len(hosts)),
+		ramUsed: make([]int, len(hosts)),
+		cpuUsed: make([]int, len(hosts)),
+	}
+	for i, h := range hosts {
+		if h.ID != HostID(i) {
+			return nil, fmt.Errorf("cluster: host at index %d has ID %d, want dense IDs", i, h.ID)
+		}
+		if h.Slots <= 0 {
+			return nil, fmt.Errorf("cluster: host %d has non-positive slot count %d", i, h.Slots)
+		}
+		c.hosts[i] = h
+	}
+	return c, nil
+}
+
+// UniformHosts is a convenience constructor for n identical hosts.
+func UniformHosts(n, slots, ramMB int, nicMbps float64) []Host {
+	hosts := make([]Host, n)
+	for i := range hosts {
+		hosts[i] = Host{ID: HostID(i), Slots: slots, RAMMB: ramMB, NICMbps: nicMbps}
+	}
+	return hosts
+}
+
+// NumHosts returns the number of physical servers.
+func (c *Cluster) NumHosts() int { return len(c.hosts) }
+
+// NumVMs returns the number of registered VMs.
+func (c *Cluster) NumVMs() int { return len(c.vms) }
+
+// Host returns the host description for id.
+func (c *Cluster) Host(id HostID) (Host, error) {
+	if !c.validHost(id) {
+		return Host{}, fmt.Errorf("%w: %d", ErrUnknownHost, id)
+	}
+	return c.hosts[id], nil
+}
+
+// VM returns the VM description for id.
+func (c *Cluster) VM(id VMID) (VM, error) {
+	vm, ok := c.vms[id]
+	if !ok {
+		return VM{}, fmt.Errorf("%w: %d", ErrUnknownVM, id)
+	}
+	return vm, nil
+}
+
+// VMs returns all VM IDs in ascending order. The ascending total order is
+// what the Round-Robin token policy walks (Section V-A1).
+func (c *Cluster) VMs() []VMID {
+	ids := make([]VMID, 0, len(c.vms))
+	for id := range c.vms {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// AddVM registers an unplaced VM.
+func (c *Cluster) AddVM(vm VM) error {
+	if _, ok := c.vms[vm.ID]; ok {
+		return fmt.Errorf("%w: %d", ErrAlreadyHosts, vm.ID)
+	}
+	if vm.RAMMB < 0 || vm.CPUMilli < 0 {
+		return fmt.Errorf("cluster: VM %d has negative resource demand", vm.ID)
+	}
+	c.vms[vm.ID] = vm
+	c.vmHost[vm.ID] = NoHost
+	return nil
+}
+
+// HostOf returns the server hosting vm, i.e. σ̂A(u) in the paper's
+// notation, or NoHost if the VM is unplaced.
+func (c *Cluster) HostOf(vm VMID) HostID {
+	h, ok := c.vmHost[vm]
+	if !ok {
+		return NoHost
+	}
+	return h
+}
+
+// VMsOn returns the VMs currently placed on host. The returned slice is
+// owned by the caller.
+func (c *Cluster) VMsOn(host HostID) []VMID {
+	if !c.validHost(host) {
+		return nil
+	}
+	out := make([]VMID, len(c.hostVMs[host]))
+	copy(out, c.hostVMs[host])
+	return out
+}
+
+// UsedSlots returns the number of VMs on host.
+func (c *Cluster) UsedSlots(host HostID) int {
+	if !c.validHost(host) {
+		return 0
+	}
+	return len(c.hostVMs[host])
+}
+
+// FreeSlots returns the remaining VM slots on host. This is the figure a
+// capacity-response packet reports ("how many more VMs it is able to
+// host", Section V-B5).
+func (c *Cluster) FreeSlots(host HostID) int {
+	if !c.validHost(host) {
+		return 0
+	}
+	return c.hosts[host].Slots - len(c.hostVMs[host])
+}
+
+// FreeRAMMB returns the unreserved RAM on host, the second field of the
+// paper's capacity response ("the amount of RAM it has available").
+func (c *Cluster) FreeRAMMB(host HostID) int {
+	if !c.validHost(host) {
+		return 0
+	}
+	return c.hosts[host].RAMMB - c.ramUsed[host]
+}
+
+// FreeCPUMilli returns the unreserved CPU millicores on host; hosts
+// with zero CPU capacity are unconstrained and report a large value.
+func (c *Cluster) FreeCPUMilli(host HostID) int {
+	if !c.validHost(host) {
+		return 0
+	}
+	if c.hosts[host].CPUMilli == 0 {
+		return int(^uint(0) >> 1) // unconstrained
+	}
+	return c.hosts[host].CPUMilli - c.cpuUsed[host]
+}
+
+// Fits reports whether vm can be admitted to host under slot, RAM and
+// CPU capacity constraints. A VM always "fits" on the host it already
+// occupies.
+func (c *Cluster) Fits(vm VMID, host HostID) bool {
+	v, ok := c.vms[vm]
+	if !ok || !c.validHost(host) {
+		return false
+	}
+	if c.vmHost[vm] == host {
+		return true
+	}
+	return c.FreeSlots(host) >= 1 && c.FreeRAMMB(host) >= v.RAMMB &&
+		c.FreeCPUMilli(host) >= v.CPUMilli
+}
+
+// Place puts an unplaced VM on host, enforcing capacity.
+func (c *Cluster) Place(vm VMID, host HostID) error {
+	v, ok := c.vms[vm]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownVM, vm)
+	}
+	if !c.validHost(host) {
+		return fmt.Errorf("%w: %d", ErrUnknownHost, host)
+	}
+	if c.vmHost[vm] != NoHost {
+		return fmt.Errorf("%w: VM %d on host %d", ErrAlreadyHosts, vm, c.vmHost[vm])
+	}
+	if c.FreeSlots(host) < 1 || c.FreeRAMMB(host) < v.RAMMB || c.FreeCPUMilli(host) < v.CPUMilli {
+		return fmt.Errorf("%w: host %d for VM %d", ErrNoCapacity, host, vm)
+	}
+	c.vmHost[vm] = host
+	c.hostVMs[host] = append(c.hostVMs[host], vm)
+	c.ramUsed[host] += v.RAMMB
+	c.cpuUsed[host] += v.CPUMilli
+	return nil
+}
+
+// Move migrates vm to host, enforcing capacity on the target. Moving a VM
+// to its current host is a no-op. This is the allocation change A → Au→x̂
+// of Section IV.
+func (c *Cluster) Move(vm VMID, host HostID) error {
+	v, ok := c.vms[vm]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownVM, vm)
+	}
+	if !c.validHost(host) {
+		return fmt.Errorf("%w: %d", ErrUnknownHost, host)
+	}
+	cur := c.vmHost[vm]
+	if cur == NoHost {
+		return fmt.Errorf("%w: %d", ErrNotPlaced, vm)
+	}
+	if cur == host {
+		return nil
+	}
+	if c.FreeSlots(host) < 1 || c.FreeRAMMB(host) < v.RAMMB || c.FreeCPUMilli(host) < v.CPUMilli {
+		return fmt.Errorf("%w: host %d for VM %d", ErrNoCapacity, host, vm)
+	}
+	c.removeFromHost(vm, cur)
+	c.ramUsed[cur] -= v.RAMMB
+	c.cpuUsed[cur] -= v.CPUMilli
+	c.vmHost[vm] = host
+	c.hostVMs[host] = append(c.hostVMs[host], vm)
+	c.ramUsed[host] += v.RAMMB
+	c.cpuUsed[host] += v.CPUMilli
+	return nil
+}
+
+func (c *Cluster) removeFromHost(vm VMID, host HostID) {
+	set := c.hostVMs[host]
+	for i, id := range set {
+		if id == vm {
+			set[i] = set[len(set)-1]
+			c.hostVMs[host] = set[:len(set)-1]
+			return
+		}
+	}
+}
+
+// Snapshot captures the current allocation as a plain map, suitable for
+// offline cost evaluation (e.g. by the GA baseline) without aliasing the
+// live cluster state.
+func (c *Cluster) Snapshot() map[VMID]HostID {
+	m := make(map[VMID]HostID, len(c.vmHost))
+	for vm, h := range c.vmHost {
+		m[vm] = h
+	}
+	return m
+}
+
+// Restore rewrites the allocation from a snapshot previously produced by
+// Snapshot (or computed by an optimizer). Capacity is enforced; on error
+// the cluster is left unchanged.
+func (c *Cluster) Restore(alloc map[VMID]HostID) error {
+	// Validate first against fresh capacity counters.
+	slots := make([]int, len(c.hosts))
+	ram := make([]int, len(c.hosts))
+	cpu := make([]int, len(c.hosts))
+	for vm := range c.vms {
+		h, ok := alloc[vm]
+		if !ok {
+			return fmt.Errorf("cluster: snapshot missing VM %d", vm)
+		}
+		if h == NoHost {
+			continue
+		}
+		if !c.validHost(h) {
+			return fmt.Errorf("%w: %d", ErrUnknownHost, h)
+		}
+		slots[h]++
+		ram[h] += c.vms[vm].RAMMB
+		cpu[h] += c.vms[vm].CPUMilli
+	}
+	for i, h := range c.hosts {
+		if slots[i] > h.Slots || ram[i] > h.RAMMB || (h.CPUMilli > 0 && cpu[i] > h.CPUMilli) {
+			return fmt.Errorf("%w: host %d (slots %d/%d, ram %d/%d, cpu %d/%d)",
+				ErrNoCapacity, i, slots[i], h.Slots, ram[i], h.RAMMB, cpu[i], h.CPUMilli)
+		}
+	}
+	// Apply.
+	for i := range c.hostVMs {
+		c.hostVMs[i] = c.hostVMs[i][:0]
+		c.ramUsed[i] = 0
+		c.cpuUsed[i] = 0
+	}
+	for vm, h := range alloc {
+		if _, ok := c.vms[vm]; !ok {
+			continue // ignore foreign entries
+		}
+		c.vmHost[vm] = h
+		if h != NoHost {
+			c.hostVMs[h] = append(c.hostVMs[h], vm)
+			c.ramUsed[h] += c.vms[vm].RAMMB
+			c.cpuUsed[h] += c.vms[vm].CPUMilli
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the cluster, used by optimizers that
+// explore hypothetical allocations.
+func (c *Cluster) Clone() *Cluster {
+	n := &Cluster{
+		hosts:   append([]Host(nil), c.hosts...),
+		vms:     make(map[VMID]VM, len(c.vms)),
+		vmHost:  make(map[VMID]HostID, len(c.vmHost)),
+		hostVMs: make([][]VMID, len(c.hostVMs)),
+		ramUsed: append([]int(nil), c.ramUsed...),
+		cpuUsed: append([]int(nil), c.cpuUsed...),
+	}
+	for id, vm := range c.vms {
+		n.vms[id] = vm
+	}
+	for id, h := range c.vmHost {
+		n.vmHost[id] = h
+	}
+	for i, set := range c.hostVMs {
+		n.hostVMs[i] = append([]VMID(nil), set...)
+	}
+	return n
+}
+
+func (c *Cluster) validHost(id HostID) bool {
+	return id >= 0 && int(id) < len(c.hosts)
+}
+
+// PlacementManager is the centralized VM instance placement manager of
+// Section V-A: it hands out unique, totally ordered VM IDs and performs
+// the initial allocation. The paper notes DC VMs "are initially allocated
+// either at random or in a load-balanced manner" (Section III).
+type PlacementManager struct {
+	c      *Cluster
+	nextID VMID
+}
+
+// NewPlacementManager creates a manager issuing IDs starting at firstID.
+// Using a non-zero base mimics IPv4-derived IDs.
+func NewPlacementManager(c *Cluster, firstID VMID) *PlacementManager {
+	return &PlacementManager{c: c, nextID: firstID}
+}
+
+// CreateVM registers a new VM with the next available ID.
+func (pm *PlacementManager) CreateVM(ramMB int) (VMID, error) {
+	id := pm.nextID
+	if err := pm.c.AddVM(VM{ID: id, RAMMB: ramMB}); err != nil {
+		return 0, err
+	}
+	pm.nextID++
+	return id, nil
+}
+
+// PlaceRandom places every unplaced VM on a uniformly random host with
+// capacity. It retries across hosts and fails only if the cluster is full.
+func (pm *PlacementManager) PlaceRandom(rng *rand.Rand) error {
+	perm := rng.Perm(pm.c.NumHosts())
+	cursor := 0
+	for _, vm := range pm.c.VMs() {
+		if pm.c.HostOf(vm) != NoHost {
+			continue
+		}
+		placed := false
+		for tries := 0; tries < pm.c.NumHosts(); tries++ {
+			h := HostID(perm[cursor%len(perm)])
+			cursor = rng.Intn(len(perm)) // jump to keep placement random
+			if pm.c.Fits(vm, h) {
+				if err := pm.c.Place(vm, h); err == nil {
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			// Fall back to a linear scan so we only fail when truly full.
+			for h := 0; h < pm.c.NumHosts(); h++ {
+				if pm.c.Fits(vm, HostID(h)) {
+					if err := pm.c.Place(vm, HostID(h)); err == nil {
+						placed = true
+						break
+					}
+				}
+			}
+		}
+		if !placed {
+			return fmt.Errorf("cluster: no host can fit VM %d: %w", vm, ErrNoCapacity)
+		}
+	}
+	return nil
+}
+
+// PlaceLoadBalanced places every unplaced VM on the host with the most
+// free slots (ties broken by lowest ID), producing the load-balanced
+// initial allocation the paper mentions.
+func (pm *PlacementManager) PlaceLoadBalanced() error {
+	for _, vm := range pm.c.VMs() {
+		if pm.c.HostOf(vm) != NoHost {
+			continue
+		}
+		best, bestFree := NoHost, -1
+		for h := 0; h < pm.c.NumHosts(); h++ {
+			id := HostID(h)
+			if !pm.c.Fits(vm, id) {
+				continue
+			}
+			if free := pm.c.FreeSlots(id); free > bestFree {
+				best, bestFree = id, free
+			}
+		}
+		if best == NoHost {
+			return fmt.Errorf("cluster: no host can fit VM %d: %w", vm, ErrNoCapacity)
+		}
+		if err := pm.c.Place(vm, best); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCPUCapacity covers the CPU admission extension (Section V-B: the
+// algorithm "can be easily extended to add more constraints such as an
+// individual host's CPU, RAM, and bandwidth availability").
+func TestCPUCapacity(t *testing.T) {
+	hosts := []Host{
+		{ID: 0, Slots: 8, RAMMB: 16384, CPUMilli: 4000},
+		{ID: 1, Slots: 8, RAMMB: 16384}, // CPU-unconstrained
+	}
+	c, err := New(hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := VMID(1); id <= 3; id++ {
+		if err := c.AddVM(VM{ID: id, RAMMB: 512, CPUMilli: 1500}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Place(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Place(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FreeCPUMilli(0); got != 1000 {
+		t.Fatalf("FreeCPUMilli = %d, want 1000", got)
+	}
+	// Third 1500-milli VM exceeds the 4000-milli host.
+	if c.Fits(3, 0) {
+		t.Fatal("CPU-overflow Fits returned true")
+	}
+	if err := c.Place(3, 0); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("CPU-overflow Place error = %v, want ErrNoCapacity", err)
+	}
+	// The unconstrained host takes it.
+	if err := c.Place(3, 1); err != nil {
+		t.Fatalf("unconstrained host refused: %v", err)
+	}
+	// Move off host 0 releases CPU.
+	if err := c.Move(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FreeCPUMilli(0); got != 2500 {
+		t.Fatalf("FreeCPUMilli after move = %d, want 2500", got)
+	}
+	if !c.Fits(3, 0) {
+		t.Fatal("host 0 should fit VM 3 after the move")
+	}
+
+	// Restore validates CPU too.
+	bad := c.Snapshot()
+	for vm := range bad {
+		bad[vm] = 0 // 3 × 1500 > 4000
+	}
+	if err := c.Restore(bad); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("CPU-overflow Restore error = %v, want ErrNoCapacity", err)
+	}
+
+	// Negative demand rejected.
+	if err := c.AddVM(VM{ID: 9, RAMMB: 10, CPUMilli: -1}); err == nil {
+		t.Fatal("negative CPU demand accepted")
+	}
+}

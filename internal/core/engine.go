@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/topology"
+	"github.com/score-dc/score/internal/traffic"
+)
+
+// Config tunes the migration decision engine.
+type Config struct {
+	// MigrationCost is c_m, the cost a migration's ΔC must exceed
+	// (Theorem 1). The evaluation initially sets it to zero "to allow
+	// for a fair comparison", then sweeps it.
+	MigrationCost float64
+	// BandwidthThreshold is the fraction of a host NIC that the
+	// projected aggregate VM traffic may occupy after an in-migration;
+	// above it the capacity probe refuses the VM ("if the target host
+	// does not have sufficient bandwidth to accommodate the requesting
+	// VM, the next best choice with adequate bandwidth will be
+	// considered", Section V-C). Zero disables the check.
+	BandwidthThreshold float64
+	// MaxCandidates caps how many candidate servers a token holder
+	// probes, bounding the per-decision message cost. Zero means probe
+	// the host and rack of every neighbor.
+	MaxCandidates int
+	// Admission, when non-nil, is consulted in addition to the built-in
+	// slot/RAM/bandwidth checks. The simulator uses it to account for
+	// capacity already reserved by in-flight migrations.
+	Admission func(vm cluster.VMID, target cluster.HostID) bool
+}
+
+// DefaultConfig returns the configuration used by the simulations:
+// free migrations (c_m = 0) and a 90% bandwidth admission threshold.
+func DefaultConfig() Config {
+	return Config{MigrationCost: 0, BandwidthThreshold: 0.9, MaxCandidates: 0}
+}
+
+// Decision is a migration the engine recommends for a token holder.
+type Decision struct {
+	VM     cluster.VMID
+	From   cluster.HostID
+	Target cluster.HostID
+	// Delta is ΔC (Eq. 5): the global communication-cost reduction the
+	// move achieves. Positive deltas reduce cost.
+	Delta float64
+}
+
+// Engine evaluates S-CORE migration decisions against the current
+// cluster allocation. It reads the cluster and traffic matrix but never
+// mutates them; executing a decision is the caller's (simulator's or
+// hypervisor's) responsibility, matching the paper's split between the
+// decision process and the Xen migration machinery.
+type Engine struct {
+	topo topology.Topology
+	cost CostModel
+	cl   *cluster.Cluster
+	tm   *traffic.Matrix
+	cfg  Config
+}
+
+// NewEngine assembles a decision engine. The traffic matrix may be
+// swapped later via SetTraffic as measurement windows roll over.
+func NewEngine(topo topology.Topology, cost CostModel, cl *cluster.Cluster, tm *traffic.Matrix, cfg Config) (*Engine, error) {
+	if topo == nil || cl == nil || tm == nil {
+		return nil, fmt.Errorf("core: nil dependency")
+	}
+	if cost.Depth() < topo.Depth() {
+		return nil, fmt.Errorf("core: cost model depth %d < topology depth %d", cost.Depth(), topo.Depth())
+	}
+	if cfg.BandwidthThreshold < 0 || cfg.BandwidthThreshold > 1 {
+		return nil, fmt.Errorf("core: bandwidth threshold %v outside [0,1]", cfg.BandwidthThreshold)
+	}
+	return &Engine{topo: topo, cost: cost, cl: cl, tm: tm, cfg: cfg}, nil
+}
+
+// SetTraffic replaces the traffic matrix, e.g. when a new measurement
+// window's averages become available.
+func (e *Engine) SetTraffic(tm *traffic.Matrix) {
+	if tm != nil {
+		e.tm = tm
+	}
+}
+
+// Traffic returns the engine's current traffic matrix.
+func (e *Engine) Traffic() *traffic.Matrix { return e.tm }
+
+// Cluster returns the engine's cluster.
+func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
+
+// Topology returns the engine's topology.
+func (e *Engine) Topology() topology.Topology { return e.topo }
+
+// CostModel returns the engine's cost model.
+func (e *Engine) CostModel() CostModel { return e.cost }
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// PairLevel returns ℓ^A(u, v) under the current allocation.
+func (e *Engine) PairLevel(u, v cluster.VMID) int {
+	hu, hv := e.cl.HostOf(u), e.cl.HostOf(v)
+	if hu == cluster.NoHost || hv == cluster.NoHost {
+		return e.topo.Depth() // treat unplaced as worst case
+	}
+	return e.topo.Level(hu, hv)
+}
+
+// VMLevel returns ℓ^A(u) = max_{v∈Vu} ℓ^A(u, v), the highest
+// communication level of VM u (Section II); 0 for VMs with no traffic.
+func (e *Engine) VMLevel(u cluster.VMID) int {
+	max := 0
+	for _, v := range e.tm.Neighbors(u) {
+		if l := e.PairLevel(u, v); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// VMCost returns C^A(u) (Eq. 1): twice the sum over Vu of λ·Σc_i.
+func (e *Engine) VMCost(u cluster.VMID) float64 {
+	var sum float64
+	for _, v := range e.tm.Neighbors(u) {
+		sum += e.cost.PairCost(e.tm.Rate(u, v), e.PairLevel(u, v))
+	}
+	return sum
+}
+
+// TotalCost returns C^A (Eq. 2) for the current allocation.
+func (e *Engine) TotalCost() float64 {
+	pairs, rates := e.tm.Pairs()
+	var sum float64
+	for i, p := range pairs {
+		sum += e.cost.PairCost(rates[i], e.PairLevel(p.A, p.B))
+	}
+	return sum
+}
+
+// TotalCostOf evaluates C^A for a hypothetical allocation snapshot
+// without touching the live cluster — used by the GA baseline and by
+// what-if analyses.
+func (e *Engine) TotalCostOf(alloc map[cluster.VMID]cluster.HostID) float64 {
+	pairs, rates := e.tm.Pairs()
+	var sum float64
+	depth := e.topo.Depth()
+	for i, p := range pairs {
+		ha, okA := alloc[p.A]
+		hb, okB := alloc[p.B]
+		lvl := depth
+		if okA && okB && ha != cluster.NoHost && hb != cluster.NoHost {
+			lvl = e.topo.Level(ha, hb)
+		}
+		sum += e.cost.PairCost(rates[i], lvl)
+	}
+	return sum
+}
+
+// Delta returns ΔC for migrating u to target (Eq. 5):
+//
+//	ΔC = 2 Σ_{z∈Vu} λ(z,u) · (Σ_{i≤ℓ^A(z,u)} c_i − Σ_{i≤ℓ^{A'}(z,u)} c_i)
+//
+// computed purely from u's local knowledge: its neighbors, their rates,
+// and the levels before and after the move.
+func (e *Engine) Delta(u cluster.VMID, target cluster.HostID) float64 {
+	cur := e.cl.HostOf(u)
+	if cur == target || cur == cluster.NoHost {
+		return 0
+	}
+	var delta float64
+	for _, z := range e.tm.Neighbors(u) {
+		hz := e.cl.HostOf(z)
+		if hz == cluster.NoHost {
+			continue
+		}
+		before := e.cost.Prefix(e.topo.Level(hz, cur))
+		after := e.cost.Prefix(e.topo.Level(hz, target))
+		delta += 2 * e.tm.Rate(z, u) * (before - after)
+	}
+	return delta
+}
+
+// HostNetLoad returns the aggregate external traffic (Mb/s) crossing the
+// host's NIC: for each hosted VM, its rates to peers on other hosts.
+func (e *Engine) HostNetLoad(h cluster.HostID) float64 {
+	var sum float64
+	for _, u := range e.cl.VMsOn(h) {
+		for _, v := range e.tm.Neighbors(u) {
+			if e.cl.HostOf(v) != h {
+				sum += e.tm.Rate(u, v)
+			}
+		}
+	}
+	return sum
+}
+
+// Admissible reports whether target can accept u: free slot, enough RAM
+// (the capacity-response fields of Section V-B5) and, when a bandwidth
+// threshold is configured, enough NIC headroom after accounting for the
+// traffic that becomes host-internal (Section V-C).
+func (e *Engine) Admissible(u cluster.VMID, target cluster.HostID) bool {
+	if !e.cl.Fits(u, target) {
+		return false
+	}
+	if e.cfg.Admission != nil && !e.cfg.Admission(u, target) {
+		return false
+	}
+	if e.cfg.BandwidthThreshold <= 0 {
+		return true
+	}
+	host, err := e.cl.Host(target)
+	if err != nil || host.NICMbps <= 0 {
+		return false
+	}
+	// Traffic between u and VMs already on target leaves the NIC; the
+	// rest of u's load joins it.
+	var internal float64
+	for _, v := range e.tm.Neighbors(u) {
+		if e.cl.HostOf(v) == target {
+			internal += e.tm.Rate(u, v)
+		}
+	}
+	current := e.HostNetLoad(target)
+	projected := current + e.tm.VMLoad(u) - 2*internal
+	// Admit when the projection stays under the policy threshold, or
+	// when the move does not worsen an already-hot NIC (co-locating a
+	// heavy pair *reduces* both NICs' load; refusing such moves would
+	// freeze an overloaded cluster in exactly the state that needs
+	// fixing).
+	limit := e.cfg.BandwidthThreshold * host.NICMbps
+	if current > limit {
+		return projected <= current
+	}
+	return projected <= limit
+}
+
+// neighborRank orders u's neighbors from highest to lowest communication
+// level, breaking ties by descending rate — the probe order of
+// Section V-B5 ("rank neighboring VMs from highest to lowest
+// communication levels").
+func (e *Engine) neighborRank(u cluster.VMID) []cluster.VMID {
+	neigh := e.tm.Neighbors(u)
+	sort.SliceStable(neigh, func(i, j int) bool {
+		li, lj := e.PairLevel(u, neigh[i]), e.PairLevel(u, neigh[j])
+		if li != lj {
+			return li > lj
+		}
+		return e.tm.Rate(u, neigh[i]) > e.tm.Rate(u, neigh[j])
+	})
+	return neigh
+}
+
+// BestMigration evaluates the S-CORE migration policy for token-holder u
+// and returns the admissible move with the largest ΔC, provided it
+// satisfies Theorem 1 (ΔC > c_m). The candidate set is the servers of
+// u's neighbors in rank order, falling back to other servers in the same
+// rack when a neighbor's own server refuses the capacity probe.
+func (e *Engine) BestMigration(u cluster.VMID) (Decision, bool) {
+	cur := e.cl.HostOf(u)
+	if cur == cluster.NoHost {
+		return Decision{}, false
+	}
+	best := Decision{VM: u, From: cur, Target: cluster.NoHost}
+	probed := make(map[cluster.HostID]bool, 16)
+	probes := 0
+	limit := e.cfg.MaxCandidates
+
+	consider := func(h cluster.HostID) {
+		if h == cur || probed[h] {
+			return
+		}
+		probed[h] = true
+		probes++
+		if !e.Admissible(u, h) {
+			return
+		}
+		if d := e.Delta(u, h); best.Target == cluster.NoHost || d > best.Delta {
+			best.Target, best.Delta = h, d
+		}
+	}
+
+	for _, z := range e.neighborRank(u) {
+		if limit > 0 && probes >= limit {
+			break
+		}
+		hz := e.cl.HostOf(z)
+		if hz == cluster.NoHost {
+			continue
+		}
+		consider(hz)
+		// The neighbor's server may be full; try the rest of its rack,
+		// which still collapses the pair to level 1.
+		for _, alt := range e.topo.HostsInRack(e.topo.RackOf(hz)) {
+			if limit > 0 && probes >= limit {
+				break
+			}
+			consider(alt)
+		}
+	}
+
+	if best.Target == cluster.NoHost || best.Delta <= e.cfg.MigrationCost {
+		return Decision{}, false
+	}
+	return best, true
+}
+
+// Apply executes a previously computed decision against the cluster,
+// enforcing capacity at execution time (the allocation may have drifted
+// since the probe). It returns the realized ΔC.
+func (e *Engine) Apply(d Decision) (float64, error) {
+	if d.Target == cluster.NoHost {
+		return 0, fmt.Errorf("core: decision has no target")
+	}
+	realized := e.Delta(d.VM, d.Target)
+	if err := e.cl.Move(d.VM, d.Target); err != nil {
+		return 0, fmt.Errorf("core: applying migration of VM %d: %w", d.VM, err)
+	}
+	return realized, nil
+}

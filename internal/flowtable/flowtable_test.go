@@ -1,0 +1,229 @@
+package flowtable
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func key(src, dst uint32, sp, dp uint16) Key {
+	return Key{Src: IPv4(src), Dst: IPv4(dst), SrcPort: sp, DstPort: dp, Proto: 6}
+}
+
+func TestAddLookupDelete(t *testing.T) {
+	tbl := New(4)
+	now := time.Now()
+	k := key(0x0a000001, 0x0a000002, 1000, 80)
+	if !tbl.Add(k, now) {
+		t.Fatal("Add returned false for a new flow")
+	}
+	if tbl.Add(k, now) {
+		t.Fatal("Add returned true for a duplicate")
+	}
+	if got := tbl.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+	f := tbl.Lookup(k)
+	if f == nil || f.Key != k {
+		t.Fatalf("Lookup = %+v", f)
+	}
+	if !tbl.Delete(k) {
+		t.Fatal("Delete returned false")
+	}
+	if tbl.Delete(k) {
+		t.Fatal("double Delete returned true")
+	}
+	if got := tbl.Len(); got != 0 {
+		t.Fatalf("Len after delete = %d, want 0", got)
+	}
+}
+
+func TestUpdateCreatesAndAccumulates(t *testing.T) {
+	tbl := New(4)
+	t0 := time.Now()
+	k := key(1, 2, 10, 20)
+	tbl.Update(k, 1000, 2, t0)
+	tbl.Update(k, 500, 1, t0.Add(time.Second))
+	f := tbl.Lookup(k)
+	if f == nil {
+		t.Fatal("flow not created by Update")
+	}
+	if f.Bytes != 1500 || f.Packets != 3 {
+		t.Fatalf("bytes=%d packets=%d, want 1500/3", f.Bytes, f.Packets)
+	}
+	if got := f.Duration(); got != time.Second {
+		t.Fatalf("Duration = %v, want 1s", got)
+	}
+	if got := f.ThroughputBps(); got != 1500 {
+		t.Fatalf("ThroughputBps = %v, want 1500", got)
+	}
+}
+
+func TestThroughputZeroDuration(t *testing.T) {
+	tbl := New(1)
+	now := time.Now()
+	k := key(1, 2, 3, 4)
+	tbl.Update(k, 100, 1, now)
+	if got := tbl.Lookup(k).ThroughputBps(); got != 0 {
+		t.Fatalf("instantaneous flow throughput = %v, want 0", got)
+	}
+}
+
+func TestLookupByIPBothDirections(t *testing.T) {
+	tbl := New(8)
+	now := time.Now()
+	local := IPv4(0x0a000001)
+	tbl.Add(Key{Src: local, Dst: 2, SrcPort: 1, DstPort: 2, Proto: 6}, now)
+	tbl.Add(Key{Src: 3, Dst: local, SrcPort: 3, DstPort: 4, Proto: 6}, now)
+	tbl.Add(Key{Src: 4, Dst: 5, SrcPort: 5, DstPort: 6, Proto: 6}, now)
+	got := tbl.LookupByIP(local)
+	if len(got) != 2 {
+		t.Fatalf("LookupByIP found %d flows, want 2", len(got))
+	}
+	// Self-flow (local on both sides) must not be double counted.
+	tbl.Add(Key{Src: local, Dst: local, SrcPort: 9, DstPort: 9, Proto: 6}, now)
+	if got := tbl.LookupByIP(local); len(got) != 3 {
+		t.Fatalf("LookupByIP with self-flow found %d, want 3", len(got))
+	}
+}
+
+func TestClearIP(t *testing.T) {
+	tbl := New(8)
+	now := time.Now()
+	local := IPv4(7)
+	tbl.Add(key(7, 1, 1, 1), now)
+	tbl.Add(key(2, 7, 2, 2), now)
+	tbl.Add(key(3, 4, 3, 3), now)
+	if removed := tbl.ClearIP(local); removed != 2 {
+		t.Fatalf("ClearIP removed %d, want 2", removed)
+	}
+	if got := tbl.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+	if got := tbl.LookupByIP(local); len(got) != 0 {
+		t.Fatalf("flows remain after ClearIP: %v", got)
+	}
+}
+
+func TestAggregateRates(t *testing.T) {
+	tbl := New(8)
+	t0 := time.Now()
+	local, peer := IPv4(1), IPv4(2)
+	// Two flows in opposite directions between local and peer; 1000 and
+	// 500 bytes over 2 seconds → 750 B/s combined.
+	tbl.Update(Key{Src: local, Dst: peer, SrcPort: 1, DstPort: 2, Proto: 6}, 1000, 1, t0)
+	tbl.Update(Key{Src: peer, Dst: local, SrcPort: 2, DstPort: 1, Proto: 6}, 500, 1, t0)
+	rates := tbl.AggregateRates(local, t0.Add(2*time.Second))
+	if got := rates[peer]; got != 750 {
+		t.Fatalf("aggregate rate = %v, want 750 (incoming+outgoing)", got)
+	}
+}
+
+func TestGenerateKeysUnique(t *testing.T) {
+	for _, set := range []TypeSet{Type1, Type2} {
+		keys := GenerateKeys(set, 5000)
+		seen := make(map[Key]bool, len(keys))
+		for _, k := range keys {
+			if seen[k] {
+				t.Fatalf("type %d: duplicate key %+v", set, k)
+			}
+			seen[k] = true
+		}
+	}
+	// Type-2 groups of 1000 share a source IP.
+	keys := GenerateKeys(Type2, 3000)
+	srcs := map[IPv4]int{}
+	for _, k := range keys {
+		srcs[k.Src]++
+	}
+	if len(srcs) != 3 {
+		t.Fatalf("type-2 source IPs = %d, want 3", len(srcs))
+	}
+	// Type-1: all unique sources.
+	keys = GenerateKeys(Type1, 3000)
+	srcs = map[IPv4]int{}
+	for _, k := range keys {
+		srcs[k.Src]++
+	}
+	if len(srcs) != 3000 {
+		t.Fatalf("type-1 source IPs = %d, want 3000", len(srcs))
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	tbl := New(0) // zero-capacity hint: lazily initialized
+	now := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := key(uint32(w), uint32(i), uint16(i), 80)
+				tbl.Update(k, 100, 1, now)
+				_ = tbl.LookupByIP(IPv4(w))
+				if i%3 == 0 {
+					tbl.Delete(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Consistency after concurrent churn: every remaining flow resolves
+	// via its IP index.
+	for w := 0; w < 8; w++ {
+		for _, f := range tbl.LookupByIP(IPv4(w)) {
+			if got := tbl.Lookup(f.Key); got == nil {
+				t.Fatalf("index points at missing flow %+v", f.Key)
+			}
+		}
+	}
+}
+
+func TestIPv4String(t *testing.T) {
+	if got := IPv4(0x0a000001).String(); got != "10.0.0.1" {
+		t.Fatalf("String = %q, want 10.0.0.1", got)
+	}
+}
+
+// TestIndexConsistencyQuick: after arbitrary add/delete sequences, the
+// per-IP indexes exactly cover the flow set.
+func TestIndexConsistencyQuick(t *testing.T) {
+	now := time.Now()
+	f := func(ops []struct {
+		Src, Dst uint8
+		Del      bool
+	}) bool {
+		tbl := New(16)
+		live := map[Key]bool{}
+		for _, op := range ops {
+			k := key(uint32(op.Src), uint32(op.Dst), 1, 1)
+			if op.Del {
+				tbl.Delete(k)
+				delete(live, k)
+			} else {
+				tbl.Update(k, 10, 1, now)
+				live[k] = true
+			}
+		}
+		if tbl.Len() != len(live) {
+			return false
+		}
+		for k := range live {
+			found := false
+			for _, f := range tbl.LookupByIP(k.Src) {
+				if f.Key == k {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

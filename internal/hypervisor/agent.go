@@ -1,0 +1,432 @@
+package hypervisor
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/core"
+	"github.com/score-dc/score/internal/token"
+	"github.com/score-dc/score/internal/topology"
+)
+
+// Registry is the centralized VM instance placement manager's directory
+// (Section V-A): it resolves a VM ID to the address of the dom0 agent
+// currently hosting it, the role the paper's NAT redirect plays when
+// messages for a VM's IP are steered to its hypervisor.
+type Registry struct {
+	mu   sync.RWMutex
+	byVM map[cluster.VMID]string
+}
+
+// NewRegistry returns an empty directory.
+func NewRegistry() *Registry {
+	return &Registry{byVM: make(map[cluster.VMID]string)}
+}
+
+// Assign records that vm is hosted by the dom0 at addr.
+func (r *Registry) Assign(vm cluster.VMID, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byVM[vm] = addr
+}
+
+// Lookup resolves a VM to its dom0 address.
+func (r *Registry) Lookup(vm cluster.VMID) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.byVM[vm]
+	return a, ok
+}
+
+// AgentConfig parameterizes one dom0 agent.
+type AgentConfig struct {
+	// HostID is this server's identity in the topology.
+	HostID cluster.HostID
+	// Slots and RAMMB are the server's capacity (the fields a capacity
+	// response reports).
+	Slots int
+	RAMMB int
+	// Topo is the static location-cost map every dom0 holds
+	// ("a precomputed location cost mapping", Section V-B4).
+	Topo topology.Topology
+	// Cost holds the link weights c_i.
+	Cost core.CostModel
+	// MigrationCost is c_m from Theorem 1.
+	MigrationCost float64
+	// Policy selects the next token holder.
+	Policy token.Policy
+	// ProbeTimeout bounds location/capacity round trips.
+	ProbeTimeout time.Duration
+}
+
+// TokenEvent reports one processed token visit to the observer.
+type TokenEvent struct {
+	Holder   cluster.VMID
+	Migrated bool
+	Target   cluster.HostID
+	Delta    float64
+}
+
+// Agent is one dom0: it tracks hosted VMs and their measured peer rates,
+// answers location and capacity probes, and executes the S-CORE decision
+// process when the token arrives for a hosted VM.
+type Agent struct {
+	cfg AgentConfig
+	tr  Transport
+	reg *Registry
+
+	mu      sync.Mutex
+	vms     map[cluster.VMID]*vmRecord
+	pending map[uint32]chan Message
+	seq     atomic.Uint32
+	closed  bool
+
+	// OnToken, when set, observes each token visit; returning false
+	// stops the ring (the harness's termination hook). It must be set
+	// before Start.
+	OnToken func(ev TokenEvent) bool
+}
+
+type vmRecord struct {
+	ramMB int
+	rates map[cluster.VMID]float64 // λ(u, v) toward each peer, Mb/s
+}
+
+// NewAgent constructs an agent; call Start with a transport factory to
+// go live.
+func NewAgent(cfg AgentConfig, reg *Registry) (*Agent, error) {
+	if cfg.Topo == nil || reg == nil || cfg.Policy == nil {
+		return nil, fmt.Errorf("hypervisor: nil dependency")
+	}
+	if cfg.Slots <= 0 || cfg.RAMMB <= 0 {
+		return nil, fmt.Errorf("hypervisor: agent capacity must be positive")
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	return &Agent{
+		cfg:     cfg,
+		reg:     reg,
+		vms:     make(map[cluster.VMID]*vmRecord),
+		pending: make(map[uint32]chan Message),
+	}, nil
+}
+
+// Start binds the agent to a transport created by mk (which receives the
+// agent's message handler).
+func (a *Agent) Start(mk func(Handler) (Transport, error)) error {
+	tr, err := mk(a.handle)
+	if err != nil {
+		return err
+	}
+	a.tr = tr
+	return nil
+}
+
+// Addr returns the agent's transport address.
+func (a *Agent) Addr() string { return a.tr.Addr() }
+
+// HostID returns the server identity.
+func (a *Agent) HostID() cluster.HostID { return a.cfg.HostID }
+
+// Close shuts down the transport.
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	a.closed = true
+	a.mu.Unlock()
+	if a.tr == nil {
+		return nil
+	}
+	return a.tr.Close()
+}
+
+// AddVM registers a hosted VM and its measured peer rates (in a live
+// deployment these come from the flow table; tests and examples inject
+// them). It also updates the registry.
+func (a *Agent) AddVM(vm cluster.VMID, ramMB int, rates map[cluster.VMID]float64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.vms) >= a.cfg.Slots {
+		return fmt.Errorf("hypervisor: host %d out of slots: %w", a.cfg.HostID, cluster.ErrNoCapacity)
+	}
+	cp := make(map[cluster.VMID]float64, len(rates))
+	for k, v := range rates {
+		cp[k] = v
+	}
+	a.vms[vm] = &vmRecord{ramMB: ramMB, rates: cp}
+	a.reg.Assign(vm, a.tr.Addr())
+	return nil
+}
+
+// VMs lists hosted VM IDs.
+func (a *Agent) VMs() []cluster.VMID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]cluster.VMID, 0, len(a.vms))
+	for id := range a.vms {
+		out = append(out, id)
+	}
+	return out
+}
+
+// SetRate updates the measured λ between a hosted VM and a peer.
+func (a *Agent) SetRate(vm, peer cluster.VMID, rate float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if rec, ok := a.vms[vm]; ok {
+		rec.rates[peer] = rate
+	}
+}
+
+// InjectToken starts (or restarts) the ring at a VM hosted by this agent.
+func (a *Agent) InjectToken(t *token.Token, holder cluster.VMID) error {
+	return a.tr.Send(a.tr.Addr(), Message{Type: MsgToken, VM: holder, Payload: t.Encode()})
+}
+
+// handle dispatches inbound messages. Token processing blocks on peer
+// probes, so it runs on its own goroutine.
+func (a *Agent) handle(from string, m Message) {
+	switch m.Type {
+	case MsgLocationReq:
+		resp := Message{Type: MsgLocationResp, ReqID: m.ReqID, VM: m.VM, Host: a.cfg.HostID}
+		_ = a.tr.Send(m.ReplyTo, resp)
+	case MsgCapacityReq:
+		a.mu.Lock()
+		free := a.cfg.Slots - len(a.vms)
+		ram := a.cfg.RAMMB
+		for _, rec := range a.vms {
+			ram -= rec.ramMB
+		}
+		a.mu.Unlock()
+		resp := Message{
+			Type: MsgCapacityResp, ReqID: m.ReqID, Host: a.cfg.HostID,
+			FreeSlots: int32(free), FreeRAMMB: int32(ram),
+		}
+		_ = a.tr.Send(m.ReplyTo, resp)
+	case MsgMigrate:
+		rates, err := DecodeRates(m.Payload)
+		if err != nil {
+			return
+		}
+		a.mu.Lock()
+		a.vms[m.VM] = &vmRecord{ramMB: int(m.RAMMB), rates: rates}
+		a.mu.Unlock()
+		a.reg.Assign(m.VM, a.tr.Addr())
+		_ = a.tr.Send(m.ReplyTo, Message{Type: MsgMigrateAck, ReqID: m.ReqID, VM: m.VM, Host: a.cfg.HostID})
+	case MsgLocationResp, MsgCapacityResp, MsgMigrateAck:
+		a.mu.Lock()
+		ch, ok := a.pending[m.ReqID]
+		a.mu.Unlock()
+		if ok {
+			select {
+			case ch <- m:
+			default:
+			}
+		}
+	case MsgToken:
+		go a.processToken(m)
+	}
+}
+
+// request performs one correlated round trip.
+func (a *Agent) request(to string, m Message) (Message, error) {
+	id := a.seq.Add(1)
+	m.ReqID = id
+	m.ReplyTo = a.tr.Addr()
+	ch := make(chan Message, 1)
+	a.mu.Lock()
+	a.pending[id] = ch
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		delete(a.pending, id)
+		a.mu.Unlock()
+	}()
+	if err := a.tr.Send(to, m); err != nil {
+		return Message{}, err
+	}
+	select {
+	case r := <-ch:
+		return r, nil
+	case <-time.After(a.cfg.ProbeTimeout):
+		return Message{}, fmt.Errorf("hypervisor: probe to %s timed out", to)
+	}
+}
+
+// processToken runs the full Section V-B decision pipeline for one token
+// visit: aggregate load, locate peers, rank candidates, probe capacity,
+// decide via Theorem 1, migrate, and pass the token on.
+func (a *Agent) processToken(m Message) {
+	tok, err := token.Decode(m.Payload)
+	if err != nil {
+		return
+	}
+	holder := m.VM
+
+	a.mu.Lock()
+	rec, hosted := a.vms[holder]
+	var rates map[cluster.VMID]float64
+	if hosted {
+		rates = make(map[cluster.VMID]float64, len(rec.rates))
+		for k, v := range rec.rates {
+			rates[k] = v
+		}
+	}
+	closed := a.closed
+	a.mu.Unlock()
+	if closed {
+		return
+	}
+
+	ev := TokenEvent{Holder: holder, Target: cluster.NoHost}
+	if hosted {
+		ev = a.decide(holder, rec, rates)
+	}
+
+	// Build the holder view and pass the token.
+	view := token.HolderView{Holder: holder, NeighborLevels: make(map[cluster.VMID]uint8, len(rates))}
+	var own uint8
+	for peer := range rates {
+		if h, ok := a.locate(peer); ok {
+			lvl := uint8(a.cfg.Topo.Level(a.currentHostOf(holder), h))
+			view.NeighborLevels[peer] = lvl
+			if lvl > own {
+				own = lvl
+			}
+		}
+	}
+	view.OwnLevel = own
+
+	if a.OnToken != nil && !a.OnToken(ev) {
+		return
+	}
+	next, ok := a.cfg.Policy.Next(tok, view)
+	if !ok {
+		return
+	}
+	if addr, ok := a.reg.Lookup(next); ok {
+		_ = a.tr.Send(addr, Message{Type: MsgToken, VM: next, Payload: tok.Encode()})
+	}
+}
+
+// currentHostOf returns where the holder is after any migration this
+// visit performed: itself unless the VM moved away.
+func (a *Agent) currentHostOf(vm cluster.VMID) cluster.HostID {
+	a.mu.Lock()
+	_, still := a.vms[vm]
+	a.mu.Unlock()
+	if still {
+		return a.cfg.HostID
+	}
+	if addr, ok := a.reg.Lookup(vm); ok && addr != a.tr.Addr() {
+		// Peer probe for its new host.
+		if resp, err := a.request(addr, Message{Type: MsgLocationReq, VM: vm}); err == nil {
+			return resp.Host
+		}
+	}
+	return a.cfg.HostID
+}
+
+// locate probes the dom0 hosting vm for its server identity.
+func (a *Agent) locate(vm cluster.VMID) (cluster.HostID, bool) {
+	addr, ok := a.reg.Lookup(vm)
+	if !ok {
+		return cluster.NoHost, false
+	}
+	if addr == a.tr.Addr() {
+		return a.cfg.HostID, true
+	}
+	resp, err := a.request(addr, Message{Type: MsgLocationReq, VM: vm})
+	if err != nil {
+		return cluster.NoHost, false
+	}
+	return resp.Host, true
+}
+
+// decide evaluates the S-CORE policy for a hosted token holder.
+func (a *Agent) decide(holder cluster.VMID, rec *vmRecord, rates map[cluster.VMID]float64) TokenEvent {
+	ev := TokenEvent{Holder: holder, Target: cluster.NoHost}
+	type peerLoc struct {
+		vm   cluster.VMID
+		host cluster.HostID
+		addr string
+		rate float64
+	}
+	peers := make([]peerLoc, 0, len(rates))
+	for peer, rate := range rates {
+		h, ok := a.locate(peer)
+		if !ok {
+			continue
+		}
+		addr, _ := a.reg.Lookup(peer)
+		peers = append(peers, peerLoc{vm: peer, host: h, addr: addr, rate: rate})
+	}
+	if len(peers) == 0 {
+		return ev
+	}
+
+	// Rank candidate servers: each peer's host, highest level first.
+	type cand struct {
+		host cluster.HostID
+		addr string
+	}
+	seen := map[cluster.HostID]bool{a.cfg.HostID: true}
+	var cands []cand
+	for lvl := a.cfg.Topo.Depth(); lvl >= 1; lvl-- {
+		for _, p := range peers {
+			if a.cfg.Topo.Level(a.cfg.HostID, p.host) != lvl || seen[p.host] {
+				continue
+			}
+			seen[p.host] = true
+			cands = append(cands, cand{host: p.host, addr: p.addr})
+		}
+	}
+
+	delta := func(target cluster.HostID) float64 {
+		var d float64
+		for _, p := range peers {
+			before := a.cfg.Cost.Prefix(a.cfg.Topo.Level(p.host, a.cfg.HostID))
+			after := a.cfg.Cost.Prefix(a.cfg.Topo.Level(p.host, target))
+			d += 2 * p.rate * (before - after)
+		}
+		return d
+	}
+
+	var best *cand
+	var bestDelta float64
+	for i := range cands {
+		c := &cands[i]
+		d := delta(c.host)
+		if d <= a.cfg.MigrationCost || (best != nil && d <= bestDelta) {
+			continue
+		}
+		// Capacity probe (Section V-B5).
+		resp, err := a.request(c.addr, Message{Type: MsgCapacityReq, VM: holder, RAMMB: int32(rec.ramMB)})
+		if err != nil || resp.FreeSlots < 1 || int(resp.FreeRAMMB) < rec.ramMB {
+			continue
+		}
+		best, bestDelta = c, d
+	}
+	if best == nil {
+		return ev
+	}
+
+	// Execute the migration: ship the VM record to the target dom0.
+	payload := EncodeRates(rates)
+	resp, err := a.request(best.addr, Message{
+		Type: MsgMigrate, VM: holder, RAMMB: int32(rec.ramMB), Payload: payload,
+	})
+	if err != nil || resp.Type != MsgMigrateAck {
+		return ev
+	}
+	a.mu.Lock()
+	delete(a.vms, holder)
+	a.mu.Unlock()
+	ev.Migrated = true
+	ev.Target = best.host
+	ev.Delta = bestDelta
+	return ev
+}

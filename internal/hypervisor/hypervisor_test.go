@@ -1,0 +1,323 @@
+package hypervisor
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/core"
+	"github.com/score-dc/score/internal/token"
+	"github.com/score-dc/score/internal/topology"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := Message{
+		Type: MsgCapacityResp, ReqID: 42, VM: 7, Host: 3,
+		FreeSlots: 5, FreeRAMMB: 2048, RAMMB: 512,
+		ReplyTo: "127.0.0.1:9999", Payload: []byte{1, 2, 3},
+	}
+	got, err := DecodeMessage(m.Encode())
+	if err != nil {
+		t.Fatalf("DecodeMessage: %v", err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestMessageRoundTripQuick(t *testing.T) {
+	f := func(ty uint8, reqID, vm uint32, host int32, slots, ram, demand int32, reply string, payload []byte) bool {
+		if len(reply) > 60000 {
+			reply = reply[:60000]
+		}
+		m := Message{
+			Type: MsgType(ty), ReqID: reqID, VM: cluster.VMID(vm),
+			Host: cluster.HostID(host), FreeSlots: slots, FreeRAMMB: ram,
+			RAMMB: demand, ReplyTo: reply, Payload: payload,
+		}
+		got, err := DecodeMessage(m.Encode())
+		if err != nil {
+			return false
+		}
+		if len(m.Payload) == 0 {
+			m.Payload = nil // Decode normalizes empty payloads to nil
+		}
+		return reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageDecodeErrors(t *testing.T) {
+	if _, err := DecodeMessage(nil); err == nil {
+		t.Fatal("nil buffer accepted")
+	}
+	m := Message{Type: MsgToken, Payload: []byte{1, 2, 3, 4}}
+	buf := m.Encode()
+	if _, err := DecodeMessage(buf[:len(buf)-2]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestRatesRoundTrip(t *testing.T) {
+	in := map[cluster.VMID]float64{1: 10.5, 2: 0.000125, 99: 400}
+	out, err := DecodeRates(EncodeRates(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d, want %d", len(out), len(in))
+	}
+	for k, v := range in {
+		if d := out[k] - v; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("rate[%d] = %v, want %v", k, out[k], v)
+		}
+	}
+	if _, err := DecodeRates([]byte{0, 0}); err == nil {
+		t.Fatal("short rates buffer accepted")
+	}
+}
+
+func TestMemHubDelivery(t *testing.T) {
+	hub := NewMemHub()
+	got := make(chan Message, 1)
+	a, err := hub.NewEndpoint("a", func(from string, m Message) { got <- m })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := hub.NewEndpoint("b", func(string, Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Send("a", Message{Type: MsgLocationReq, VM: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Type != MsgLocationReq || m.VM != 1 {
+			t.Fatalf("delivered %+v", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered")
+	}
+	if err := b.Send("nowhere", Message{}); err == nil {
+		t.Fatal("send to unknown endpoint succeeded")
+	}
+	if _, err := hub.NewEndpoint("a", nil); err == nil {
+		t.Fatal("duplicate address accepted")
+	}
+}
+
+func TestMemHubCloseStopsDelivery(t *testing.T) {
+	hub := NewMemHub()
+	var count atomic.Int64
+	a, err := hub.NewEndpoint("a", func(string, Message) { count.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hub.NewEndpoint("b", func(string, Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := b.Send("a", Message{}); err == nil {
+		t.Fatal("send to closed endpoint succeeded")
+	}
+}
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	got := make(chan Message, 1)
+	srv, err := NewTCPTransport("127.0.0.1:0", func(from string, m Message) { got <- m })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := NewTCPTransport("127.0.0.1:0", func(string, Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	want := Message{Type: MsgCapacityReq, ReqID: 9, VM: 4, RAMMB: 196, ReplyTo: cli.Addr()}
+	if err := cli.Send(srv.Addr(), want); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if !reflect.DeepEqual(m, want) {
+			t.Fatalf("got %+v, want %+v", m, want)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("frame not delivered over TCP")
+	}
+}
+
+// buildAgents wires n agents over a shared hub with one VM pair placed
+// far apart.
+func buildAgents(t *testing.T, n int) (*Registry, []*Agent, topology.Topology) {
+	t.Helper()
+	topo, err := topology.NewCanonicalTree(topology.CanonicalConfig{
+		Racks: 4, HostsPerRack: 2, RacksPerPod: 2, CoreSwitches: 1,
+		HostLinkMbps: 1000, TorUplinkMbps: 1000, AggUplinkMbps: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := core.NewCostModel(core.PaperWeights()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := NewMemHub()
+	reg := NewRegistry()
+	agents := make([]*Agent, n)
+	for h := 0; h < n; h++ {
+		ag, err := NewAgent(AgentConfig{
+			HostID: cluster.HostID(h), Slots: 4, RAMMB: 8192,
+			Topo: topo, Cost: cm, Policy: token.RoundRobin{},
+			ProbeTimeout: 2 * time.Second,
+		}, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ag
+		_ = addr
+		if err := ag.Start(func(handler Handler) (Transport, error) {
+			return hub.NewEndpoint(agentAddr(h), handler)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		agents[h] = ag
+	}
+	t.Cleanup(func() {
+		for _, a := range agents {
+			_ = a.Close()
+		}
+	})
+	return reg, agents, topo
+}
+
+func agentAddr(h int) string { return "dom0-" + string(rune('A'+h)) }
+
+func TestAgentLocationAndCapacityProbes(t *testing.T) {
+	_, agents, _ := buildAgents(t, 4)
+	if err := agents[2].AddVM(7, 1024, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Agent 0 probes VM 7's location through the registry + protocol.
+	h, ok := agents[0].locate(7)
+	if !ok || h != 2 {
+		t.Fatalf("locate = %d,%v, want host 2", h, ok)
+	}
+	// Capacity probe against agent 2.
+	resp, err := agents[0].request(agents[2].Addr(), Message{Type: MsgCapacityReq, VM: 7, RAMMB: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.FreeSlots != 3 || resp.FreeRAMMB != 8192-1024 {
+		t.Fatalf("capacity = %d slots, %d MB", resp.FreeSlots, resp.FreeRAMMB)
+	}
+}
+
+func TestAgentTokenRingMigratesPair(t *testing.T) {
+	_, agents, topo := buildAgents(t, 8)
+	// VM 1 on host 0 (pod 0), VM 2 on host 6 (pod 1): level-3 pair.
+	if err := agents[0].AddVM(1, 1024, map[cluster.VMID]float64{2: 80}); err != nil {
+		t.Fatal(err)
+	}
+	if err := agents[6].AddVM(2, 1024, map[cluster.VMID]float64{1: 80}); err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.Level(0, 6); got != 3 {
+		t.Fatalf("fixture: pair at level %d, want 3", got)
+	}
+
+	var migrations atomic.Int64
+	done := make(chan struct{})
+	var hops atomic.Int64
+	var once sync.Once
+	for _, ag := range agents {
+		ag.OnToken = func(ev TokenEvent) bool {
+			if ev.Migrated {
+				migrations.Add(1)
+			}
+			if hops.Add(1) >= 8 {
+				once.Do(func() { close(done) })
+				return false
+			}
+			return true
+		}
+	}
+	tok := token.New([]cluster.VMID{1, 2})
+	if err := agents[0].InjectToken(tok, 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("token ring stalled")
+	}
+	if migrations.Load() == 0 {
+		t.Fatal("level-3 pair never migrated")
+	}
+	// The pair must now be co-located within a rack.
+	find := func(vm cluster.VMID) cluster.HostID {
+		for _, a := range agents {
+			for _, id := range a.VMs() {
+				if id == vm {
+					return a.HostID()
+				}
+			}
+		}
+		return cluster.NoHost
+	}
+	h1, h2 := find(1), find(2)
+	if h1 == cluster.NoHost || h2 == cluster.NoHost {
+		t.Fatalf("VM lost during migration: %d, %d", h1, h2)
+	}
+	if topo.Level(h1, h2) > 1 {
+		t.Fatalf("pair still at level %d after migrations", topo.Level(h1, h2))
+	}
+}
+
+func TestAgentCapacityRefusalFallsBack(t *testing.T) {
+	_, agents, _ := buildAgents(t, 4)
+	// Fill host 2 completely; VM 1 on host 0 talks to VM 9 on host 2.
+	for i := 0; i < 4; i++ {
+		if err := agents[2].AddVM(cluster.VMID(100+i), 1024, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := agents[0].AddVM(1, 1024, map[cluster.VMID]float64{100: 50}); err != nil {
+		t.Fatal(err)
+	}
+	ev := agents[0].decide(1, &vmRecord{ramMB: 1024, rates: map[cluster.VMID]float64{100: 50}},
+		map[cluster.VMID]float64{100: 50})
+	// Host 2 is full: the decision must not target it.
+	if ev.Migrated && ev.Target == 2 {
+		t.Fatal("migrated onto a full host")
+	}
+}
+
+func TestAgentRejectsOverCapacityAdd(t *testing.T) {
+	_, agents, _ := buildAgents(t, 2)
+	for i := 0; i < 4; i++ {
+		if err := agents[0].AddVM(cluster.VMID(i), 512, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := agents[0].AddVM(99, 512, nil); err == nil {
+		t.Fatal("slot-overflow AddVM accepted")
+	}
+}

@@ -1,0 +1,151 @@
+// Package hypervisor implements the paper's Section V-B deployment: a
+// per-server dom0 agent that maintains flow statistics, receives the
+// migration token on behalf of its hosted VMs, probes peers for location
+// and capacity, makes the unilateral S-CORE migration decision, and
+// forwards the token — over either an in-memory transport (tests,
+// simulation) or real TCP sockets (the paper's token listener on a known
+// dom0 port behind a NAT redirect).
+package hypervisor
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/score-dc/score/internal/cluster"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType uint8
+
+// Protocol message types (Section V-B2, V-B4, V-B5).
+const (
+	// MsgToken carries the encoded migration token; Message.VM is the
+	// holder the token is addressed to.
+	MsgToken MsgType = iota + 1
+	// MsgLocationReq asks the dom0 hosting Message.VM to reveal itself
+	// ("a custom location request to the IP address of each
+	// communicating VM").
+	MsgLocationReq
+	// MsgLocationResp answers with the responder's Host ("a location
+	// response containing dom0's static address").
+	MsgLocationResp
+	// MsgCapacityReq asks whether the responder can host a VM needing
+	// Message.RAMMB.
+	MsgCapacityReq
+	// MsgCapacityResp reports free slots and RAM ("how many more VMs it
+	// is able to host and the amount of RAM it has available").
+	MsgCapacityResp
+	// MsgMigrate transfers a VM record to the target dom0, standing in
+	// for the Xen live-migration data path.
+	MsgMigrate
+	// MsgMigrateAck confirms the transfer.
+	MsgMigrateAck
+)
+
+// Message is the fixed-header wire unit exchanged between dom0 agents.
+type Message struct {
+	Type  MsgType
+	ReqID uint32
+	VM    cluster.VMID
+	Host  cluster.HostID
+	// FreeSlots and FreeRAMMB are capacity-response fields.
+	FreeSlots int32
+	FreeRAMMB int32
+	// RAMMB is the demand in a capacity request or VM transfer.
+	RAMMB int32
+	// ReplyTo is the requester's listening address for request types;
+	// one-shot TCP connections cannot carry the response back.
+	ReplyTo string
+	// Payload carries the encoded token (MsgToken) or the VM's
+	// serialized peer-rate table (MsgMigrate).
+	Payload []byte
+}
+
+const fixedHeaderBytes = 1 + 4 + 4 + 4 + 4 + 4 + 4 + 2 // through reply-to length
+
+// ErrShortMessage reports a truncated frame.
+var ErrShortMessage = errors.New("hypervisor: short message")
+
+// Encode serializes the message.
+func (m *Message) Encode() []byte {
+	buf := make([]byte, fixedHeaderBytes+len(m.ReplyTo)+4+len(m.Payload))
+	buf[0] = byte(m.Type)
+	binary.BigEndian.PutUint32(buf[1:], m.ReqID)
+	binary.BigEndian.PutUint32(buf[5:], uint32(m.VM))
+	binary.BigEndian.PutUint32(buf[9:], uint32(m.Host))
+	binary.BigEndian.PutUint32(buf[13:], uint32(m.FreeSlots))
+	binary.BigEndian.PutUint32(buf[17:], uint32(m.FreeRAMMB))
+	binary.BigEndian.PutUint32(buf[21:], uint32(m.RAMMB))
+	binary.BigEndian.PutUint16(buf[25:], uint16(len(m.ReplyTo)))
+	off := fixedHeaderBytes
+	copy(buf[off:], m.ReplyTo)
+	off += len(m.ReplyTo)
+	binary.BigEndian.PutUint32(buf[off:], uint32(len(m.Payload)))
+	copy(buf[off+4:], m.Payload)
+	return buf
+}
+
+// DecodeMessage parses one frame.
+func DecodeMessage(buf []byte) (Message, error) {
+	if len(buf) < fixedHeaderBytes {
+		return Message{}, ErrShortMessage
+	}
+	m := Message{
+		Type:      MsgType(buf[0]),
+		ReqID:     binary.BigEndian.Uint32(buf[1:]),
+		VM:        cluster.VMID(binary.BigEndian.Uint32(buf[5:])),
+		Host:      cluster.HostID(int32(binary.BigEndian.Uint32(buf[9:]))),
+		FreeSlots: int32(binary.BigEndian.Uint32(buf[13:])),
+		FreeRAMMB: int32(binary.BigEndian.Uint32(buf[17:])),
+		RAMMB:     int32(binary.BigEndian.Uint32(buf[21:])),
+	}
+	rl := int(binary.BigEndian.Uint16(buf[25:]))
+	off := fixedHeaderBytes
+	if len(buf) < off+rl+4 {
+		return Message{}, ErrShortMessage
+	}
+	m.ReplyTo = string(buf[off : off+rl])
+	off += rl
+	n := int(binary.BigEndian.Uint32(buf[off:]))
+	off += 4
+	if len(buf) < off+n {
+		return Message{}, fmt.Errorf("%w: payload %d of %d bytes", ErrShortMessage, len(buf)-off, n)
+	}
+	if n > 0 {
+		m.Payload = append([]byte(nil), buf[off:off+n]...)
+	}
+	return m, nil
+}
+
+// EncodeRates serializes a VM's peer-rate table for a MsgMigrate payload.
+func EncodeRates(rates map[cluster.VMID]float64) []byte {
+	buf := make([]byte, 4+12*len(rates))
+	binary.BigEndian.PutUint32(buf, uint32(len(rates)))
+	off := 4
+	for id, r := range rates {
+		binary.BigEndian.PutUint32(buf[off:], uint32(id))
+		binary.BigEndian.PutUint64(buf[off+4:], uint64(r*1e6)) // µMb/s fixed point
+		off += 12
+	}
+	return buf
+}
+
+// DecodeRates parses an EncodeRates payload.
+func DecodeRates(buf []byte) (map[cluster.VMID]float64, error) {
+	if len(buf) < 4 {
+		return nil, ErrShortMessage
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	if len(buf) < 4+12*n {
+		return nil, ErrShortMessage
+	}
+	out := make(map[cluster.VMID]float64, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		id := cluster.VMID(binary.BigEndian.Uint32(buf[off:]))
+		out[id] = float64(binary.BigEndian.Uint64(buf[off+4:])) / 1e6
+		off += 12
+	}
+	return out, nil
+}

@@ -1,0 +1,235 @@
+package hypervisor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Handler consumes inbound messages; from is the sender's address when
+// known (TCP peers dial fresh connections, so from is informational).
+type Handler func(from string, m Message)
+
+// Transport delivers protocol messages between dom0 agents.
+type Transport interface {
+	// Addr is this endpoint's address, usable as a Send target by peers.
+	Addr() string
+	// Send delivers m to the endpoint at to.
+	Send(to string, m Message) error
+	// Close releases the endpoint; further Sends to it fail.
+	Close() error
+}
+
+// Interface compliance checks.
+var (
+	_ Transport = (*memEndpoint)(nil)
+	_ Transport = (*TCPTransport)(nil)
+)
+
+// MemHub is an in-process message fabric: endpoints register by address
+// and exchange messages through buffered queues, preserving per-sender
+// ordering. It lets the full agent protocol run deterministically in
+// tests and benchmarks.
+type MemHub struct {
+	mu    sync.Mutex
+	nodes map[string]*memEndpoint
+}
+
+// NewMemHub returns an empty hub.
+func NewMemHub() *MemHub {
+	return &MemHub{nodes: make(map[string]*memEndpoint)}
+}
+
+type memEndpoint struct {
+	hub     *MemHub
+	addr    string
+	handler Handler
+	ch      chan delivered
+	done    chan struct{}
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+type delivered struct {
+	from string
+	m    Message
+}
+
+// NewEndpoint registers an endpoint and starts its dispatch goroutine.
+func (h *MemHub) NewEndpoint(addr string, handler Handler) (Transport, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.nodes[addr]; ok {
+		return nil, fmt.Errorf("hypervisor: address %q already registered", addr)
+	}
+	ep := &memEndpoint{
+		hub: h, addr: addr, handler: handler,
+		ch:   make(chan delivered, 1024),
+		done: make(chan struct{}),
+	}
+	h.nodes[addr] = ep
+	ep.wg.Add(1)
+	go ep.loop()
+	return ep, nil
+}
+
+func (ep *memEndpoint) loop() {
+	defer ep.wg.Done()
+	for {
+		select {
+		case d := <-ep.ch:
+			ep.handler(d.from, d.m)
+		case <-ep.done:
+			// Drain anything already queued, then exit.
+			for {
+				select {
+				case d := <-ep.ch:
+					ep.handler(d.from, d.m)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Addr implements Transport.
+func (ep *memEndpoint) Addr() string { return ep.addr }
+
+// Send implements Transport.
+func (ep *memEndpoint) Send(to string, m Message) error {
+	ep.hub.mu.Lock()
+	dst, ok := ep.hub.nodes[to]
+	ep.hub.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("hypervisor: no endpoint at %q", to)
+	}
+	select {
+	case dst.ch <- delivered{from: ep.addr, m: m}:
+		return nil
+	case <-dst.done:
+		return fmt.Errorf("hypervisor: endpoint %q closed", to)
+	}
+}
+
+// Close implements Transport.
+func (ep *memEndpoint) Close() error {
+	ep.hub.mu.Lock()
+	if ep.closed {
+		ep.hub.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	delete(ep.hub.nodes, ep.addr)
+	ep.hub.mu.Unlock()
+	close(ep.done)
+	ep.wg.Wait()
+	return nil
+}
+
+// TCPTransport is a real-socket endpoint: a listener accepts framed
+// messages (the paper's "token listening server runs on a known port in
+// dom0"), and Send dials the peer and writes one frame.
+type TCPTransport struct {
+	ln      net.Listener
+	handler Handler
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+}
+
+// NewTCPTransport listens on addr ("host:port", empty port picks one).
+func NewTCPTransport(addr string, handler Handler) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("hypervisor: listen %s: %w", addr, err)
+	}
+	t := &TCPTransport{ln: ln, handler: handler}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			defer conn.Close()
+			t.serve(conn)
+		}()
+	}
+}
+
+func (t *TCPTransport) serve(conn net.Conn) {
+	for {
+		m, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		t.handler(conn.RemoteAddr().String(), m)
+	}
+}
+
+// Addr implements Transport.
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// Send implements Transport. Each call dials the peer, writes one
+// length-prefixed frame and closes — the simple, stateless pattern the
+// paper's dom0-to-dom0 messages use.
+func (t *TCPTransport) Send(to string, m Message) error {
+	conn, err := net.Dial("tcp", to)
+	if err != nil {
+		return fmt.Errorf("hypervisor: dial %s: %w", to, err)
+	}
+	defer conn.Close()
+	return writeFrame(conn, m)
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.ln.Close()
+	t.wg.Wait()
+	return err
+}
+
+func writeFrame(w io.Writer, m Message) error {
+	body := m.Encode()
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(body)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader) (Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > 1<<26 { // 64 MiB guard against corrupt frames
+		return Message{}, fmt.Errorf("hypervisor: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, err
+	}
+	return DecodeMessage(body)
+}

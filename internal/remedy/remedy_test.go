@@ -1,0 +1,160 @@
+package remedy
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/netsim"
+	"github.com/score-dc/score/internal/topology"
+	"github.com/score-dc/score/internal/traffic"
+)
+
+// fixture: 8-rack canonical tree with one heavily loaded ToR uplink.
+func fixture(t *testing.T) (topology.Topology, *cluster.Cluster, *traffic.Matrix) {
+	t.Helper()
+	topo, err := topology.NewCanonicalTree(topology.CanonicalConfig{
+		Racks: 8, HostsPerRack: 4, RacksPerPod: 2, CoreSwitches: 2,
+		HostLinkMbps: 1000, TorUplinkMbps: 2000, AggUplinkMbps: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.UniformHosts(topo.Hosts(), 8, 32768, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One VM per host; heavy cross-pod pairs out of rack 0 congest its
+	// uplink and the core.
+	for h := 0; h < topo.Hosts(); h++ {
+		if err := cl.AddVM(cluster.VM{ID: cluster.VMID(h), RAMMB: 1024}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Place(cluster.VMID(h), cluster.HostID(h)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tm := traffic.NewMatrix()
+	// Hosts 0..3 are rack 0; partner VMs live in the other pod.
+	tm.Set(0, 20, 600)
+	tm.Set(1, 24, 500)
+	tm.Set(2, 28, 400)
+	return topo, cl, tm
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	topo, cl, tm := fixture(t)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewController(nil, cl, tm, DefaultConfig(), rng); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	bad := DefaultConfig()
+	bad.CongestionThreshold = 0
+	if _, err := NewController(topo, cl, tm, bad, rng); err == nil {
+		t.Fatal("zero threshold accepted")
+	}
+	bad = DefaultConfig()
+	bad.Model.LinkMbps = -1
+	if _, err := NewController(topo, cl, tm, bad, rng); err == nil {
+		t.Fatal("invalid migration model accepted")
+	}
+}
+
+func TestRoundRelievesCongestedLink(t *testing.T) {
+	topo, cl, tm := fixture(t)
+	rng := rand.New(rand.NewSource(2))
+	cfg := DefaultConfig()
+	cfg.CongestionThreshold = 0.5
+	ctrl, err := NewController(topo, cl, tm, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := netsim.NewNetwork(topo)
+	before.Recompute(tm, cl)
+	_, maxBefore := before.MaxUtilization()
+	if maxBefore < cfg.CongestionThreshold {
+		t.Fatalf("fixture not congested: max util %.2f", maxBefore)
+	}
+
+	var total int
+	for round := 0; round < 8; round++ {
+		migs := ctrl.Round()
+		total += len(migs)
+		if len(migs) == 0 {
+			break
+		}
+		for _, m := range migs {
+			if m.From == m.To {
+				t.Fatalf("no-op migration reported: %+v", m)
+			}
+			if m.ReliefMbps <= 0 {
+				t.Fatalf("migration with non-positive relief: %+v", m)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("controller never migrated despite congestion")
+	}
+
+	after := netsim.NewNetwork(topo)
+	after.Recompute(tm, cl)
+	_, maxAfter := after.MaxUtilization()
+	if maxAfter >= maxBefore {
+		t.Fatalf("max utilization did not improve: %.3f -> %.3f", maxBefore, maxAfter)
+	}
+}
+
+func TestRoundIdleWhenUncongested(t *testing.T) {
+	topo, cl, _ := fixture(t)
+	rng := rand.New(rand.NewSource(3))
+	quiet := traffic.NewMatrix()
+	quiet.Set(0, 20, 5) // trivial load
+	ctrl, err := NewController(topo, cl, quiet, DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migs := ctrl.Round(); len(migs) != 0 {
+		t.Fatalf("controller migrated %d VMs with no congestion", len(migs))
+	}
+}
+
+func TestRoundRespectsCapacity(t *testing.T) {
+	topo, cl, tm := fixture(t)
+	rng := rand.New(rand.NewSource(4))
+	cfg := DefaultConfig()
+	cfg.CongestionThreshold = 0.3
+	cfg.MaxMigrationsPerRound = 100
+	ctrl, err := NewController(topo, cl, tm, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		ctrl.Round()
+	}
+	for h := 0; h < cl.NumHosts(); h++ {
+		id := cluster.HostID(h)
+		host, err := cl.Host(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cl.UsedSlots(id) > host.Slots {
+			t.Fatalf("host %d over capacity", h)
+		}
+	}
+}
+
+func TestCostGateBlocksUneconomicMigrations(t *testing.T) {
+	topo, cl, tm := fixture(t)
+	rng := rand.New(rand.NewSource(5))
+	cfg := DefaultConfig()
+	cfg.CongestionThreshold = 0.5
+	cfg.HorizonS = 0.001 // benefit window so short nothing pays off
+	ctrl, err := NewController(topo, cl, tm, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migs := ctrl.Round(); len(migs) != 0 {
+		t.Fatalf("cost gate ignored: %d migrations", len(migs))
+	}
+}

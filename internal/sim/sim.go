@@ -1,0 +1,312 @@
+// Package sim orchestrates full S-CORE and Remedy runs over the
+// discrete-event engine, producing the time series and distributions
+// behind Figs. 2, 3 and 4.
+//
+// A run circulates the migration token among VMs: each hop, the holding
+// VM's hypervisor evaluates the S-CORE migration policy (Theorem 1) from
+// local information, optionally starts a live migration (whose duration
+// and downtime come from the pre-copy model under the current link
+// load), and passes the token on according to the configured policy.
+// Global communication cost is sampled on a fixed tick.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/core"
+	"github.com/score-dc/score/internal/migration"
+	"github.com/score-dc/score/internal/netsim"
+	"github.com/score-dc/score/internal/stats"
+	"github.com/score-dc/score/internal/token"
+)
+
+// Config tunes a simulated S-CORE run.
+type Config struct {
+	// DurationS is the simulated run length in seconds (the paper's
+	// Fig. 3 plots ~700–800 s).
+	DurationS float64
+	// HopLatencyS is the time for one token hop, covering transfer,
+	// flow-table aggregation, location probing and the migration
+	// decision.
+	HopLatencyS float64
+	// SampleIntervalS is the cost-sampling tick for the time series.
+	SampleIntervalS float64
+	// MaxIterations stops the token after this many full passes
+	// (|V| hops each); 0 means run until DurationS.
+	MaxIterations int
+	// Model and Workloads drive per-migration duration, downtime and
+	// bytes.
+	Model     migration.Model
+	Workloads migration.WorkloadDist
+	// TokenLossProb injects token loss per hop; a lost token is
+	// regenerated (with reset level state) at the lowest-ID VM after
+	// RegenTimeoutS. This exercises the recovery path a deployment
+	// needs even though the paper assumes a reliable token.
+	TokenLossProb float64
+	RegenTimeoutS float64
+}
+
+// DefaultConfig covers a scaled-down Fig. 3 style run.
+func DefaultConfig() Config {
+	return Config{
+		DurationS:       800,
+		HopLatencyS:     0.05,
+		SampleIntervalS: 5,
+		Model:           migration.DefaultModel(),
+		Workloads:       migration.PaperWorkloadDist(),
+		RegenTimeoutS:   10,
+	}
+}
+
+// IterationStats summarizes one full token pass (|V| hops) — the unit of
+// Fig. 2's x-axis.
+type IterationStats struct {
+	Index      int
+	Migrations int
+	VMs        int
+	Ratio      float64
+}
+
+// Metrics aggregates a run's observables.
+type Metrics struct {
+	// Cost is the sampled total communication cost over time.
+	Cost stats.TimeSeries
+	// InitialCost and FinalCost bracket the run.
+	InitialCost, FinalCost float64
+	// Iterations carries the per-pass migration ratios of Fig. 2.
+	Iterations []IterationStats
+	// Migration accounting.
+	TotalMigrations   int
+	AbortedMigrations int
+	TotalMigratedMB   float64
+	MigrationTimesS   []float64
+	DowntimesMS       []float64
+	// Token accounting.
+	TokenHops         int
+	TokensRegenerated int
+	// UtilizationByLevel holds the final per-link utilizations keyed by
+	// hierarchy level (Fig. 4a input).
+	UtilizationByLevel map[int][]float64
+}
+
+// CostRatioSeries converts the cost series into ratios over a reference
+// (e.g. the GA-optimal cost), the y-axis of Fig. 3d–i and Fig. 4b.
+func (m *Metrics) CostRatioSeries(refCost float64) stats.TimeSeries {
+	var out stats.TimeSeries
+	if refCost <= 0 {
+		return out
+	}
+	for i := range m.Cost.T {
+		out.Append(m.Cost.T[i], m.Cost.V[i]/refCost)
+	}
+	return out
+}
+
+// Reduction returns the fractional cost reduction achieved by the run.
+func (m *Metrics) Reduction() float64 {
+	if m.InitialCost <= 0 {
+		return 0
+	}
+	return (m.InitialCost - m.FinalCost) / m.InitialCost
+}
+
+// Runner executes one S-CORE simulation.
+type Runner struct {
+	cfg    Config
+	eng    *core.Engine
+	policy token.Policy
+	rng    *rand.Rand
+
+	des *netsim.Engine
+	net *netsim.Network
+	tok *token.Token
+
+	migrating map[cluster.VMID]bool
+
+	metrics  Metrics
+	hopsLeft int
+	iterMigs int
+	numVMs   int
+	stopped  bool
+}
+
+// NewRunner assembles a run. The engine's cluster must already hold the
+// initial allocation and traffic matrix.
+func NewRunner(eng *core.Engine, pol token.Policy, cfg Config, rng *rand.Rand) (*Runner, error) {
+	if eng == nil || pol == nil || rng == nil {
+		return nil, fmt.Errorf("sim: nil dependency")
+	}
+	if cfg.DurationS <= 0 || cfg.HopLatencyS <= 0 || cfg.SampleIntervalS <= 0 {
+		return nil, fmt.Errorf("sim: duration, hop latency and sample interval must be positive")
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		cfg: cfg, eng: eng, policy: pol, rng: rng,
+		des:       netsim.NewEngine(),
+		net:       netsim.NewNetwork(eng.Topology()),
+		migrating: make(map[cluster.VMID]bool),
+	}
+	return r, nil
+}
+
+// Run executes the simulation and returns its metrics.
+func (r *Runner) Run() (*Metrics, error) {
+	cl := r.eng.Cluster()
+	vms := cl.VMs()
+	if len(vms) < 2 {
+		return nil, fmt.Errorf("sim: need at least 2 VMs, have %d", len(vms))
+	}
+	r.numVMs = len(vms)
+	// Optimistic level initialization: unvisited VMs read as hottest so
+	// HLF guarantees one visit each before prioritizing (see token.New).
+	r.tok = token.NewAtLevel(vms, uint8(r.eng.Topology().Depth()))
+	r.metrics.InitialCost = r.eng.TotalCost()
+	r.metrics.Cost.Append(0, r.metrics.InitialCost)
+	r.net.Recompute(r.eng.Traffic(), cl)
+
+	if r.cfg.MaxIterations > 0 {
+		r.hopsLeft = r.cfg.MaxIterations * r.numVMs
+	} else {
+		r.hopsLeft = -1
+	}
+
+	// Cost sampling tick.
+	var sample func()
+	sample = func() {
+		r.net.Recompute(r.eng.Traffic(), cl)
+		r.metrics.Cost.Append(r.des.Now(), r.eng.TotalCost())
+		if r.des.Now()+r.cfg.SampleIntervalS <= r.cfg.DurationS {
+			r.des.After(r.cfg.SampleIntervalS, sample)
+		}
+	}
+	r.des.After(r.cfg.SampleIntervalS, sample)
+
+	// Token starts at the lowest-ID VM ("starting from the VM with
+	// lowest ID", Section V-A1).
+	r.des.After(r.cfg.HopLatencyS, func() { r.hop(vms[0]) })
+	r.des.RunUntil(r.cfg.DurationS)
+
+	r.finishIteration() // flush a partial final pass
+	r.metrics.FinalCost = r.eng.TotalCost()
+	r.net.Recompute(r.eng.Traffic(), cl)
+	r.metrics.UtilizationByLevel = map[int][]float64{
+		1: r.net.UtilizationAtLevel(1),
+		2: r.net.UtilizationAtLevel(2),
+		3: r.net.UtilizationAtLevel(3),
+	}
+	return &r.metrics, nil
+}
+
+// hop processes the token at holder and forwards it.
+func (r *Runner) hop(holder cluster.VMID) {
+	if r.stopped {
+		return
+	}
+	if r.hopsLeft == 0 {
+		r.stopped = true
+		return
+	}
+	if r.hopsLeft > 0 {
+		r.hopsLeft--
+	}
+	r.metrics.TokenHops++
+
+	// Failure injection: the token vanishes in flight and is
+	// regenerated after a timeout by the placement manager.
+	if r.cfg.TokenLossProb > 0 && r.rng.Float64() < r.cfg.TokenLossProb {
+		r.metrics.TokensRegenerated++
+		r.des.After(r.cfg.RegenTimeoutS, func() {
+			if r.stopped {
+				return
+			}
+			vms := r.eng.Cluster().VMs()
+			r.tok = token.NewAtLevel(vms, uint8(r.eng.Topology().Depth())) // fresh token, level state lost
+			r.hop(vms[0])
+		})
+		return
+	}
+
+	if !r.migrating[holder] {
+		if dec, ok := r.eng.BestMigration(holder); ok {
+			r.startMigration(dec)
+		}
+	}
+
+	// Pass the token using the holder's local view.
+	view := r.holderView(holder)
+	next, ok := r.policy.Next(r.tok, view)
+	if !ok {
+		return // nothing to pass to
+	}
+	if r.metrics.TokenHops%r.numVMs == 0 {
+		r.finishIteration()
+	}
+	r.des.After(r.cfg.HopLatencyS, func() { r.hop(next) })
+}
+
+func (r *Runner) holderView(u cluster.VMID) token.HolderView {
+	neigh := r.eng.Traffic().Neighbors(u)
+	levels := make(map[cluster.VMID]uint8, len(neigh))
+	for _, v := range neigh {
+		levels[v] = uint8(r.eng.PairLevel(u, v))
+	}
+	return token.HolderView{
+		Holder:         u,
+		OwnLevel:       uint8(r.eng.VMLevel(u)),
+		NeighborLevels: levels,
+	}
+}
+
+// startMigration runs the pre-copy model under the current link load and
+// executes the allocation change. The move is applied at decision time —
+// every subsequent decision then sees consistent state, preserving
+// Theorem 1's guarantee that each accepted migration lowers the global
+// cost — while the modeled transfer duration (i) is charged to the
+// metrics and (ii) keeps the VM marked in-flight so it is not re-decided
+// until its pre-copy would have finished.
+func (r *Runner) startMigration(dec core.Decision) {
+	cl := r.eng.Cluster()
+	bg := r.net.HostLinkUtilization(dec.From)
+	if t := r.net.HostLinkUtilization(dec.Target); t > bg {
+		bg = t
+	}
+	res := r.cfg.Model.Migrate(r.cfg.Workloads.Draw(r.rng), bg)
+
+	from := cl.HostOf(dec.VM)
+	if err := cl.Move(dec.VM, dec.Target); err != nil {
+		r.metrics.AbortedMigrations++
+		return
+	}
+	// Shift the VM's flows onto the new paths.
+	tm := r.eng.Traffic()
+	for _, z := range tm.Neighbors(dec.VM) {
+		hz := cl.HostOf(z)
+		rate := tm.Rate(dec.VM, z)
+		r.net.ShiftPair(dec.VM, z, from, hz, -rate)
+		r.net.ShiftPair(dec.VM, z, dec.Target, hz, rate)
+	}
+	r.iterMigs++
+	r.metrics.TotalMigrations++
+	r.metrics.TotalMigratedMB += res.MigratedMB
+	r.metrics.MigrationTimesS = append(r.metrics.MigrationTimesS, res.TotalS)
+	r.metrics.DowntimesMS = append(r.metrics.DowntimesMS, res.DowntimeMS)
+
+	r.migrating[dec.VM] = true
+	r.des.After(res.TotalS, func() { delete(r.migrating, dec.VM) })
+}
+
+// finishIteration closes the current token pass for Fig. 2 accounting.
+func (r *Runner) finishIteration() {
+	idx := len(r.metrics.Iterations)
+	r.metrics.Iterations = append(r.metrics.Iterations, IterationStats{
+		Index:      idx + 1,
+		Migrations: r.iterMigs,
+		VMs:        r.numVMs,
+		Ratio:      float64(r.iterMigs) / float64(r.numVMs),
+	})
+	r.iterMigs = 0
+}

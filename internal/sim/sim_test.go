@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/core"
+	"github.com/score-dc/score/internal/token"
+	"github.com/score-dc/score/internal/topology"
+	"github.com/score-dc/score/internal/traffic"
+)
+
+func buildEngine(t *testing.T, seed int64) (*core.Engine, *rand.Rand) {
+	t.Helper()
+	topo, err := topology.NewCanonicalTree(topology.ScaledCanonicalConfig(8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.UniformHosts(topo.Hosts(), 16, 32768, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pm := cluster.NewPlacementManager(cl, 1)
+	for i := 0; i < topo.Hosts()*4; i++ {
+		if _, err := pm.CreateVM(1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pm.PlaceRandom(rng); err != nil {
+		t.Fatal(err)
+	}
+	tm, err := traffic.Generate(traffic.DefaultGenConfig(topo.Racks()), topo, cl, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := core.NewCostModel(core.PaperWeights()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(topo, cm, cl, tm, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, rng
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.DurationS = 200
+	cfg.HopLatencyS = 0.02
+	cfg.SampleIntervalS = 5
+	return cfg
+}
+
+func TestRunReducesCost(t *testing.T) {
+	eng, rng := buildEngine(t, 9)
+	r, err := NewRunner(eng, token.HighestLevelFirst{}, smallConfig(), rng)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	m, err := r.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.FinalCost >= m.InitialCost {
+		t.Fatalf("cost did not decrease: %v -> %v", m.InitialCost, m.FinalCost)
+	}
+	if m.Reduction() < 0.3 {
+		t.Fatalf("reduction = %.1f%%, want at least 30%%", 100*m.Reduction())
+	}
+	if m.TotalMigrations == 0 {
+		t.Fatal("no migrations executed")
+	}
+	if m.TokenHops == 0 {
+		t.Fatal("token never moved")
+	}
+	if m.Cost.Len() < 10 {
+		t.Fatalf("cost series has %d samples", m.Cost.Len())
+	}
+	if len(m.UtilizationByLevel[3]) == 0 {
+		t.Fatal("no level-3 utilization samples")
+	}
+}
+
+func TestConvergenceAcrossIterations(t *testing.T) {
+	eng, rng := buildEngine(t, 10)
+	cfg := smallConfig()
+	cfg.MaxIterations = 5
+	cfg.DurationS = 600
+	r, err := NewRunner(eng, token.HighestLevelFirst{}, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Iterations) < 3 {
+		t.Fatalf("only %d iterations recorded", len(m.Iterations))
+	}
+	// The paper's Fig. 2 property: migrations plummet after iteration 2.
+	first := m.Iterations[0].Ratio
+	later := m.Iterations[len(m.Iterations)-1].Ratio
+	if first == 0 {
+		t.Fatal("no migrations in the first pass")
+	}
+	if later > first/2 {
+		t.Fatalf("no convergence: first pass %.3f, last pass %.3f", first, later)
+	}
+}
+
+func TestCostSeriesNonIncreasingTrend(t *testing.T) {
+	eng, rng := buildEngine(t, 11)
+	r, err := NewRunner(eng, token.RoundRobin{}, smallConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampled cost may wiggle while migrations are in flight, but the
+	// series must trend down: every sample within 1% of the running min
+	// envelope from above... enforce the weaker global property:
+	if m.Cost.V[0] < m.Cost.V[m.Cost.Len()-1] {
+		t.Fatalf("cost series ends above its start: %v -> %v", m.Cost.V[0], m.Cost.V[m.Cost.Len()-1])
+	}
+	for i := 1; i < m.Cost.Len(); i++ {
+		if m.Cost.V[i] > m.Cost.V[i-1]*1.0001 {
+			t.Fatalf("cost increased at sample %d: %v -> %v (no oscillation expected)",
+				i, m.Cost.V[i-1], m.Cost.V[i])
+		}
+	}
+}
+
+func TestCapacityNeverViolated(t *testing.T) {
+	eng, rng := buildEngine(t, 12)
+	cl := eng.Cluster()
+	r, err := NewRunner(eng, token.HighestLevelFirst{}, smallConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < cl.NumHosts(); h++ {
+		id := cluster.HostID(h)
+		host, err := cl.Host(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cl.UsedSlots(id) > host.Slots {
+			t.Fatalf("host %d over slots: %d > %d", h, cl.UsedSlots(id), host.Slots)
+		}
+		if cl.FreeRAMMB(id) < 0 {
+			t.Fatalf("host %d over RAM", h)
+		}
+	}
+	if m := r.metrics; m.AbortedMigrations > 0 {
+		t.Fatalf("reservations should prevent aborts, got %d", m.AbortedMigrations)
+	}
+}
+
+func TestTokenLossRegeneration(t *testing.T) {
+	eng, rng := buildEngine(t, 13)
+	cfg := smallConfig()
+	cfg.TokenLossProb = 0.05
+	cfg.RegenTimeoutS = 2
+	r, err := NewRunner(eng, token.HighestLevelFirst{}, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TokensRegenerated == 0 {
+		t.Fatal("token loss injected but never regenerated")
+	}
+	// The algorithm must still make progress despite losses.
+	if m.FinalCost >= m.InitialCost {
+		t.Fatalf("no progress under token loss: %v -> %v", m.InitialCost, m.FinalCost)
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	eng, rng := buildEngine(t, 14)
+	if _, err := NewRunner(nil, token.RoundRobin{}, smallConfig(), rng); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	bad := smallConfig()
+	bad.DurationS = 0
+	if _, err := NewRunner(eng, token.RoundRobin{}, bad, rng); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	bad = smallConfig()
+	bad.Model.LinkMbps = 0
+	if _, err := NewRunner(eng, token.RoundRobin{}, bad, rng); err == nil {
+		t.Fatal("invalid migration model accepted")
+	}
+}
+
+func TestDowntimesWithinPaperEnvelope(t *testing.T) {
+	eng, rng := buildEngine(t, 15)
+	r, err := NewRunner(eng, token.HighestLevelFirst{}, smallConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.DowntimesMS) == 0 {
+		t.Fatal("no downtime samples")
+	}
+	for _, d := range m.DowntimesMS {
+		if d <= 0 || d > 60 {
+			t.Fatalf("downtime %vms outside the paper's <50ms envelope", d)
+		}
+	}
+	if m.TotalMigratedMB <= 0 {
+		t.Fatal("no migrated bytes recorded")
+	}
+}
+
+func TestRemedyRunReducesCostModestly(t *testing.T) {
+	eng, rng := buildEngine(t, 16)
+	cfg := DefaultRemedyConfig()
+	cfg.DurationS = 300
+	cfg.RoundIntervalS = 10
+	cfg.SampleIntervalS = 10
+	m, err := RunRemedy(eng, cfg, rng)
+	if err != nil {
+		t.Fatalf("RunRemedy: %v", err)
+	}
+	if m.FinalCost > m.InitialCost*1.05 {
+		t.Fatalf("Remedy made cost much worse: %v -> %v", m.InitialCost, m.FinalCost)
+	}
+	if m.Cost.Len() < 5 {
+		t.Fatalf("cost series too short: %d", m.Cost.Len())
+	}
+	if len(m.UtilizationByLevel[3]) == 0 {
+		t.Fatal("no utilization output")
+	}
+}
+
+func TestCostRatioSeries(t *testing.T) {
+	var m Metrics
+	m.Cost.Append(0, 100)
+	m.Cost.Append(1, 50)
+	s := m.CostRatioSeries(50)
+	if s.Len() != 2 || s.V[0] != 2 || s.V[1] != 1 {
+		t.Fatalf("ratio series = %+v", s)
+	}
+	if got := m.CostRatioSeries(0); got.Len() != 0 {
+		t.Fatal("zero reference must yield empty series")
+	}
+}

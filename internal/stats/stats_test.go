@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	// Sample std of this classic set is sqrt(32/7).
+	if math.Abs(s.Std-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("Std = %v", s.Std)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Fatalf("empty Summarize = %+v", got)
+	}
+	one := Summarize([]float64{3})
+	if one.Std != 0 || one.Mean != 3 {
+		t.Fatalf("single-sample Summarize = %+v", one)
+	}
+}
+
+func TestCDFAtAndQuantile(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {9, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Fatalf("Quantile(0) = %v", got)
+	}
+	if got := c.Quantile(1); got != 4 {
+		t.Fatalf("Quantile(1) = %v", got)
+	}
+	if got := c.Quantile(0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("median = %v, want 2.5", got)
+	}
+	empty := NewCDF(nil)
+	if empty.At(1) != 0 || empty.Quantile(0.5) != 0 {
+		t.Fatal("empty CDF must return zeros")
+	}
+}
+
+// TestCDFMonotonicQuick: At is non-decreasing and bounded in [0,1].
+func TestCDFMonotonicQuick(t *testing.T) {
+	f := func(samples []float64, probes []float64) bool {
+		clean := samples[:0]
+		for _, s := range samples {
+			if !math.IsNaN(s) && !math.IsInf(s, 0) {
+				clean = append(clean, s)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		c := NewCDF(clean)
+		cleanProbes := probes[:0]
+		for _, p := range probes {
+			if !math.IsNaN(p) && !math.IsInf(p, 0) {
+				cleanProbes = append(cleanProbes, p)
+			}
+		}
+		sort.Float64s(cleanProbes)
+		prev := 0.0
+		for _, p := range cleanProbes {
+			v := c.At(p)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = rng.NormFloat64()
+	}
+	c := NewCDF(samples)
+	xs, ps := c.Points(50)
+	if len(xs) != 50 || len(ps) != 50 {
+		t.Fatalf("Points lengths = %d,%d", len(xs), len(ps))
+	}
+	if ps[0] < 0 || ps[len(ps)-1] != 1 {
+		t.Fatalf("endpoint probabilities = %v, %v", ps[0], ps[len(ps)-1])
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i] < ps[i-1] {
+			t.Fatal("CDF points not monotone")
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0.5, 1.5, 1.6, 2.5, -3, 99}, 0, 3, 3)
+	if h.Total != 6 {
+		t.Fatalf("Total = %d", h.Total)
+	}
+	// -3 clamps into bin 0; 99 into bin 2.
+	if h.Counts[0] != 2 || h.Counts[1] != 2 || h.Counts[2] != 2 {
+		t.Fatalf("Counts = %v", h.Counts)
+	}
+	if got := h.BinCenter(0); got != 0.5 {
+		t.Fatalf("BinCenter(0) = %v", got)
+	}
+	if got := h.Probability(1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("Probability = %v", got)
+	}
+	// Degenerate construction is defensive.
+	d := NewHistogram([]float64{1}, 5, 5, 0)
+	if d.Total != 1 || len(d.Counts) != 1 {
+		t.Fatalf("degenerate histogram = %+v", d)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	var ts TimeSeries
+	if ts.Last() != 0 || ts.Min() != 0 || ts.Len() != 0 {
+		t.Fatal("empty series accessors must return zeros")
+	}
+	ts.Append(0, 5)
+	ts.Append(1, 3)
+	ts.Append(2, 4)
+	if ts.Len() != 3 || ts.Last() != 4 || ts.Min() != 3 {
+		t.Fatalf("series = %+v", ts)
+	}
+}

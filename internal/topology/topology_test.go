@@ -1,0 +1,247 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/score-dc/score/internal/cluster"
+)
+
+func mustCanonical(t *testing.T, cfg CanonicalConfig) *CanonicalTree {
+	t.Helper()
+	topo, err := NewCanonicalTree(cfg)
+	if err != nil {
+		t.Fatalf("NewCanonicalTree: %v", err)
+	}
+	return topo
+}
+
+func mustFatTree(t *testing.T, k int) *FatTree {
+	t.Helper()
+	topo, err := NewFatTree(k, 1000)
+	if err != nil {
+		t.Fatalf("NewFatTree(%d): %v", k, err)
+	}
+	return topo
+}
+
+func TestPaperCanonicalDimensions(t *testing.T) {
+	topo := mustCanonical(t, PaperCanonicalConfig())
+	if got := topo.Hosts(); got != 2560 {
+		t.Fatalf("Hosts = %d, want 2560 (paper)", got)
+	}
+	if got := topo.Racks(); got != 128 {
+		t.Fatalf("Racks = %d, want 128 (paper)", got)
+	}
+	if got := len(topo.HostsInRack(0)); got != 20 {
+		t.Fatalf("hosts per rack = %d, want 20 (paper)", got)
+	}
+	if got := topo.Depth(); got != 3 {
+		t.Fatalf("Depth = %d, want 3", got)
+	}
+}
+
+func TestPaperFatTreeDimensions(t *testing.T) {
+	topo := mustFatTree(t, 16)
+	if got := topo.Hosts(); got != 1024 {
+		t.Fatalf("Hosts = %d, want 1024 (paper k=16)", got)
+	}
+	if got := topo.Racks(); got != 128 {
+		t.Fatalf("edge switches = %d, want 128", got)
+	}
+}
+
+func TestCanonicalRejectsBadConfig(t *testing.T) {
+	bad := []CanonicalConfig{
+		{},
+		{Racks: 10, HostsPerRack: 2, RacksPerPod: 3, CoreSwitches: 1, HostLinkMbps: 1, TorUplinkMbps: 1, AggUplinkMbps: 1}, // 10 % 3 != 0
+		{Racks: 8, HostsPerRack: 2, RacksPerPod: 2, CoreSwitches: 0, HostLinkMbps: 1, TorUplinkMbps: 1, AggUplinkMbps: 1},
+		{Racks: 8, HostsPerRack: 2, RacksPerPod: 2, CoreSwitches: 1, HostLinkMbps: 0, TorUplinkMbps: 1, AggUplinkMbps: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewCanonicalTree(cfg); err == nil {
+			t.Fatalf("config %d accepted, want error", i)
+		}
+	}
+	if _, err := NewFatTree(3, 1000); err == nil {
+		t.Fatal("odd k accepted, want error")
+	}
+	if _, err := NewFatTree(0, 1000); err == nil {
+		t.Fatal("zero k accepted, want error")
+	}
+}
+
+func TestCanonicalLevels(t *testing.T) {
+	topo := mustCanonical(t, CanonicalConfig{
+		Racks: 8, HostsPerRack: 4, RacksPerPod: 2, CoreSwitches: 2,
+		HostLinkMbps: 1000, TorUplinkMbps: 10000, AggUplinkMbps: 10000,
+	})
+	tests := []struct {
+		a, b cluster.HostID
+		want int
+	}{
+		{0, 0, 0},   // same host
+		{0, 1, 1},   // same rack
+		{0, 4, 2},   // same pod, different rack
+		{0, 8, 3},   // different pod
+		{31, 31, 0}, // last host
+		{28, 31, 1},
+	}
+	for _, tc := range tests {
+		if got := topo.Level(tc.a, tc.b); got != tc.want {
+			t.Errorf("Level(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+		if got := topo.Level(tc.b, tc.a); got != tc.want {
+			t.Errorf("Level(%d,%d) = %d, want %d (symmetry)", tc.b, tc.a, got, tc.want)
+		}
+	}
+}
+
+func TestFatTreeLevels(t *testing.T) {
+	topo := mustFatTree(t, 4) // 4 pods, 2 edges/pod, 2 hosts/edge = 16 hosts
+	tests := []struct {
+		a, b cluster.HostID
+		want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1}, // same edge
+		{0, 2, 2}, // same pod, other edge
+		{0, 4, 3}, // different pod
+		{14, 15, 1},
+	}
+	for _, tc := range tests {
+		if got := topo.Level(tc.a, tc.b); got != tc.want {
+			t.Errorf("Level(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestPathLevelConsistency checks, for both families, that the links on
+// any path match the communication level: a level-ℓ pair crosses exactly
+// 2 links per level 1..ℓ and the path's maximum link level is ℓ.
+func TestPathLevelConsistency(t *testing.T) {
+	topos := []Topology{
+		mustCanonical(t, CanonicalConfig{
+			Racks: 8, HostsPerRack: 4, RacksPerPod: 2, CoreSwitches: 2,
+			HostLinkMbps: 1000, TorUplinkMbps: 10000, AggUplinkMbps: 10000,
+		}),
+		mustFatTree(t, 4),
+		mustFatTree(t, 8),
+	}
+	for _, topo := range topos {
+		links := topo.Links()
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 500; trial++ {
+			a := cluster.HostID(rng.Intn(topo.Hosts()))
+			b := cluster.HostID(rng.Intn(topo.Hosts()))
+			lvl := topo.Level(a, b)
+			path := topo.PathLinks(nil, a, b, rng.Uint64())
+			if a == b {
+				if len(path) != 0 {
+					t.Fatalf("%s: same-host path has %d links", topo.Name(), len(path))
+				}
+				continue
+			}
+			if want := 2 * lvl; len(path) != want {
+				t.Fatalf("%s: Level(%d,%d)=%d but path has %d links, want %d",
+					topo.Name(), a, b, lvl, len(path), want)
+			}
+			perLevel := map[int]int{}
+			for _, id := range path {
+				perLevel[links[id].Level]++
+			}
+			for l := 1; l <= lvl; l++ {
+				if perLevel[l] != 2 {
+					t.Fatalf("%s: path %d->%d crosses %d level-%d links, want 2",
+						topo.Name(), a, b, perLevel[l], l)
+				}
+			}
+		}
+	}
+}
+
+// TestECMPSpreadsCoreLoad routes many inter-pod flows through a fat-tree
+// and checks the hash spreads them across multiple core links.
+func TestECMPSpreadsCoreLoad(t *testing.T) {
+	topo := mustFatTree(t, 8)
+	used := map[LinkID]bool{}
+	links := topo.Links()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		a := cluster.HostID(rng.Intn(topo.Hosts()))
+		b := cluster.HostID(rng.Intn(topo.Hosts()))
+		if topo.Level(a, b) != 3 {
+			continue
+		}
+		for _, id := range topo.PathLinks(nil, a, b, rng.Uint64()) {
+			if links[id].Level == 3 {
+				used[id] = true
+			}
+		}
+	}
+	total := 0
+	for _, l := range links {
+		if l.Level == 3 {
+			total++
+		}
+	}
+	if len(used) < total/2 {
+		t.Fatalf("ECMP used %d of %d core links, want at least half", len(used), total)
+	}
+}
+
+func TestHostsInRackBounds(t *testing.T) {
+	topo := mustFatTree(t, 4)
+	if got := topo.HostsInRack(-1); got != nil {
+		t.Fatalf("HostsInRack(-1) = %v, want nil", got)
+	}
+	if got := topo.HostsInRack(topo.Racks()); got != nil {
+		t.Fatalf("HostsInRack(out of range) = %v, want nil", got)
+	}
+	seen := map[cluster.HostID]bool{}
+	for r := 0; r < topo.Racks(); r++ {
+		for _, h := range topo.HostsInRack(r) {
+			if seen[h] {
+				t.Fatalf("host %d appears in two racks", h)
+			}
+			seen[h] = true
+			if topo.RackOf(h) != r {
+				t.Fatalf("RackOf(%d) = %d, want %d", h, topo.RackOf(h), r)
+			}
+		}
+	}
+	if len(seen) != topo.Hosts() {
+		t.Fatalf("racks cover %d hosts, want %d", len(seen), topo.Hosts())
+	}
+}
+
+// TestLevelPropertiesQuick verifies metric-like properties of Level on
+// random host pairs: symmetry, identity, and range.
+func TestLevelPropertiesQuick(t *testing.T) {
+	topo := mustCanonical(t, ScaledCanonicalConfig(16, 5))
+	f := func(x, y uint16) bool {
+		a := cluster.HostID(int(x) % topo.Hosts())
+		b := cluster.HostID(int(y) % topo.Hosts())
+		l := topo.Level(a, b)
+		if l < 0 || l > topo.Depth() {
+			return false
+		}
+		if (l == 0) != (a == b) {
+			return false
+		}
+		return topo.Level(b, a) == l
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairHashSymmetric(t *testing.T) {
+	f := func(a, b uint32) bool {
+		return PairHash(cluster.VMID(a), cluster.VMID(b)) == PairHash(cluster.VMID(b), cluster.VMID(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,390 @@
+// Package traffic provides the pairwise VM traffic model and the
+// synthetic data-center workload generator used by the evaluation.
+//
+// λ(u, v) is the average traffic rate (incoming plus outgoing) exchanged
+// between VMs u and v over a measurement window (Section III). The
+// generator reproduces the structure the paper takes from DC measurement
+// studies [18][1][23][19]: a sparse ToR-level traffic matrix where "only
+// a handful of ToRs become hotspots", with most bytes carried by a small
+// number of elephant flows while mice flows dominate in count
+// (Section V-C, VI). The initial matrix can be scaled ×10 / ×50 into the
+// medium and dense variants of Fig. 3.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/topology"
+)
+
+// Pair is an unordered VM pair with A < B.
+type Pair struct {
+	A, B cluster.VMID
+}
+
+// MakePair normalizes (u, v) into canonical order.
+func MakePair(u, v cluster.VMID) Pair {
+	if u > v {
+		u, v = v, u
+	}
+	return Pair{A: u, B: v}
+}
+
+// Matrix is a sparse symmetric pairwise traffic-rate matrix in Mb/s.
+// The zero value is ready to use.
+type Matrix struct {
+	rates map[Pair]float64
+	neigh map[cluster.VMID][]cluster.VMID
+}
+
+// NewMatrix returns an empty matrix.
+func NewMatrix() *Matrix {
+	return &Matrix{
+		rates: make(map[Pair]float64),
+		neigh: make(map[cluster.VMID][]cluster.VMID),
+	}
+}
+
+func (m *Matrix) init() {
+	if m.rates == nil {
+		m.rates = make(map[Pair]float64)
+		m.neigh = make(map[cluster.VMID][]cluster.VMID)
+	}
+}
+
+// Set fixes λ(u, v) to rateMbps. Setting a self-pair or a non-positive
+// rate removes the entry.
+func (m *Matrix) Set(u, v cluster.VMID, rateMbps float64) {
+	m.init()
+	if u == v {
+		return
+	}
+	p := MakePair(u, v)
+	_, existed := m.rates[p]
+	if rateMbps <= 0 {
+		if existed {
+			delete(m.rates, p)
+			m.removeNeighbor(u, v)
+			m.removeNeighbor(v, u)
+		}
+		return
+	}
+	m.rates[p] = rateMbps
+	if !existed {
+		m.neigh[u] = append(m.neigh[u], v)
+		m.neigh[v] = append(m.neigh[v], u)
+	}
+}
+
+// Add increases λ(u, v) by rateMbps, creating the pair if absent.
+func (m *Matrix) Add(u, v cluster.VMID, rateMbps float64) {
+	if u == v || rateMbps <= 0 {
+		return
+	}
+	m.init()
+	m.Set(u, v, m.Rate(u, v)+rateMbps)
+}
+
+func (m *Matrix) removeNeighbor(u, v cluster.VMID) {
+	s := m.neigh[u]
+	for i, x := range s {
+		if x == v {
+			s[i] = s[len(s)-1]
+			m.neigh[u] = s[:len(s)-1]
+			break
+		}
+	}
+	if len(m.neigh[u]) == 0 {
+		delete(m.neigh, u)
+	}
+}
+
+// Rate returns λ(u, v), 0 when the VMs do not communicate.
+func (m *Matrix) Rate(u, v cluster.VMID) float64 {
+	if m.rates == nil || u == v {
+		return 0
+	}
+	return m.rates[MakePair(u, v)]
+}
+
+// Neighbors returns Vu, the set of VMs exchanging data with u, in
+// ascending ID order. The returned slice is owned by the caller.
+func (m *Matrix) Neighbors(u cluster.VMID) []cluster.VMID {
+	if m.neigh == nil {
+		return nil
+	}
+	out := append([]cluster.VMID(nil), m.neigh[u]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns |Vu| without allocating.
+func (m *Matrix) Degree(u cluster.VMID) int {
+	if m.neigh == nil {
+		return 0
+	}
+	return len(m.neigh[u])
+}
+
+// VMLoad returns Σ_{v∈Vu} λ(u, v), the aggregate traffic rate of VM u.
+// This is what the hypervisor computes from its flow table when holding
+// the token (Section V-B3), and what the bandwidth-threshold admission
+// check of Section V-C sums per host.
+func (m *Matrix) VMLoad(u cluster.VMID) float64 {
+	if m.neigh == nil {
+		return 0
+	}
+	var sum float64
+	for _, v := range m.neigh[u] {
+		sum += m.rates[MakePair(u, v)]
+	}
+	return sum
+}
+
+// NumPairs returns the number of communicating pairs.
+func (m *Matrix) NumPairs() int { return len(m.rates) }
+
+// TotalRate returns the sum of λ over all pairs.
+func (m *Matrix) TotalRate() float64 {
+	var sum float64
+	for _, r := range m.rates {
+		sum += r
+	}
+	return sum
+}
+
+// Pairs returns all communicating pairs in deterministic (sorted) order
+// with their rates. The slices are owned by the caller.
+func (m *Matrix) Pairs() ([]Pair, []float64) {
+	ps := make([]Pair, 0, len(m.rates))
+	for p := range m.rates {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].B < ps[j].B
+	})
+	rs := make([]float64, len(ps))
+	for i, p := range ps {
+		rs[i] = m.rates[p]
+	}
+	return ps, rs
+}
+
+// Scaled returns a copy of the matrix with every rate multiplied by f,
+// the paper's ×10 (medium) and ×50 (dense) load-stress transformation.
+func (m *Matrix) Scaled(f float64) *Matrix {
+	out := NewMatrix()
+	for p, r := range m.rates {
+		out.Set(p.A, p.B, r*f)
+	}
+	return out
+}
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix { return m.Scaled(1) }
+
+// GenConfig parameterizes the synthetic workload generator.
+type GenConfig struct {
+	// MicePairsPerVM is the mean number of background (mice) peers each
+	// VM communicates with. DC studies find most flows are small; these
+	// fill the sparse background of the TM.
+	MicePairsPerVM float64
+	// LocalityBias is the probability a mice peer is drawn from the
+	// VM's own rack or one of its rack's partner racks rather than
+	// uniformly — DC measurement studies find rack-level traffic
+	// matrices sparse because servers talk to a stable, small set of
+	// destinations [18][23].
+	LocalityBias float64
+	// PartnerRacksPerRack sizes each rack's partner set.
+	PartnerRacksPerRack int
+	// MiceRateMbps bounds the uniform mice rate.
+	MiceRateMinMbps float64
+	MiceRateMaxMbps float64
+	// HotspotRackPairs is the number of rack pairs carrying elephant
+	// aggregates ("only a handful of ToRs become hotspots").
+	HotspotRackPairs int
+	// ElephantsPerHotspot is how many VM pairs each hot rack pair gets.
+	ElephantsPerHotspot int
+	// ElephantRate is lognormal: exp(N(Mu, Sigma)) Mb/s, truncated at
+	// ElephantCapMbps. Elephants carry most bytes.
+	ElephantRateMu    float64
+	ElephantRateSigma float64
+	ElephantCapMbps   float64
+	// IntraRackHotspotFraction is the fraction of hotspot rack pairs
+	// that are diagonal (a rack talking to itself heavily).
+	IntraRackHotspotFraction float64
+}
+
+// DefaultGenConfig returns parameters producing a sparse TM in line with
+// the measurement studies the paper cites: every VM has a couple of mice
+// peers, and ~6% of racks participate in elephant hotspots.
+func DefaultGenConfig(racks int) GenConfig {
+	hot := racks / 16
+	if hot < 2 {
+		hot = 2
+	}
+	return GenConfig{
+		MicePairsPerVM:           2.0,
+		LocalityBias:             0.85,
+		PartnerRacksPerRack:      3,
+		MiceRateMinMbps:          0.05,
+		MiceRateMaxMbps:          2.0,
+		HotspotRackPairs:         hot,
+		ElephantsPerHotspot:      6,
+		ElephantRateMu:           3.4, // median ≈ 30 Mb/s
+		ElephantRateSigma:        0.7,
+		ElephantCapMbps:          400,
+		IntraRackHotspotFraction: 0.25,
+	}
+}
+
+// Generate synthesizes a traffic matrix over the placed VMs of c. The
+// hotspot structure is anchored on the racks of the *initial* placement,
+// so the initial ToR-level TM exhibits the sparse hotspot pattern of
+// Fig. 3a; S-CORE then migrates VMs to dissolve the expensive cells.
+func Generate(cfg GenConfig, topo topology.Topology, c *cluster.Cluster, rng *rand.Rand) (*Matrix, error) {
+	vms := c.VMs()
+	if len(vms) < 2 {
+		return nil, fmt.Errorf("traffic: need at least 2 VMs, have %d", len(vms))
+	}
+	if cfg.MiceRateMaxMbps < cfg.MiceRateMinMbps {
+		return nil, fmt.Errorf("traffic: mice rate bounds inverted")
+	}
+	m := NewMatrix()
+
+	// Index VMs by rack of their current host for hotspot wiring.
+	byRack := make([][]cluster.VMID, topo.Racks())
+	for _, vm := range vms {
+		h := c.HostOf(vm)
+		if h == cluster.NoHost {
+			return nil, fmt.Errorf("traffic: VM %d is unplaced", vm)
+		}
+		r := topo.RackOf(h)
+		byRack[r] = append(byRack[r], vm)
+	}
+	occupied := make([]int, 0, len(byRack))
+	for r, set := range byRack {
+		if len(set) > 0 {
+			occupied = append(occupied, r)
+		}
+	}
+	if len(occupied) == 0 {
+		return nil, fmt.Errorf("traffic: no occupied racks")
+	}
+
+	// Each rack gets a small stable partner set; mice traffic mostly
+	// stays within rack ∪ partners, keeping the rack-level TM sparse.
+	partners := make([][]int, topo.Racks())
+	for _, r := range occupied {
+		seen := map[int]bool{r: true}
+		for len(partners[r]) < cfg.PartnerRacksPerRack && len(seen) < len(occupied) {
+			p := occupied[rng.Intn(len(occupied))]
+			if !seen[p] {
+				seen[p] = true
+				partners[r] = append(partners[r], p)
+			}
+		}
+	}
+
+	// Background mice pairs: Poisson-ish degree, locality-biased peers.
+	for _, u := range vms {
+		r := topo.RackOf(c.HostOf(u))
+		n := poisson(rng, cfg.MicePairsPerVM)
+		for i := 0; i < n; i++ {
+			var v cluster.VMID
+			if rng.Float64() < cfg.LocalityBias {
+				pool := byRack[r]
+				if len(partners[r]) > 0 && rng.Float64() < 0.6 {
+					pool = byRack[partners[r][rng.Intn(len(partners[r]))]]
+				}
+				if len(pool) == 0 {
+					continue
+				}
+				v = pool[rng.Intn(len(pool))]
+			} else {
+				v = vms[rng.Intn(len(vms))]
+			}
+			if v == u {
+				continue
+			}
+			rate := cfg.MiceRateMinMbps + rng.Float64()*(cfg.MiceRateMaxMbps-cfg.MiceRateMinMbps)
+			m.Add(u, v, rate)
+		}
+	}
+
+	// Elephant hotspots between (or within) selected racks.
+	for i := 0; i < cfg.HotspotRackPairs; i++ {
+		ra := occupied[rng.Intn(len(occupied))]
+		rb := ra
+		if rng.Float64() >= cfg.IntraRackHotspotFraction && len(occupied) > 1 {
+			for rb == ra {
+				rb = occupied[rng.Intn(len(occupied))]
+			}
+		}
+		for j := 0; j < cfg.ElephantsPerHotspot; j++ {
+			u := byRack[ra][rng.Intn(len(byRack[ra]))]
+			v := byRack[rb][rng.Intn(len(byRack[rb]))]
+			if u == v {
+				continue
+			}
+			rate := math.Exp(cfg.ElephantRateMu + cfg.ElephantRateSigma*rng.NormFloat64())
+			if rate > cfg.ElephantCapMbps {
+				rate = cfg.ElephantCapMbps
+			}
+			m.Add(u, v, rate)
+		}
+	}
+	return m, nil
+}
+
+// poisson draws a Poisson variate via Knuth's method; fine for small mean.
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 { // guard against pathological means
+			return k
+		}
+	}
+}
+
+// TorMatrix aggregates the pairwise VM rates into a ToR-to-ToR matrix for
+// the current allocation — the heatmaps of Fig. 3a–c. Element [i][j]
+// holds the total rate between racks i and j; the matrix is symmetric
+// with intra-rack traffic on the diagonal.
+func TorMatrix(m *Matrix, topo topology.Topology, c *cluster.Cluster) [][]float64 {
+	n := topo.Racks()
+	out := make([][]float64, n)
+	buf := make([]float64, n*n)
+	for i := range out {
+		out[i], buf = buf[:n:n], buf[n:]
+	}
+	pairs, rates := m.Pairs()
+	for i, p := range pairs {
+		ha, hb := c.HostOf(p.A), c.HostOf(p.B)
+		if ha == cluster.NoHost || hb == cluster.NoHost {
+			continue
+		}
+		ra, rb := topo.RackOf(ha), topo.RackOf(hb)
+		out[ra][rb] += rates[i]
+		if ra != rb {
+			out[rb][ra] += rates[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+// Package viz renders experiment results as ASCII charts and CSV files,
+// standing in for the paper's MATLAB figures so every plot can be
+// regenerated from the terminal.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// LineChart renders one or more series on a shared-axis ASCII grid.
+// Distinct series use distinct glyphs; overlapping cells show the later
+// series' glyph.
+func LineChart(w io.Writer, title string, width, height int, series ...Series) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			any = true
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if !any {
+		fmt.Fprintf(w, "%s\n  (no data)\n", title)
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			cx := int(float64(width-1) * (s.X[i] - minX) / (maxX - minX))
+			cy := int(float64(height-1) * (s.Y[i] - minY) / (maxY - minY))
+			grid[height-1-cy][cx] = g
+		}
+	}
+	fmt.Fprintln(w, title)
+	for i, row := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = leftPad(fmt.Sprintf("%.3g", maxY), 10)
+		case height - 1:
+			label = leftPad(fmt.Sprintf("%.3g", minY), 10)
+		}
+		fmt.Fprintf(w, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%s %s -> %s\n", strings.Repeat(" ", 10),
+		strconv.FormatFloat(minX, 'g', 3, 64), strconv.FormatFloat(maxX, 'g', 3, 64))
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[si%len(glyphs)], s.Name))
+	}
+	fmt.Fprintf(w, "%s %s\n", strings.Repeat(" ", 10), strings.Join(legend, "  "))
+}
+
+func leftPad(s string, n int) string {
+	if len(s) >= n {
+		return s[:n]
+	}
+	return strings.Repeat(" ", n-len(s)) + s
+}
+
+// Heatmap renders a matrix with intensity glyphs, normalized to the
+// matrix maximum — the ASCII counterpart of the Fig. 3a–c ToR matrices.
+func Heatmap(w io.Writer, title string, m [][]float64) {
+	fmt.Fprintln(w, title)
+	var max float64
+	for _, row := range m {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	ramp := []byte(" .:-=+*#%@")
+	for _, row := range m {
+		line := make([]byte, len(row))
+		for j, v := range row {
+			idx := 0
+			if max > 0 && v > 0 {
+				idx = 1 + int(float64(len(ramp)-2)*v/max)
+				if idx >= len(ramp) {
+					idx = len(ramp) - 1
+				}
+			}
+			line[j] = ramp[idx]
+		}
+		fmt.Fprintf(w, "  |%s|\n", string(line))
+	}
+	fmt.Fprintf(w, "  scale: max=%.3g Mb/s, ramp %q\n", max, string(ramp))
+}
+
+// WriteCSV emits a header row followed by columns of equal length.
+// Shorter columns pad with empty cells.
+func WriteCSV(w io.Writer, headers []string, cols ...[]float64) error {
+	if len(headers) != len(cols) {
+		return fmt.Errorf("viz: %d headers for %d columns", len(headers), len(cols))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	rows := 0
+	for _, c := range cols {
+		if len(c) > rows {
+			rows = len(c)
+		}
+	}
+	var sb strings.Builder
+	for r := 0; r < rows; r++ {
+		sb.Reset()
+		for i, c := range cols {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if r < len(c) {
+				sb.WriteString(strconv.FormatFloat(c[r], 'g', -1, 64))
+			}
+		}
+		sb.WriteByte('\n')
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

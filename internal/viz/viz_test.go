@@ -1,0 +1,81 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineChartRendersSeries(t *testing.T) {
+	var sb strings.Builder
+	LineChart(&sb, "test chart", 40, 8,
+		Series{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+		Series{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+	)
+	out := sb.String()
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "o=down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("glyphs missing")
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	var sb strings.Builder
+	LineChart(&sb, "empty", 40, 8)
+	if !strings.Contains(sb.String(), "(no data)") {
+		t.Fatalf("empty chart output: %q", sb.String())
+	}
+}
+
+func TestLineChartDegenerateRange(t *testing.T) {
+	var sb strings.Builder
+	// Single point: min == max on both axes must not divide by zero.
+	LineChart(&sb, "dot", 20, 4, Series{Name: "p", X: []float64{1}, Y: []float64{1}})
+	if !strings.Contains(sb.String(), "*") {
+		t.Fatal("single point not rendered")
+	}
+}
+
+func TestHeatmapNormalizes(t *testing.T) {
+	var sb strings.Builder
+	Heatmap(&sb, "hm", [][]float64{{0, 1}, {10, 0}})
+	out := sb.String()
+	if !strings.Contains(out, "@") {
+		t.Fatalf("max cell should use the hottest glyph:\n%s", out)
+	}
+	if !strings.Contains(out, "max=10") {
+		t.Fatalf("scale line missing:\n%s", out)
+	}
+	// All-zero matrix renders without panic.
+	var sb2 strings.Builder
+	Heatmap(&sb2, "zero", [][]float64{{0, 0}})
+	if !strings.Contains(sb2.String(), "max=0") {
+		t.Fatal("zero heatmap broken")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	err := WriteCSV(&sb, []string{"t", "a", "b"},
+		[]float64{1, 2, 3}, []float64{0.5, 0.25}, []float64{9, 8, 7})
+	if err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "t,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("rows = %d, want 4", len(lines))
+	}
+	if lines[3] != "3,,7" {
+		t.Fatalf("short column not padded: %q", lines[3])
+	}
+	if err := WriteCSV(&sb, []string{"x"}, nil, nil); err == nil {
+		t.Fatal("mismatched header/column count accepted")
+	}
+}
