@@ -223,12 +223,78 @@ func BenchmarkBestMigration(b *testing.B) {
 	}
 }
 
-// BenchmarkTotalCost measures Eq. (2) over the full pair set.
+// BenchmarkTotalCost measures Eq. (2) over the full pair set. With the
+// incremental accounting this is a cached read between traffic windows;
+// BenchmarkTotalCostRebuild measures the cold rebuild.
 func BenchmarkTotalCost(b *testing.B) {
 	eng, _ := benchEngine(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = eng.TotalCost()
+	}
+}
+
+// BenchmarkTotalCostRebuild invalidates the incremental accounting every
+// iteration (as a traffic-window rollover would) to measure the full
+// O(|pairs|) recompute path.
+func BenchmarkTotalCostRebuild(b *testing.B) {
+	eng, _ := benchEngine(b)
+	tm := eng.Traffic()
+	vms := eng.Cluster().VMs()
+	r := tm.Rate(vms[0], vms[1])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Set(vms[0], vms[1], r+float64(i%2)) // move the generation
+		_ = eng.TotalCost()
+	}
+}
+
+// benchEngineDense builds the fat-tree k=8 instance under ×50 (dense)
+// traffic — the heaviest decision workload of Fig. 3's sweep.
+func benchEngineDense(b *testing.B) (*score.Engine, *rand.Rand) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(benchSeed))
+	topo, err := score.NewFatTree(8, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := score.NewCluster(score.UniformHosts(topo.Hosts(), 8, 32768, 1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pm := score.NewPlacementManager(cl, 1)
+	for i := 0; i < topo.Hosts()*4; i++ {
+		if _, err := pm.CreateVM(1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := pm.PlaceRandom(rng); err != nil {
+		b.Fatal(err)
+	}
+	tm, err := score.GenerateTraffic(score.DefaultGenConfig(topo.Racks()), topo, cl, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm = tm.Scaled(50) // the paper's dense load stress
+	cost, err := score.NewCostModel(score.PaperWeights()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := score.NewEngine(topo, cost, cl, tm, score.DefaultEngineConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, rng
+}
+
+// BenchmarkBestMigrationDense measures a full token-holder decision on
+// the dense fat-tree macro instance (k=8, ×50 traffic).
+func BenchmarkBestMigrationDense(b *testing.B) {
+	eng, rng := benchEngineDense(b)
+	vms := eng.Cluster().VMs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = eng.BestMigration(vms[rng.Intn(len(vms))])
 	}
 }
 

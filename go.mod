@@ -1,0 +1,3 @@
+module github.com/score-dc/score
+
+go 1.21

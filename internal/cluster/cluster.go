@@ -83,6 +83,31 @@ type Cluster struct {
 	hostVMs [][]VMID // dense, indexed by HostID; unordered sets
 	ramUsed []int    // MiB in use per host
 	cpuUsed []int    // millicores in use per host
+
+	// denseHost is an O(1) HostOf fast path: denseHost[id-denseBase]
+	// mirrors vmHost for the contiguous ID range issued by a
+	// PlacementManager. When registered IDs turn out too sparse to
+	// mirror densely the slice is dropped (denseOff) and HostOf falls
+	// back to the map.
+	denseBase VMID
+	denseHost []HostID
+	denseOff  bool
+
+	// Allocation observers, notified after every successful mutation.
+	// Registered by decision engines to keep incremental cost and
+	// net-load accounting in sync with moves applied directly to the
+	// cluster (e.g. by the simulator or the Remedy controller).
+	observers []allocObserver
+	obsSeq    uint64
+}
+
+// allocObserver is one registered observer, tagged with an id so
+// unregistration can swap-remove it and keep notification O(live
+// observers).
+type allocObserver struct {
+	id     uint64
+	change func(vm VMID, from, to HostID)
+	reset  func()
 }
 
 // New creates a cluster over the given hosts with no VMs placed.
@@ -115,6 +140,105 @@ func UniformHosts(n, slots, ramMB int, nicMbps float64) []Host {
 		hosts[i] = Host{ID: HostID(i), Slots: slots, RAMMB: ramMB, NICMbps: nicMbps}
 	}
 	return hosts
+}
+
+// Observe registers callbacks notified after allocation mutations:
+// change runs after every single-VM placement or move (Place reports
+// from == NoHost), reset after bulk rewrites (Restore). Either may be
+// nil. Observers are not carried over by Clone. The returned function
+// unregisters the observer; callers replacing one (e.g. a rebuilt
+// engine) must invoke it or the old observer keeps firing. It is
+// idempotent but must not be called from inside a callback.
+func (c *Cluster) Observe(change func(vm VMID, from, to HostID), reset func()) (unobserve func()) {
+	c.obsSeq++
+	id := c.obsSeq
+	c.observers = append(c.observers, allocObserver{id: id, change: change, reset: reset})
+	return func() {
+		for i := range c.observers {
+			if c.observers[i].id == id {
+				last := len(c.observers) - 1
+				c.observers[i] = c.observers[last]
+				c.observers[last] = allocObserver{}
+				c.observers = c.observers[:last]
+				return
+			}
+		}
+	}
+}
+
+func (c *Cluster) notifyChange(vm VMID, from, to HostID) {
+	for i := range c.observers {
+		if fn := c.observers[i].change; fn != nil {
+			fn(vm, from, to)
+		}
+	}
+}
+
+func (c *Cluster) notifyReset() {
+	for i := range c.observers {
+		if fn := c.observers[i].reset; fn != nil {
+			fn()
+		}
+	}
+}
+
+// denseSlack bounds how much larger than the VM population the dense
+// HostOf mirror may grow before it is abandoned for the map.
+const denseSlack = 1024
+
+// ensureDense grows the dense HostOf mirror to cover vm, or disables it
+// when the ID range is too sparse to mirror affordably.
+func (c *Cluster) ensureDense(vm VMID) {
+	if c.denseOff {
+		return
+	}
+	if c.denseHost == nil {
+		c.denseBase = vm
+		c.denseHost = []HostID{NoHost}
+		return
+	}
+	i := int64(vm) - int64(c.denseBase)
+	if i >= 0 && i < int64(len(c.denseHost)) {
+		return
+	}
+	// Required contiguous range to cover both the existing window and vm.
+	var newBase, required int64
+	if i < 0 {
+		newBase = int64(vm)
+		required = int64(len(c.denseHost)) - i
+	} else {
+		newBase = int64(c.denseBase)
+		required = i + 1
+	}
+	if required > int64(len(c.vms))*4+denseSlack {
+		c.denseOff, c.denseHost = true, nil
+		return
+	}
+	// Grow geometrically on the extending side so sequential ID issuance
+	// stays amortized O(1).
+	padded := required
+	if double := 2 * int64(len(c.denseHost)); double > padded {
+		padded = double
+	}
+	if i < 0 && newBase > padded-required {
+		newBase -= padded - required // spare capacity below when growing down
+	}
+	nh := make([]HostID, padded)
+	for j := range nh {
+		nh[j] = NoHost
+	}
+	copy(nh[int64(c.denseBase)-newBase:], c.denseHost)
+	c.denseBase, c.denseHost = VMID(newBase), nh
+}
+
+// setHost records vm's placement in both the map and the dense mirror.
+func (c *Cluster) setHost(vm VMID, h HostID) {
+	c.vmHost[vm] = h
+	if c.denseHost != nil {
+		if i := int64(vm) - int64(c.denseBase); i >= 0 && i < int64(len(c.denseHost)) {
+			c.denseHost[i] = h
+		}
+	}
 }
 
 // NumHosts returns the number of physical servers.
@@ -160,13 +284,24 @@ func (c *Cluster) AddVM(vm VM) error {
 		return fmt.Errorf("cluster: VM %d has negative resource demand", vm.ID)
 	}
 	c.vms[vm.ID] = vm
-	c.vmHost[vm.ID] = NoHost
+	c.ensureDense(vm.ID)
+	c.setHost(vm.ID, NoHost)
 	return nil
 }
 
 // HostOf returns the server hosting vm, i.e. σ̂A(u) in the paper's
-// notation, or NoHost if the VM is unplaced.
+// notation, or NoHost if the VM is unplaced. With densely issued IDs
+// (the PlacementManager's sequential issuance) this is a bounds check
+// and a slice load — the decision engine's hottest lookup.
 func (c *Cluster) HostOf(vm VMID) HostID {
+	if d := c.denseHost; d != nil {
+		// When the mirror is live it covers every registered VM, so an
+		// out-of-range ID is unknown.
+		if i := int64(vm) - int64(c.denseBase); uint64(i) < uint64(len(d)) {
+			return d[i]
+		}
+		return NoHost
+	}
 	h, ok := c.vmHost[vm]
 	if !ok {
 		return NoHost
@@ -254,10 +389,11 @@ func (c *Cluster) Place(vm VMID, host HostID) error {
 	if c.FreeSlots(host) < 1 || c.FreeRAMMB(host) < v.RAMMB || c.FreeCPUMilli(host) < v.CPUMilli {
 		return fmt.Errorf("%w: host %d for VM %d", ErrNoCapacity, host, vm)
 	}
-	c.vmHost[vm] = host
+	c.setHost(vm, host)
 	c.hostVMs[host] = append(c.hostVMs[host], vm)
 	c.ramUsed[host] += v.RAMMB
 	c.cpuUsed[host] += v.CPUMilli
+	c.notifyChange(vm, NoHost, host)
 	return nil
 }
 
@@ -285,10 +421,11 @@ func (c *Cluster) Move(vm VMID, host HostID) error {
 	c.removeFromHost(vm, cur)
 	c.ramUsed[cur] -= v.RAMMB
 	c.cpuUsed[cur] -= v.CPUMilli
-	c.vmHost[vm] = host
+	c.setHost(vm, host)
 	c.hostVMs[host] = append(c.hostVMs[host], vm)
 	c.ramUsed[host] += v.RAMMB
 	c.cpuUsed[host] += v.CPUMilli
+	c.notifyChange(vm, cur, host)
 	return nil
 }
 
@@ -353,26 +490,31 @@ func (c *Cluster) Restore(alloc map[VMID]HostID) error {
 		if _, ok := c.vms[vm]; !ok {
 			continue // ignore foreign entries
 		}
-		c.vmHost[vm] = h
+		c.setHost(vm, h)
 		if h != NoHost {
 			c.hostVMs[h] = append(c.hostVMs[h], vm)
 			c.ramUsed[h] += c.vms[vm].RAMMB
 			c.cpuUsed[h] += c.vms[vm].CPUMilli
 		}
 	}
+	c.notifyReset()
 	return nil
 }
 
 // Clone returns a deep copy of the cluster, used by optimizers that
-// explore hypothetical allocations.
+// explore hypothetical allocations. Observers are not copied: state
+// derived for the original must not track the clone.
 func (c *Cluster) Clone() *Cluster {
 	n := &Cluster{
-		hosts:   append([]Host(nil), c.hosts...),
-		vms:     make(map[VMID]VM, len(c.vms)),
-		vmHost:  make(map[VMID]HostID, len(c.vmHost)),
-		hostVMs: make([][]VMID, len(c.hostVMs)),
-		ramUsed: append([]int(nil), c.ramUsed...),
-		cpuUsed: append([]int(nil), c.cpuUsed...),
+		hosts:     append([]Host(nil), c.hosts...),
+		vms:       make(map[VMID]VM, len(c.vms)),
+		vmHost:    make(map[VMID]HostID, len(c.vmHost)),
+		hostVMs:   make([][]VMID, len(c.hostVMs)),
+		ramUsed:   append([]int(nil), c.ramUsed...),
+		cpuUsed:   append([]int(nil), c.cpuUsed...),
+		denseBase: c.denseBase,
+		denseHost: append([]HostID(nil), c.denseHost...),
+		denseOff:  c.denseOff,
 	}
 	for id, vm := range c.vms {
 		n.vms[id] = vm

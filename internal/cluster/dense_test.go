@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHostOfDenseMirror drives the dense fast path with the
+// IPv4-style sequential IDs the PlacementManager issues and checks it
+// against the map semantics at every step.
+func TestHostOfDenseMirror(t *testing.T) {
+	c, err := New(UniformHosts(8, 4, 8192, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := NewPlacementManager(c, 0x0a000001) // 10.0.0.1-style base
+	rng := rand.New(rand.NewSource(1))
+	var ids []VMID
+	for i := 0; i < 24; i++ {
+		id, err := pm.CreateVM(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := pm.PlaceRandom(rng); err != nil {
+		t.Fatal(err)
+	}
+	check := func(context string) {
+		t.Helper()
+		for _, id := range ids {
+			if got, want := c.HostOf(id), c.vmHost[id]; got != want {
+				t.Fatalf("%s: HostOf(%d) = %d, map says %d", context, id, got, want)
+			}
+		}
+		// Unknown IDs — below, inside, and above the issued range.
+		for _, id := range []VMID{0, 1, 0x0a000001 - 1, 0x0a000001 + 100, 0xffffffff} {
+			if _, known := c.vms[id]; known {
+				continue
+			}
+			if got := c.HostOf(id); got != NoHost {
+				t.Fatalf("%s: HostOf(unknown %d) = %d, want NoHost", context, id, got)
+			}
+		}
+	}
+	check("after placement")
+	for i := 0; i < 200; i++ {
+		u := ids[rng.Intn(len(ids))]
+		h := HostID(rng.Intn(c.NumHosts()))
+		if c.HostOf(u) != h && c.Fits(u, h) {
+			if err := c.Move(u, h); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	check("after moves")
+
+	snap := c.Snapshot()
+	for i := 0; i < 50; i++ {
+		u := ids[rng.Intn(len(ids))]
+		h := HostID(rng.Intn(c.NumHosts()))
+		if c.HostOf(u) != h && c.Fits(u, h) {
+			_ = c.Move(u, h)
+		}
+	}
+	if err := c.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	check("after restore")
+	for _, id := range ids {
+		if got, want := c.HostOf(id), snap[id]; got != want {
+			t.Fatalf("restore: HostOf(%d) = %d, want %d", id, got, want)
+		}
+	}
+
+	cp := c.Clone()
+	for _, id := range ids {
+		if cp.HostOf(id) != c.HostOf(id) {
+			t.Fatalf("clone: HostOf(%d) differs", id)
+		}
+	}
+}
+
+// TestHostOfSparseFallback: IDs too scattered for the dense mirror must
+// fall back to the map and stay correct.
+func TestHostOfSparseFallback(t *testing.T) {
+	c, err := New(UniformHosts(4, 4, 8192, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []VMID{1, 1 << 20, 1 << 30, 0xfffffff0}
+	for _, id := range ids {
+		if err := c.AddVM(VM{ID: id, RAMMB: 128}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.denseHost != nil {
+		t.Fatal("dense mirror should be disabled for scattered IDs")
+	}
+	for i, id := range ids {
+		if err := c.Place(id, HostID(i%c.NumHosts())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, id := range ids {
+		if got := c.HostOf(id); got != HostID(i%c.NumHosts()) {
+			t.Fatalf("HostOf(%d) = %d, want %d", id, got, i%c.NumHosts())
+		}
+	}
+	if got := c.HostOf(42); got != NoHost {
+		t.Fatalf("HostOf(unknown) = %d, want NoHost", got)
+	}
+}
+
+// TestHostOfGrowsDownward: registering an ID below the dense base must
+// re-anchor the mirror, not disable it.
+func TestHostOfGrowsDownward(t *testing.T) {
+	c, err := New(UniformHosts(2, 8, 8192, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []VMID{500, 510, 490, 505, 495} {
+		if err := c.AddVM(VM{ID: id, RAMMB: 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.denseHost == nil {
+		t.Fatal("dense mirror disabled for a compact ID range")
+	}
+	for _, id := range []VMID{500, 510, 490, 505, 495} {
+		if err := c.Place(id, 1); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.HostOf(id); got != 1 {
+			t.Fatalf("HostOf(%d) = %d, want 1", id, got)
+		}
+	}
+}
+
+// TestHostOfAllocFree: the engine's hottest lookup must not allocate.
+func TestHostOfAllocFree(t *testing.T) {
+	c, err := New(UniformHosts(4, 8, 8192, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := NewPlacementManager(c, 1)
+	for i := 0; i < 16; i++ {
+		if _, err := pm.CreateVM(128); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pm.PlaceLoadBalanced(); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		c.HostOf(5)
+		c.HostOf(9999) // unknown
+	}); avg != 0 {
+		t.Fatalf("HostOf allocates %v times per run, want 0", avg)
+	}
+}
+
+// TestObservers: Place and Move notify change observers with the right
+// transition; Restore notifies reset.
+func TestObservers(t *testing.T) {
+	c, err := New(UniformHosts(3, 4, 8192, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type ev struct {
+		vm       VMID
+		from, to HostID
+	}
+	var changes []ev
+	resets := 0
+	c.Observe(func(vm VMID, from, to HostID) {
+		changes = append(changes, ev{vm, from, to})
+	}, func() { resets++ })
+
+	if err := c.AddVM(VM{ID: 1, RAMMB: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Place(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Move(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Move(1, 2); err != nil { // no-op move: no event
+		t.Fatal(err)
+	}
+	want := []ev{{1, NoHost, 0}, {1, 0, 2}}
+	if len(changes) != len(want) {
+		t.Fatalf("changes = %v, want %v", changes, want)
+	}
+	for i := range want {
+		if changes[i] != want[i] {
+			t.Fatalf("change %d = %v, want %v", i, changes[i], want[i])
+		}
+	}
+	snap := c.Snapshot()
+	if err := c.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if resets != 1 {
+		t.Fatalf("resets = %d, want 1", resets)
+	}
+	if len(changes) != len(want) {
+		t.Fatal("Restore fired per-VM change events")
+	}
+
+	// An unregistered observer must stop firing; unregistration is
+	// idempotent and leaves other observers intact.
+	extra := 0
+	unobserve := c.Observe(func(VMID, HostID, HostID) { extra++ }, nil)
+	if err := c.Move(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if extra != 1 {
+		t.Fatalf("extra observer fired %d times, want 1", extra)
+	}
+	unobserve()
+	unobserve()
+	if err := c.Move(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if extra != 1 {
+		t.Fatal("unregistered observer still firing")
+	}
+	if len(changes) != len(want)+2 {
+		t.Fatalf("surviving observer missed events: %d", len(changes))
+	}
+}

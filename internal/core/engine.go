@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/score-dc/score/internal/cluster"
 	"github.com/score-dc/score/internal/topology"
@@ -48,21 +48,73 @@ type Decision struct {
 	Delta float64
 }
 
+// rankEntry is one neighbor in probe order: its current host and level
+// are resolved once so the rank sort and the candidate loop do no
+// repeated lookups.
+type rankEntry struct {
+	peer  cluster.VMID
+	host  cluster.HostID
+	level int
+	rate  float64
+}
+
 // Engine evaluates S-CORE migration decisions against the current
 // cluster allocation. It reads the cluster and traffic matrix but never
 // mutates them; executing a decision is the caller's (simulator's or
 // hypervisor's) responsibility, matching the paper's split between the
 // decision process and the Xen migration machinery.
+//
+// The decision hot path (Delta, Admissible, BestMigration) is
+// allocation-free: neighbor edges are iterated straight off the traffic
+// matrix's CSR rows, and the rank buffer and probed-host set are scratch
+// state reused across calls. The engine additionally keeps incremental
+// accounting — a running C^A and per-host external traffic loads —
+// registered as a cluster allocation observer and invalidated whenever
+// the traffic matrix changes, so TotalCost and HostNetLoad are O(1)
+// between traffic windows instead of O(|pairs|) per call.
+//
+// Engine is not safe for concurrent use: scratch buffers and the
+// accounting caches are mutated by reads.
 type Engine struct {
-	topo topology.Topology
-	cost CostModel
-	cl   *cluster.Cluster
-	tm   *traffic.Matrix
-	cfg  Config
+	topo  topology.Topology
+	cost  CostModel
+	cl    *cluster.Cluster
+	tm    *traffic.Matrix
+	cfg   Config
+	depth int
+
+	// rackHosts caches topo.HostsInRack for every rack so the rack
+	// fallback probe of BestMigration allocates nothing.
+	rackHosts [][]cluster.HostID
+
+	// rackOf/podOf flatten the topology's level structure (the
+	// Topology contract: 0 same host, 1 same rack, 2 same pod, 3 via
+	// core) into per-host keys, replacing two interface calls per edge
+	// with two array loads. Populated only for depth-3 topologies;
+	// otherwise level falls back to the interface.
+	rackOf []int32
+	podOf  []int32
+
+	// Scratch reused across decisions.
+	rank       []rankEntry
+	probed     []uint64 // probed[h] == probeEpoch ⇒ already probed this decision
+	probeEpoch uint64
+
+	// Incremental accounting (see TotalCost / HostNetLoad).
+	acctValid bool
+	acctTMGen uint64
+	acctFolds int // incremental updates since the last full rebuild
+	total     float64
+	hostNet   []float64
+
+	// detach unregisters the cluster observers; nil once detached.
+	detach func()
 }
 
 // NewEngine assembles a decision engine. The traffic matrix may be
-// swapped later via SetTraffic as measurement windows roll over.
+// swapped later via SetTraffic as measurement windows roll over. The
+// engine registers itself as an allocation observer on cl, so it must
+// not outlive uses of the cluster that assume no observers.
 func NewEngine(topo topology.Topology, cost CostModel, cl *cluster.Cluster, tm *traffic.Matrix, cfg Config) (*Engine, error) {
 	if topo == nil || cl == nil || tm == nil {
 		return nil, fmt.Errorf("core: nil dependency")
@@ -73,14 +125,49 @@ func NewEngine(topo topology.Topology, cost CostModel, cl *cluster.Cluster, tm *
 	if cfg.BandwidthThreshold < 0 || cfg.BandwidthThreshold > 1 {
 		return nil, fmt.Errorf("core: bandwidth threshold %v outside [0,1]", cfg.BandwidthThreshold)
 	}
-	return &Engine{topo: topo, cost: cost, cl: cl, tm: tm, cfg: cfg}, nil
+	e := &Engine{topo: topo, cost: cost, cl: cl, tm: tm, cfg: cfg, depth: topo.Depth()}
+	e.rackHosts = make([][]cluster.HostID, topo.Racks())
+	for r := range e.rackHosts {
+		e.rackHosts[r] = topo.HostsInRack(r)
+	}
+	probeSpan := topo.Hosts()
+	if n := cl.NumHosts(); n > probeSpan {
+		probeSpan = n
+	}
+	e.probed = make([]uint64, probeSpan)
+	if e.depth == 3 {
+		e.rackOf = make([]int32, probeSpan)
+		e.podOf = make([]int32, probeSpan)
+		for h := 0; h < probeSpan; h++ {
+			e.rackOf[h] = int32(topo.RackOf(cluster.HostID(h)))
+			e.podOf[h] = int32(topo.PodOf(cluster.HostID(h)))
+		}
+	}
+	e.hostNet = make([]float64, cl.NumHosts())
+	e.detach = cl.Observe(e.onAllocChange, e.invalidateAccounting)
+	return e, nil
+}
+
+// Detach unregisters the engine's cluster observers. Call it when
+// replacing an engine that shares a cluster with its successor, so the
+// discarded engine stops receiving (and paying for) allocation
+// callbacks. A detached engine remains usable: it recomputes totals on
+// every read instead of tracking them incrementally.
+func (e *Engine) Detach() {
+	if e.detach != nil {
+		e.detach()
+		e.detach = nil
+	}
+	e.acctValid = false
 }
 
 // SetTraffic replaces the traffic matrix, e.g. when a new measurement
-// window's averages become available.
+// window's averages become available. The incremental accounting is
+// invalidated and rebuilt lazily on the next TotalCost/HostNetLoad.
 func (e *Engine) SetTraffic(tm *traffic.Matrix) {
 	if tm != nil {
 		e.tm = tm
+		e.invalidateAccounting()
 	}
 }
 
@@ -99,22 +186,65 @@ func (e *Engine) CostModel() CostModel { return e.cost }
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// validLevelHost reports whether the flattened level tables cover h;
+// always true when the engine falls back to the interface.
+func (e *Engine) validLevelHost(h cluster.HostID) bool {
+	return e.rackOf == nil || (h >= 0 && int(h) < len(e.rackOf))
+}
+
+// levelSafe is level for host IDs of unknown provenance (snapshot maps,
+// public-API targets): out-of-table IDs take the interface path, which
+// tolerates them like the pre-flattening code did.
+func (e *Engine) levelSafe(a, b cluster.HostID) int {
+	if e.validLevelHost(a) && e.validLevelHost(b) {
+		return e.level(a, b)
+	}
+	return e.topo.Level(a, b)
+}
+
+// level returns ℓ(a, b) for two placed hosts, preferring the flattened
+// rack/pod keys over the interface call.
+func (e *Engine) level(a, b cluster.HostID) int {
+	if r := e.rackOf; r != nil {
+		switch {
+		case a == b:
+			return 0
+		case r[a] == r[b]:
+			return 1
+		case e.podOf[a] == e.podOf[b]:
+			return 2
+		default:
+			return 3
+		}
+	}
+	return e.topo.Level(a, b)
+}
+
+// levelOrDepth is PairLevel over explicit hosts: unplaced endpoints read
+// as the worst-case level.
+func (e *Engine) levelOrDepth(a, b cluster.HostID) int {
+	if a == cluster.NoHost || b == cluster.NoHost {
+		return e.depth
+	}
+	return e.level(a, b)
+}
+
 // PairLevel returns ℓ^A(u, v) under the current allocation.
 func (e *Engine) PairLevel(u, v cluster.VMID) int {
-	hu, hv := e.cl.HostOf(u), e.cl.HostOf(v)
-	if hu == cluster.NoHost || hv == cluster.NoHost {
-		return e.topo.Depth() // treat unplaced as worst case
-	}
-	return e.topo.Level(hu, hv)
+	return e.levelOrDepth(e.cl.HostOf(u), e.cl.HostOf(v))
 }
 
 // VMLevel returns ℓ^A(u) = max_{v∈Vu} ℓ^A(u, v), the highest
 // communication level of VM u (Section II); 0 for VMs with no traffic.
 func (e *Engine) VMLevel(u cluster.VMID) int {
 	max := 0
-	for _, v := range e.tm.Neighbors(u) {
-		if l := e.PairLevel(u, v); l > max {
+	hu := e.cl.HostOf(u)
+	for _, ed := range e.tm.NeighborEdges(u) {
+		if l := e.levelOrDepth(hu, e.cl.HostOf(ed.Peer)); l > max {
 			max = l
+			if max == e.depth {
+				break
+			}
 		}
 	}
 	return max
@@ -123,20 +253,102 @@ func (e *Engine) VMLevel(u cluster.VMID) int {
 // VMCost returns C^A(u) (Eq. 1): twice the sum over Vu of λ·Σc_i.
 func (e *Engine) VMCost(u cluster.VMID) float64 {
 	var sum float64
-	for _, v := range e.tm.Neighbors(u) {
-		sum += e.cost.PairCost(e.tm.Rate(u, v), e.PairLevel(u, v))
+	hu := e.cl.HostOf(u)
+	for _, ed := range e.tm.NeighborEdges(u) {
+		sum += e.cost.PairCost(ed.Rate, e.levelOrDepth(hu, e.cl.HostOf(ed.Peer)))
 	}
 	return sum
 }
 
-// TotalCost returns C^A (Eq. 2) for the current allocation.
-func (e *Engine) TotalCost() float64 {
-	pairs, rates := e.tm.Pairs()
-	var sum float64
-	for i, p := range pairs {
-		sum += e.cost.PairCost(rates[i], e.PairLevel(p.A, p.B))
+// invalidateAccounting drops the running C^A and per-host net loads;
+// they are rebuilt from scratch on the next read.
+func (e *Engine) invalidateAccounting() { e.acctValid = false }
+
+// onAllocChange folds one placement change into the running totals:
+// every affected pair level and host boundary crossing is O(1) given
+// the moved VM's adjacency row.
+func (e *Engine) onAllocChange(vm cluster.VMID, from, to cluster.HostID) {
+	if !e.acctValid {
+		return
 	}
-	return sum
+	if e.tm.Generation() != e.acctTMGen {
+		e.acctValid = false // traffic mutated since the snapshot; rebuild lazily
+		return
+	}
+	e.acctFolds++
+	for _, ed := range e.tm.NeighborEdges(vm) {
+		hz := e.cl.HostOf(ed.Peer)
+		oldL, newL := e.levelOrDepth(from, hz), e.levelOrDepth(to, hz)
+		if oldL != newL {
+			e.total += e.cost.PairCost(ed.Rate, newL) - e.cost.PairCost(ed.Rate, oldL)
+		}
+		// External-traffic accounting: the pair (vm, peer) loads a NIC
+		// exactly when its endpoints sit on different hosts.
+		if from != cluster.NoHost && hz != from {
+			e.hostNet[from] -= ed.Rate
+		}
+		if to != cluster.NoHost && hz != to {
+			e.hostNet[to] += ed.Rate
+		}
+		if hz != cluster.NoHost {
+			if from != hz {
+				e.hostNet[hz] -= ed.Rate
+			}
+			if to != hz {
+				e.hostNet[hz] += ed.Rate
+			}
+		}
+	}
+}
+
+// rebuildAccounting recomputes the running C^A and host net loads from
+// scratch — the O(|pairs|) slow path taken once per traffic window.
+func (e *Engine) rebuildAccounting() {
+	pairs, rates := e.tm.Pairs()
+	for i := range e.hostNet {
+		e.hostNet[i] = 0
+	}
+	var total float64
+	for i, p := range pairs {
+		ha, hb := e.cl.HostOf(p.A), e.cl.HostOf(p.B)
+		total += e.cost.PairCost(rates[i], e.levelOrDepth(ha, hb))
+		if ha != cluster.NoHost && ha != hb {
+			e.hostNet[ha] += rates[i]
+		}
+		if hb != cluster.NoHost && hb != ha {
+			e.hostNet[hb] += rates[i]
+		}
+	}
+	e.total = total
+	e.acctTMGen = e.tm.Generation()
+	e.acctValid = true
+	e.acctFolds = 0
+}
+
+// acctResyncInterval bounds floating-point drift: after this many
+// incremental folds the accumulators are rebuilt from scratch on the
+// next read. Per-fold relative error is ~1e-16, so even at the 1e-6
+// tolerance the bound is generous; the rebuild amortizes to noise.
+const acctResyncInterval = 1 << 20
+
+func (e *Engine) ensureAccounting() {
+	if e.detach == nil {
+		// Detached from the cluster: no incremental updates arrive, so
+		// cached totals would go silently stale. Always recompute.
+		e.rebuildAccounting()
+		return
+	}
+	if !e.acctValid || e.acctTMGen != e.tm.Generation() || e.acctFolds >= acctResyncInterval {
+		e.rebuildAccounting()
+	}
+}
+
+// TotalCost returns C^A (Eq. 2) for the current allocation. Between
+// traffic-matrix changes it is served from the running total maintained
+// across allocation changes — amortized O(1) rather than O(|pairs|).
+func (e *Engine) TotalCost() float64 {
+	e.ensureAccounting()
+	return e.total
 }
 
 // TotalCostOf evaluates C^A for a hypothetical allocation snapshot
@@ -145,13 +357,13 @@ func (e *Engine) TotalCost() float64 {
 func (e *Engine) TotalCostOf(alloc map[cluster.VMID]cluster.HostID) float64 {
 	pairs, rates := e.tm.Pairs()
 	var sum float64
-	depth := e.topo.Depth()
+	depth := e.depth
 	for i, p := range pairs {
 		ha, okA := alloc[p.A]
 		hb, okB := alloc[p.B]
 		lvl := depth
 		if okA && okB && ha != cluster.NoHost && hb != cluster.NoHost {
-			lvl = e.topo.Level(ha, hb)
+			lvl = e.levelSafe(ha, hb)
 		}
 		sum += e.cost.PairCost(rates[i], lvl)
 	}
@@ -163,37 +375,34 @@ func (e *Engine) TotalCostOf(alloc map[cluster.VMID]cluster.HostID) float64 {
 //	ΔC = 2 Σ_{z∈Vu} λ(z,u) · (Σ_{i≤ℓ^A(z,u)} c_i − Σ_{i≤ℓ^{A'}(z,u)} c_i)
 //
 // computed purely from u's local knowledge: its neighbors, their rates,
-// and the levels before and after the move.
+// and the levels before and after the move. It performs no allocation.
 func (e *Engine) Delta(u cluster.VMID, target cluster.HostID) float64 {
 	cur := e.cl.HostOf(u)
-	if cur == target || cur == cluster.NoHost {
+	if cur == target || cur == cluster.NoHost || !e.validLevelHost(target) {
 		return 0
 	}
 	var delta float64
-	for _, z := range e.tm.Neighbors(u) {
-		hz := e.cl.HostOf(z)
+	for _, ed := range e.tm.NeighborEdges(u) {
+		hz := e.cl.HostOf(ed.Peer)
 		if hz == cluster.NoHost {
 			continue
 		}
-		before := e.cost.Prefix(e.topo.Level(hz, cur))
-		after := e.cost.Prefix(e.topo.Level(hz, target))
-		delta += 2 * e.tm.Rate(z, u) * (before - after)
+		before := e.cost.Prefix(e.level(hz, cur))
+		after := e.cost.Prefix(e.level(hz, target))
+		delta += 2 * ed.Rate * (before - after)
 	}
 	return delta
 }
 
 // HostNetLoad returns the aggregate external traffic (Mb/s) crossing the
 // host's NIC: for each hosted VM, its rates to peers on other hosts.
+// Served from the incrementally maintained per-host cache.
 func (e *Engine) HostNetLoad(h cluster.HostID) float64 {
-	var sum float64
-	for _, u := range e.cl.VMsOn(h) {
-		for _, v := range e.tm.Neighbors(u) {
-			if e.cl.HostOf(v) != h {
-				sum += e.tm.Rate(u, v)
-			}
-		}
+	if h < 0 || int(h) >= len(e.hostNet) {
+		return 0
 	}
-	return sum
+	e.ensureAccounting()
+	return e.hostNet[h]
 }
 
 // Admissible reports whether target can accept u: free slot, enough RAM
@@ -216,14 +425,15 @@ func (e *Engine) Admissible(u cluster.VMID, target cluster.HostID) bool {
 	}
 	// Traffic between u and VMs already on target leaves the NIC; the
 	// rest of u's load joins it.
-	var internal float64
-	for _, v := range e.tm.Neighbors(u) {
-		if e.cl.HostOf(v) == target {
-			internal += e.tm.Rate(u, v)
+	var internal, load float64
+	for _, ed := range e.tm.NeighborEdges(u) {
+		load += ed.Rate
+		if e.cl.HostOf(ed.Peer) == target {
+			internal += ed.Rate
 		}
 	}
 	current := e.HostNetLoad(target)
-	projected := current + e.tm.VMLoad(u) - 2*internal
+	projected := current + load - 2*internal
 	// Admit when the projection stays under the policy threshold, or
 	// when the move does not worsen an already-hot NIC (co-locating a
 	// heavy pair *reduces* both NICs' load; refusing such moves would
@@ -239,17 +449,50 @@ func (e *Engine) Admissible(u cluster.VMID, target cluster.HostID) bool {
 // neighborRank orders u's neighbors from highest to lowest communication
 // level, breaking ties by descending rate — the probe order of
 // Section V-B5 ("rank neighboring VMs from highest to lowest
-// communication levels").
-func (e *Engine) neighborRank(u cluster.VMID) []cluster.VMID {
-	neigh := e.tm.Neighbors(u)
-	sort.SliceStable(neigh, func(i, j int) bool {
-		li, lj := e.PairLevel(u, neigh[i]), e.PairLevel(u, neigh[j])
-		if li != lj {
-			return li > lj
+// communication levels"). The returned slice is the engine's reusable
+// scratch buffer, valid until the next call.
+func (e *Engine) neighborRank(u cluster.VMID) []rankEntry {
+	hu := e.cl.HostOf(u)
+	e.rank = e.rank[:0]
+	for _, ed := range e.tm.NeighborEdges(u) {
+		hz := e.cl.HostOf(ed.Peer)
+		e.rank = append(e.rank, rankEntry{
+			peer:  ed.Peer,
+			host:  hz,
+			level: e.levelOrDepth(hu, hz),
+			rate:  ed.Rate,
+		})
+	}
+	slices.SortStableFunc(e.rank, func(a, b rankEntry) int {
+		if a.level != b.level {
+			return b.level - a.level
 		}
-		return e.tm.Rate(u, neigh[i]) > e.tm.Rate(u, neigh[j])
+		switch {
+		case a.rate > b.rate:
+			return -1
+		case a.rate < b.rate:
+			return 1
+		}
+		return 0
 	})
-	return neigh
+	return e.rank
+}
+
+// considerTarget probes one candidate host: skip duplicates and the
+// current host, count the probe, and fold an admissible target into the
+// running best.
+func (e *Engine) considerTarget(u cluster.VMID, cur, h cluster.HostID, best *Decision, probes *int) {
+	if h == cur || h < 0 || int(h) >= len(e.probed) || e.probed[h] == e.probeEpoch {
+		return
+	}
+	e.probed[h] = e.probeEpoch
+	*probes++
+	if !e.Admissible(u, h) {
+		return
+	}
+	if d := e.Delta(u, h); best.Target == cluster.NoHost || d > best.Delta {
+		best.Target, best.Delta = h, d
+	}
 }
 
 // BestMigration evaluates the S-CORE migration policy for token-holder u
@@ -263,40 +506,30 @@ func (e *Engine) BestMigration(u cluster.VMID) (Decision, bool) {
 		return Decision{}, false
 	}
 	best := Decision{VM: u, From: cur, Target: cluster.NoHost}
-	probed := make(map[cluster.HostID]bool, 16)
+	e.probeEpoch++
 	probes := 0
 	limit := e.cfg.MaxCandidates
 
-	consider := func(h cluster.HostID) {
-		if h == cur || probed[h] {
-			return
-		}
-		probed[h] = true
-		probes++
-		if !e.Admissible(u, h) {
-			return
-		}
-		if d := e.Delta(u, h); best.Target == cluster.NoHost || d > best.Delta {
-			best.Target, best.Delta = h, d
-		}
-	}
-
-	for _, z := range e.neighborRank(u) {
+	for _, ent := range e.neighborRank(u) {
 		if limit > 0 && probes >= limit {
 			break
 		}
-		hz := e.cl.HostOf(z)
+		hz := ent.host
 		if hz == cluster.NoHost {
 			continue
 		}
-		consider(hz)
+		e.considerTarget(u, cur, hz, &best, &probes)
 		// The neighbor's server may be full; try the rest of its rack,
-		// which still collapses the pair to level 1.
-		for _, alt := range e.topo.HostsInRack(e.topo.RackOf(hz)) {
-			if limit > 0 && probes >= limit {
-				break
+		// which still collapses the pair to level 1. Hosts outside the
+		// topology's rack table (cluster larger than topology) have no
+		// rack to fall back to, mirroring HostsInRack returning nil.
+		if r := e.topo.RackOf(hz); r >= 0 && r < len(e.rackHosts) {
+			for _, alt := range e.rackHosts[r] {
+				if limit > 0 && probes >= limit {
+					break
+				}
+				e.considerTarget(u, cur, alt, &best, &probes)
 			}
-			consider(alt)
 		}
 	}
 
@@ -308,7 +541,9 @@ func (e *Engine) BestMigration(u cluster.VMID) (Decision, bool) {
 
 // Apply executes a previously computed decision against the cluster,
 // enforcing capacity at execution time (the allocation may have drifted
-// since the probe). It returns the realized ΔC.
+// since the probe). It returns the realized ΔC. The cluster move
+// notifies the engine's allocation observer, which folds the change
+// into the running C^A and host net loads.
 func (e *Engine) Apply(d Decision) (float64, error) {
 	if d.Target == cluster.NoHost {
 		return 0, fmt.Errorf("core: decision has no target")

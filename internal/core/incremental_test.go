@@ -1,0 +1,435 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/topology"
+	"github.com/score-dc/score/internal/traffic"
+)
+
+// pairSumCost recomputes C^A from scratch, pair by pair — the reference
+// the incremental accounting must track.
+func pairSumCost(fx *fixture) float64 {
+	pairs, rates := fx.tm.Pairs()
+	var sum float64
+	cm := fx.eng.CostModel()
+	depth := fx.topo.Depth()
+	for i, p := range pairs {
+		ha, hb := fx.cl.HostOf(p.A), fx.cl.HostOf(p.B)
+		lvl := depth
+		if ha != cluster.NoHost && hb != cluster.NoHost {
+			lvl = fx.topo.Level(ha, hb)
+		}
+		sum += 2 * rates[i] * cm.Prefix(lvl)
+	}
+	return sum
+}
+
+// scratchHostNet recomputes every host's external traffic from scratch.
+func scratchHostNet(fx *fixture) []float64 {
+	out := make([]float64, fx.cl.NumHosts())
+	pairs, rates := fx.tm.Pairs()
+	for i, p := range pairs {
+		ha, hb := fx.cl.HostOf(p.A), fx.cl.HostOf(p.B)
+		if ha != cluster.NoHost && ha != hb {
+			out[ha] += rates[i]
+		}
+		if hb != cluster.NoHost && hb != ha {
+			out[hb] += rates[i]
+		}
+	}
+	return out
+}
+
+func assertCostAgrees(t *testing.T, fx *fixture, context string) {
+	t.Helper()
+	got, want := fx.eng.TotalCost(), pairSumCost(fx)
+	if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+		t.Fatalf("%s: incremental TotalCost = %v, recomputed %v", context, got, want)
+	}
+}
+
+// TestIncrementalCostConsistency drives 1k random migrations through the
+// cluster (directly, as the simulator does — not via Engine.Apply) and
+// checks the running C^A and per-host net loads stay within 1e-6
+// relative error of from-scratch recomputation throughout.
+func TestIncrementalCostConsistency(t *testing.T) {
+	fx := newFixture(t, DefaultConfig())
+	rng := rand.New(rand.NewSource(99))
+	vms := fx.cl.VMs()
+	fx.eng.TotalCost() // prime the accounting
+
+	moves := 0
+	for trial := 0; moves < 1000 && trial < 50000; trial++ {
+		u := vms[rng.Intn(len(vms))]
+		h := cluster.HostID(rng.Intn(fx.cl.NumHosts()))
+		if fx.cl.HostOf(u) == h || !fx.cl.Fits(u, h) {
+			continue
+		}
+		if err := fx.cl.Move(u, h); err != nil {
+			t.Fatalf("Move: %v", err)
+		}
+		moves++
+		if moves%100 == 0 {
+			assertCostAgrees(t, fx, "mid-run")
+		}
+	}
+	if moves < 1000 {
+		t.Fatalf("only %d migrations executed; fixture too constrained", moves)
+	}
+	assertCostAgrees(t, fx, "after 1k migrations")
+
+	want := scratchHostNet(fx)
+	for h := range want {
+		got := fx.eng.HostNetLoad(cluster.HostID(h))
+		if math.Abs(got-want[h]) > 1e-6*math.Max(1, want[h]) {
+			t.Fatalf("HostNetLoad(%d) = %v, recomputed %v", h, got, want[h])
+		}
+	}
+}
+
+// TestAccountingSurvivesPlace verifies incremental updates across the
+// Place path (from == NoHost), not just Move.
+func TestAccountingSurvivesPlace(t *testing.T) {
+	fx := newFixture(t, DefaultConfig())
+	if err := fx.cl.AddVM(cluster.VM{ID: 999999, RAMMB: 128}); err != nil {
+		t.Fatal(err)
+	}
+	other := fx.cl.VMs()[0]
+	fx.tm.Set(999999, other, 42) // traffic to an unplaced VM
+	fx.eng.TotalCost()           // prime on the new matrix generation
+	target := cluster.NoHost
+	for h := 0; h < fx.cl.NumHosts(); h++ {
+		if fx.cl.Fits(999999, cluster.HostID(h)) {
+			target = cluster.HostID(h)
+			break
+		}
+	}
+	if target == cluster.NoHost {
+		t.Fatal("no host fits the new VM")
+	}
+	if err := fx.cl.Place(999999, target); err != nil {
+		t.Fatal(err)
+	}
+	assertCostAgrees(t, fx, "after Place")
+}
+
+// TestAccountingInvalidatedByRestore: bulk allocation rewrites cannot be
+// folded incrementally; the next read must rebuild.
+func TestAccountingInvalidatedByRestore(t *testing.T) {
+	fx := newFixture(t, DefaultConfig())
+	fx.eng.TotalCost()
+	snap := fx.cl.Snapshot()
+	vms := fx.cl.VMs()
+	rng := rand.New(rand.NewSource(5))
+	for trial, moves := 0, 0; moves < 20 && trial < 2000; trial++ {
+		u := vms[rng.Intn(len(vms))]
+		h := cluster.HostID(rng.Intn(fx.cl.NumHosts()))
+		if fx.cl.HostOf(u) != h && fx.cl.Fits(u, h) {
+			if err := fx.cl.Move(u, h); err == nil {
+				moves++
+			}
+		}
+	}
+	if err := fx.cl.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	assertCostAgrees(t, fx, "after Restore")
+}
+
+// TestAccountingInvalidatedByTrafficMutation: mutating the matrix in
+// place moves its generation; cached totals must not be served stale.
+func TestAccountingInvalidatedByTrafficMutation(t *testing.T) {
+	fx := newFixture(t, DefaultConfig())
+	before := fx.eng.TotalCost()
+	vms := fx.cl.VMs()
+	fx.tm.Set(vms[0], vms[len(vms)-1], 12345)
+	assertCostAgrees(t, fx, "after in-place Set")
+	if fx.eng.TotalCost() == before {
+		t.Fatal("TotalCost unchanged by a large in-place rate change")
+	}
+	// A move made while the accounting is stale must not corrupt the
+	// rebuilt totals.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 2000; trial++ {
+		u := vms[rng.Intn(len(vms))]
+		h := cluster.HostID(rng.Intn(fx.cl.NumHosts()))
+		if fx.cl.HostOf(u) != h && fx.cl.Fits(u, h) {
+			fx.tm.Set(vms[1], vms[2], float64(trial+1)) // stale again
+			if err := fx.cl.Move(u, h); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	assertCostAgrees(t, fx, "move while stale")
+}
+
+// TestAccountingInvalidatedBySetTraffic: swapping matrices (a new
+// measurement window) rebuilds against the new rates.
+func TestAccountingInvalidatedBySetTraffic(t *testing.T) {
+	fx := newFixture(t, DefaultConfig())
+	old := fx.eng.TotalCost()
+	scaled := fx.tm.Scaled(10)
+	fx.eng.SetTraffic(scaled)
+	fx.tm = scaled
+	assertCostAgrees(t, fx, "after SetTraffic")
+	if got := fx.eng.TotalCost(); math.Abs(got-10*old) > 1e-6*10*old {
+		t.Fatalf("cost after ×10 scale = %v, want %v", got, 10*old)
+	}
+}
+
+// TestHostNetLoadMatchesScratch cross-checks the cached per-host loads
+// against the definitional sum on the untouched initial allocation.
+func TestHostNetLoadMatchesScratch(t *testing.T) {
+	fx := newFixture(t, DefaultConfig())
+	want := scratchHostNet(fx)
+	for h := range want {
+		got := fx.eng.HostNetLoad(cluster.HostID(h))
+		if math.Abs(got-want[h]) > 1e-9*math.Max(1, want[h]) {
+			t.Fatalf("HostNetLoad(%d) = %v, want %v", h, got, want[h])
+		}
+	}
+	if got := fx.eng.HostNetLoad(cluster.HostID(-5)); got != 0 {
+		t.Fatalf("HostNetLoad(invalid) = %v, want 0", got)
+	}
+}
+
+// ---- Allocation-regression tests: the decision hot path must not
+// allocate, and BestMigration must stay within a small fixed bound. ----
+
+func TestDeltaZeroAllocs(t *testing.T) {
+	fx := newFixture(t, DefaultConfig())
+	vms := fx.cl.VMs()
+	u := vms[0]
+	var target cluster.HostID
+	for h := 0; h < fx.cl.NumHosts(); h++ {
+		if fx.cl.HostOf(u) != cluster.HostID(h) {
+			target = cluster.HostID(h)
+			break
+		}
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		fx.eng.Delta(u, target)
+	}); avg != 0 {
+		t.Fatalf("Delta allocates %v times per run, want 0", avg)
+	}
+}
+
+func TestAdmissibleZeroAllocs(t *testing.T) {
+	fx := newFixture(t, DefaultConfig())
+	vms := fx.cl.VMs()
+	fx.eng.TotalCost() // prime the net-load cache outside the measurement
+	i := 0
+	if avg := testing.AllocsPerRun(200, func() {
+		u := vms[i%len(vms)]
+		fx.eng.Admissible(u, cluster.HostID(i%fx.cl.NumHosts()))
+		i++
+	}); avg != 0 {
+		t.Fatalf("Admissible allocates %v times per run, want 0", avg)
+	}
+}
+
+func TestVMLevelAndVMCostZeroAllocs(t *testing.T) {
+	fx := newFixture(t, DefaultConfig())
+	vms := fx.cl.VMs()
+	i := 0
+	if avg := testing.AllocsPerRun(200, func() {
+		u := vms[i%len(vms)]
+		fx.eng.VMLevel(u)
+		fx.eng.VMCost(u)
+		i++
+	}); avg != 0 {
+		t.Fatalf("VMLevel/VMCost allocate %v times per run, want 0", avg)
+	}
+}
+
+func TestBestMigrationAllocBound(t *testing.T) {
+	fx := newFixture(t, DefaultConfig())
+	vms := fx.cl.VMs()
+	// Pre-warm the rank scratch across the whole population so steady
+	// state is measured, not first-touch growth.
+	for _, u := range vms {
+		fx.eng.BestMigration(u)
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(200, func() {
+		fx.eng.BestMigration(vms[i%len(vms)])
+		i++
+	}); avg > 5 {
+		t.Fatalf("BestMigration allocates %v times per run, want <= 5", avg)
+	}
+}
+
+func TestTotalCostZeroAllocsWhenWarm(t *testing.T) {
+	fx := newFixture(t, DefaultConfig())
+	fx.eng.TotalCost()
+	if avg := testing.AllocsPerRun(200, func() {
+		fx.eng.TotalCost()
+	}); avg != 0 {
+		t.Fatalf("warm TotalCost allocates %v times per run, want 0", avg)
+	}
+}
+
+// TestIncrementalAgreesWithApply: the realized ΔC returned by Apply must
+// match the movement of the incrementally tracked total.
+func TestIncrementalAgreesWithApply(t *testing.T) {
+	fx := newFixture(t, DefaultConfig())
+	applied := 0
+	for _, u := range fx.cl.VMs() {
+		dec, ok := fx.eng.BestMigration(u)
+		if !ok {
+			continue
+		}
+		before := fx.eng.TotalCost()
+		realized, err := fx.eng.Apply(dec)
+		if err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		after := fx.eng.TotalCost()
+		if math.Abs((before-after)-realized) > 1e-6*(1+math.Abs(realized)) {
+			t.Fatalf("incremental total moved %v, realized delta %v", before-after, realized)
+		}
+		applied++
+	}
+	if applied == 0 {
+		t.Fatal("no migrations applied; fixture not exercising the policy")
+	}
+}
+
+// TestTwoEnginesOneCluster: engines sharing a cluster but holding
+// different matrices must each keep their own accounting consistent.
+func TestTwoEnginesOneCluster(t *testing.T) {
+	fx := newFixture(t, DefaultConfig())
+	scaled := fx.tm.Scaled(3)
+	eng2, err := NewEngine(fx.topo, fx.eng.CostModel(), fx.cl, scaled, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := fx.eng.TotalCost(), eng2.TotalCost()
+	if math.Abs(c2-3*c1) > 1e-6*c2 {
+		t.Fatalf("scaled engine cost %v, want %v", c2, 3*c1)
+	}
+	vms := fx.cl.VMs()
+	rng := rand.New(rand.NewSource(12))
+	for trial, moves := 0, 0; moves < 50 && trial < 5000; trial++ {
+		u := vms[rng.Intn(len(vms))]
+		h := cluster.HostID(rng.Intn(fx.cl.NumHosts()))
+		if fx.cl.HostOf(u) != h && fx.cl.Fits(u, h) {
+			if err := fx.cl.Move(u, h); err == nil {
+				moves++
+			}
+		}
+	}
+	assertCostAgrees(t, fx, "engine 1 after shared moves")
+	c1, c2 = fx.eng.TotalCost(), eng2.TotalCost()
+	if math.Abs(c2-3*c1) > 1e-6*c2 {
+		t.Fatalf("engines diverged after shared moves: %v vs 3×%v", c2, c1)
+	}
+}
+
+// TestDetachedEngineStaysCorrect: a detached engine no longer receives
+// allocation callbacks but must keep answering correctly (by
+// recomputing instead of tracking incrementally).
+func TestDetachedEngineStaysCorrect(t *testing.T) {
+	fx := newFixture(t, DefaultConfig())
+	fx.eng.TotalCost() // prime while attached
+	fx.eng.Detach()
+	vms := fx.cl.VMs()
+	rng := rand.New(rand.NewSource(8))
+	for trial, moves := 0, 0; moves < 30 && trial < 3000; trial++ {
+		u := vms[rng.Intn(len(vms))]
+		h := cluster.HostID(rng.Intn(fx.cl.NumHosts()))
+		if fx.cl.HostOf(u) != h && fx.cl.Fits(u, h) {
+			if err := fx.cl.Move(u, h); err == nil {
+				moves++
+			}
+		}
+	}
+	assertCostAgrees(t, fx, "detached engine after moves")
+	fx.eng.Detach() // idempotent
+	assertCostAgrees(t, fx, "after double detach")
+}
+
+// TestBestMigrationClusterLargerThanTopology: a neighbor hosted beyond
+// the topology's host range must degrade gracefully (no rack fallback),
+// not panic on the precomputed rack table.
+func TestBestMigrationClusterLargerThanTopology(t *testing.T) {
+	topo, err := topology.NewCanonicalTree(topology.CanonicalConfig{
+		Racks: 2, HostsPerRack: 2, RacksPerPod: 2, CoreSwitches: 1,
+		HostLinkMbps: 1000, TorUplinkMbps: 1000, AggUplinkMbps: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.UniformHosts(6, 4, 4096, 1000)) // 2 hosts beyond the topology
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := cluster.VMID(1); id <= 2; id++ {
+		if err := cl.AddVM(cluster.VM{ID: id, RAMMB: 256}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Place(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Place(2, 5); err != nil { // outside topo.Hosts()
+		t.Fatal(err)
+	}
+	tm := traffic.NewMatrix()
+	tm.Set(1, 2, 100)
+	cm, err := NewCostModel(PaperWeights()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(topo, cm, cl, tm, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Co-locating with the peer is still the best move (the level
+	// arithmetic extrapolates beyond the topology's host count, as the
+	// interface implementations always did); the point is that probing
+	// host 5 must not panic on the engine's rack table.
+	dec, ok := eng.BestMigration(1)
+	if !ok || dec.Target != 5 {
+		t.Fatalf("BestMigration = %+v, %v; want co-location on host 5", dec, ok)
+	}
+	if _, err := eng.Apply(dec); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got := eng.TotalCost(); got != 0 {
+		t.Fatalf("cost after co-location = %v, want 0", got)
+	}
+}
+
+// TestDeltaAgainstTrafficEdges sanity-checks Delta against a manual
+// edge-walk over NeighborEdges (the CSR row is the source of truth).
+func TestDeltaAgainstTrafficEdges(t *testing.T) {
+	fx := newFixture(t, Config{})
+	rng := rand.New(rand.NewSource(3))
+	vms := fx.cl.VMs()
+	cm := fx.eng.CostModel()
+	for trial := 0; trial < 200; trial++ {
+		u := vms[rng.Intn(len(vms))]
+		target := cluster.HostID(rng.Intn(fx.cl.NumHosts()))
+		cur := fx.cl.HostOf(u)
+		if cur == target {
+			continue
+		}
+		var want float64
+		for _, ed := range fx.tm.NeighborEdges(u) {
+			hz := fx.cl.HostOf(ed.Peer)
+			if hz == cluster.NoHost {
+				continue
+			}
+			want += 2 * ed.Rate * (cm.Prefix(fx.topo.Level(hz, cur)) - cm.Prefix(fx.topo.Level(hz, target)))
+		}
+		if got := fx.eng.Delta(u, target); math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("Delta(%d→%d) = %v, want %v", u, target, got, want)
+		}
+	}
+}

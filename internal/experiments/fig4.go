@@ -51,11 +51,9 @@ func Fig4ScoreVsRemedy(scale Scale, seed int64) (*Fig4Result, error) {
 	core3 := stats.NewCDF(net.UtilizationAtLevel(3))
 	if p90 := core3.Quantile(0.9); p90 > 0 && (p90 < 0.35 || p90 > 1.0) {
 		base.TM = base.TM.Scaled(0.7 / p90)
-		eng, err := rebuildEngine(base, base.Eng.Config())
-		if err != nil {
+		if _, err := rebuildEngine(base, base.Eng.Config()); err != nil {
 			return nil, err
 		}
-		base.Eng = eng
 		net.Recompute(base.TM, base.Cl)
 	}
 	res := &Fig4Result{InitialCost: base.Eng.TotalCost()}
@@ -122,10 +120,19 @@ func Fig4ScoreVsRemedy(scale Scale, seed int64) (*Fig4Result, error) {
 	return res, nil
 }
 
-// rebuildEngine re-creates the scenario's engine with a modified config
-// (the cluster and traffic matrix stay shared).
+// rebuildEngine replaces the scenario's engine with one using a
+// modified config (the cluster and traffic matrix stay shared). The
+// old engine is detached from the cluster so it stops receiving
+// allocation callbacks, and sc.Eng is reassigned so the scenario never
+// holds a stale engine.
 func rebuildEngine(sc *Scenario, cfg core.Config) (*core.Engine, error) {
-	return core.NewEngine(sc.Topo, sc.Eng.CostModel(), sc.Cl, sc.TM, cfg)
+	eng, err := core.NewEngine(sc.Topo, sc.Eng.CostModel(), sc.Cl, sc.TM, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sc.Eng.Detach()
+	sc.Eng = eng
+	return eng, nil
 }
 
 // Render renders the CDFs and the comparison chart.

@@ -390,17 +390,38 @@ func buildInstance(eng *core.Engine) (*instance, []cluster.HostID, error) {
 		in.hostRAM[h] = host.RAMMB
 		in.hostCPU[h] = host.CPUMilli
 	}
+	// Pairs touching VMs outside the cluster are excluded from both the
+	// fitness pair list and the adjacency below, keeping the two cost
+	// views consistent.
 	pairs, rates := tm.Pairs()
-	in.pairsA = make([]int32, len(pairs))
-	in.pairsB = make([]int32, len(pairs))
-	in.rates = rates
-	in.adj = make([][]edge, len(in.vms))
+	in.pairsA = make([]int32, 0, len(pairs))
+	in.pairsB = make([]int32, 0, len(pairs))
+	in.rates = make([]float64, 0, len(pairs))
 	for i, p := range pairs {
-		a, b := idx[p.A], idx[p.B]
-		in.pairsA[i] = a
-		in.pairsB[i] = b
-		in.adj[a] = append(in.adj[a], edge{peer: b, rate: rates[i]})
-		in.adj[b] = append(in.adj[b], edge{peer: a, rate: rates[i]})
+		a, okA := idx[p.A]
+		b, okB := idx[p.B]
+		if !okA || !okB {
+			continue
+		}
+		in.pairsA = append(in.pairsA, a)
+		in.pairsB = append(in.pairsB, b)
+		in.rates = append(in.rates, rates[i])
+	}
+	// Per-VM adjacency for local search, straight off the matrix's CSR
+	// rows (peers in ascending ID order).
+	in.adj = make([][]edge, len(in.vms))
+	for i, vm := range in.vms {
+		row := tm.NeighborEdges(vm)
+		if len(row) == 0 {
+			continue
+		}
+		adj := make([]edge, 0, len(row))
+		for _, ed := range row {
+			if j, ok := idx[ed.Peer]; ok {
+				adj = append(adj, edge{peer: j, rate: ed.Rate})
+			}
+		}
+		in.adj[i] = adj
 	}
 	return in, seed, nil
 }

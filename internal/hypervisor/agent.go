@@ -2,6 +2,7 @@ package hypervisor
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"github.com/score-dc/score/internal/core"
 	"github.com/score-dc/score/internal/token"
 	"github.com/score-dc/score/internal/topology"
+	"github.com/score-dc/score/internal/traffic"
 )
 
 // Registry is the centralized VM instance placement manager's directory
@@ -90,9 +92,16 @@ type Agent struct {
 	OnToken func(ev TokenEvent) bool
 }
 
+// vmRecord mirrors the traffic matrix's CSR idiom: the peer-rate table
+// is a slice sorted by peer ID, so token processing walks peers in a
+// deterministic order and probe sequences are reproducible.
 type vmRecord struct {
 	ramMB int
-	rates map[cluster.VMID]float64 // λ(u, v) toward each peer, Mb/s
+	rates []traffic.Edge // λ(u, v) toward each peer, Mb/s; sorted by Peer
+}
+
+func compareEdgePeer(e traffic.Edge, peer cluster.VMID) int {
+	return traffic.CompareEdges(e, traffic.Edge{Peer: peer})
 }
 
 // NewAgent constructs an agent; call Start with a transport factory to
@@ -152,11 +161,7 @@ func (a *Agent) AddVM(vm cluster.VMID, ramMB int, rates map[cluster.VMID]float64
 	if len(a.vms) >= a.cfg.Slots {
 		return fmt.Errorf("hypervisor: host %d out of slots: %w", a.cfg.HostID, cluster.ErrNoCapacity)
 	}
-	cp := make(map[cluster.VMID]float64, len(rates))
-	for k, v := range rates {
-		cp[k] = v
-	}
-	a.vms[vm] = &vmRecord{ramMB: ramMB, rates: cp}
+	a.vms[vm] = &vmRecord{ramMB: ramMB, rates: ratesToEdges(rates)}
 	a.reg.Assign(vm, a.tr.Addr())
 	return nil
 }
@@ -176,8 +181,14 @@ func (a *Agent) VMs() []cluster.VMID {
 func (a *Agent) SetRate(vm, peer cluster.VMID, rate float64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if rec, ok := a.vms[vm]; ok {
-		rec.rates[peer] = rate
+	rec, ok := a.vms[vm]
+	if !ok {
+		return
+	}
+	if i, found := slices.BinarySearchFunc(rec.rates, peer, compareEdgePeer); found {
+		rec.rates[i].Rate = rate
+	} else {
+		rec.rates = slices.Insert(rec.rates, i, traffic.Edge{Peer: peer, Rate: rate})
 	}
 }
 
@@ -207,7 +218,7 @@ func (a *Agent) handle(from string, m Message) {
 		}
 		_ = a.tr.Send(m.ReplyTo, resp)
 	case MsgMigrate:
-		rates, err := DecodeRates(m.Payload)
+		rates, err := DecodeRateEdges(m.Payload)
 		if err != nil {
 			return
 		}
@@ -268,12 +279,11 @@ func (a *Agent) processToken(m Message) {
 
 	a.mu.Lock()
 	rec, hosted := a.vms[holder]
-	var rates map[cluster.VMID]float64
+	var ramMB int
+	var rates []traffic.Edge
 	if hosted {
-		rates = make(map[cluster.VMID]float64, len(rec.rates))
-		for k, v := range rec.rates {
-			rates[k] = v
-		}
+		ramMB = rec.ramMB
+		rates = slices.Clone(rec.rates)
 	}
 	closed := a.closed
 	a.mu.Unlock()
@@ -283,16 +293,16 @@ func (a *Agent) processToken(m Message) {
 
 	ev := TokenEvent{Holder: holder, Target: cluster.NoHost}
 	if hosted {
-		ev = a.decide(holder, rec, rates)
+		ev = a.decide(holder, ramMB, rates)
 	}
 
 	// Build the holder view and pass the token.
 	view := token.HolderView{Holder: holder, NeighborLevels: make(map[cluster.VMID]uint8, len(rates))}
 	var own uint8
-	for peer := range rates {
-		if h, ok := a.locate(peer); ok {
+	for _, ed := range rates {
+		if h, ok := a.locate(ed.Peer); ok {
 			lvl := uint8(a.cfg.Topo.Level(a.currentHostOf(holder), h))
-			view.NeighborLevels[peer] = lvl
+			view.NeighborLevels[ed.Peer] = lvl
 			if lvl > own {
 				own = lvl
 			}
@@ -346,8 +356,10 @@ func (a *Agent) locate(vm cluster.VMID) (cluster.HostID, bool) {
 	return resp.Host, true
 }
 
-// decide evaluates the S-CORE policy for a hosted token holder.
-func (a *Agent) decide(holder cluster.VMID, rec *vmRecord, rates map[cluster.VMID]float64) TokenEvent {
+// decide evaluates the S-CORE policy for a hosted token holder. The
+// rates slice is the holder's adjacency row (sorted by peer), so peers
+// are probed in a deterministic order.
+func (a *Agent) decide(holder cluster.VMID, ramMB int, rates []traffic.Edge) TokenEvent {
 	ev := TokenEvent{Holder: holder, Target: cluster.NoHost}
 	type peerLoc struct {
 		vm   cluster.VMID
@@ -356,13 +368,13 @@ func (a *Agent) decide(holder cluster.VMID, rec *vmRecord, rates map[cluster.VMI
 		rate float64
 	}
 	peers := make([]peerLoc, 0, len(rates))
-	for peer, rate := range rates {
-		h, ok := a.locate(peer)
+	for _, ed := range rates {
+		h, ok := a.locate(ed.Peer)
 		if !ok {
 			continue
 		}
-		addr, _ := a.reg.Lookup(peer)
-		peers = append(peers, peerLoc{vm: peer, host: h, addr: addr, rate: rate})
+		addr, _ := a.reg.Lookup(ed.Peer)
+		peers = append(peers, peerLoc{vm: ed.Peer, host: h, addr: addr, rate: ed.Rate})
 	}
 	if len(peers) == 0 {
 		return ev
@@ -404,8 +416,8 @@ func (a *Agent) decide(holder cluster.VMID, rec *vmRecord, rates map[cluster.VMI
 			continue
 		}
 		// Capacity probe (Section V-B5).
-		resp, err := a.request(c.addr, Message{Type: MsgCapacityReq, VM: holder, RAMMB: int32(rec.ramMB)})
-		if err != nil || resp.FreeSlots < 1 || int(resp.FreeRAMMB) < rec.ramMB {
+		resp, err := a.request(c.addr, Message{Type: MsgCapacityReq, VM: holder, RAMMB: int32(ramMB)})
+		if err != nil || resp.FreeSlots < 1 || int(resp.FreeRAMMB) < ramMB {
 			continue
 		}
 		best, bestDelta = c, d
@@ -415,9 +427,9 @@ func (a *Agent) decide(holder cluster.VMID, rec *vmRecord, rates map[cluster.VMI
 	}
 
 	// Execute the migration: ship the VM record to the target dom0.
-	payload := EncodeRates(rates)
+	payload := EncodeRateEdges(rates)
 	resp, err := a.request(best.addr, Message{
-		Type: MsgMigrate, VM: holder, RAMMB: int32(rec.ramMB), Payload: payload,
+		Type: MsgMigrate, VM: holder, RAMMB: int32(ramMB), Payload: payload,
 	})
 	if err != nil || resp.Type != MsgMigrateAck {
 		return ev

@@ -12,6 +12,7 @@ import (
 	"github.com/score-dc/score/internal/core"
 	"github.com/score-dc/score/internal/token"
 	"github.com/score-dc/score/internal/topology"
+	"github.com/score-dc/score/internal/traffic"
 )
 
 func TestMessageRoundTrip(t *testing.T) {
@@ -302,8 +303,7 @@ func TestAgentCapacityRefusalFallsBack(t *testing.T) {
 	if err := agents[0].AddVM(1, 1024, map[cluster.VMID]float64{100: 50}); err != nil {
 		t.Fatal(err)
 	}
-	ev := agents[0].decide(1, &vmRecord{ramMB: 1024, rates: map[cluster.VMID]float64{100: 50}},
-		map[cluster.VMID]float64{100: 50})
+	ev := agents[0].decide(1, 1024, []traffic.Edge{{Peer: 100, Rate: 50}})
 	// Host 2 is full: the decision must not target it.
 	if ev.Migrated && ev.Target == 2 {
 		t.Fatal("migrated onto a full host")

@@ -11,8 +11,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"slices"
 
 	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/traffic"
 )
 
 // MsgType discriminates protocol messages.
@@ -118,21 +120,23 @@ func DecodeMessage(buf []byte) (Message, error) {
 	return m, nil
 }
 
-// EncodeRates serializes a VM's peer-rate table for a MsgMigrate payload.
-func EncodeRates(rates map[cluster.VMID]float64) []byte {
-	buf := make([]byte, 4+12*len(rates))
-	binary.BigEndian.PutUint32(buf, uint32(len(rates)))
+// EncodeRateEdges serializes a VM's peer-rate rows (a sorted adjacency
+// slice, the agent's native record format) for a MsgMigrate payload.
+func EncodeRateEdges(edges []traffic.Edge) []byte {
+	buf := make([]byte, 4+12*len(edges))
+	binary.BigEndian.PutUint32(buf, uint32(len(edges)))
 	off := 4
-	for id, r := range rates {
-		binary.BigEndian.PutUint32(buf[off:], uint32(id))
-		binary.BigEndian.PutUint64(buf[off+4:], uint64(r*1e6)) // µMb/s fixed point
+	for _, e := range edges {
+		binary.BigEndian.PutUint32(buf[off:], uint32(e.Peer))
+		binary.BigEndian.PutUint64(buf[off+4:], uint64(e.Rate*1e6)) // µMb/s fixed point
 		off += 12
 	}
 	return buf
 }
 
-// DecodeRates parses an EncodeRates payload.
-func DecodeRates(buf []byte) (map[cluster.VMID]float64, error) {
+// DecodeRateEdges parses an EncodeRateEdges payload into an adjacency
+// slice sorted by peer ID.
+func DecodeRateEdges(buf []byte) ([]traffic.Edge, error) {
 	if len(buf) < 4 {
 		return nil, ErrShortMessage
 	}
@@ -140,12 +144,56 @@ func DecodeRates(buf []byte) (map[cluster.VMID]float64, error) {
 	if len(buf) < 4+12*n {
 		return nil, ErrShortMessage
 	}
-	out := make(map[cluster.VMID]float64, n)
+	out := make([]traffic.Edge, n)
 	off := 4
 	for i := 0; i < n; i++ {
-		id := cluster.VMID(binary.BigEndian.Uint32(buf[off:]))
-		out[id] = float64(binary.BigEndian.Uint64(buf[off+4:])) / 1e6
+		out[i] = traffic.Edge{
+			Peer: cluster.VMID(binary.BigEndian.Uint32(buf[off:])),
+			Rate: float64(binary.BigEndian.Uint64(buf[off+4:])) / 1e6,
+		}
 		off += 12
 	}
+	slices.SortStableFunc(out, traffic.CompareEdges)
+	// Collapse duplicate peers last-wins (the map-based decode's
+	// semantics); the records built from this slice rely on a
+	// sorted-unique invariant for binary search.
+	w := 0
+	for i := range out {
+		if i+1 < len(out) && out[i+1].Peer == out[i].Peer {
+			continue
+		}
+		out[w] = out[i]
+		w++
+	}
+	return out[:w], nil
+}
+
+// EncodeRates serializes a VM's peer-rate table for a MsgMigrate
+// payload, in ascending peer-ID order so the wire bytes are
+// deterministic.
+func EncodeRates(rates map[cluster.VMID]float64) []byte {
+	return EncodeRateEdges(ratesToEdges(rates))
+}
+
+// DecodeRates parses an EncodeRates payload into a map.
+func DecodeRates(buf []byte) (map[cluster.VMID]float64, error) {
+	edges, err := DecodeRateEdges(buf)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[cluster.VMID]float64, len(edges))
+	for _, e := range edges {
+		out[e.Peer] = e.Rate
+	}
 	return out, nil
+}
+
+// ratesToEdges converts a peer-rate map into a sorted adjacency slice.
+func ratesToEdges(rates map[cluster.VMID]float64) []traffic.Edge {
+	edges := make([]traffic.Edge, 0, len(rates))
+	for id, r := range rates {
+		edges = append(edges, traffic.Edge{Peer: id, Rate: r})
+	}
+	slices.SortFunc(edges, traffic.CompareEdges)
+	return edges
 }

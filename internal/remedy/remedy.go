@@ -250,17 +250,16 @@ func (c *Controller) pickTarget(vm cluster.VMID, hot topology.LinkID) (cluster.H
 func (c *Controller) reliefIfMoved(vm cluster.VMID, target cluster.HostID, hot topology.LinkID) float64 {
 	cur := c.cl.HostOf(vm)
 	var relief float64
-	for _, z := range c.tm.Neighbors(vm) {
-		hz := c.cl.HostOf(z)
+	for _, ed := range c.tm.NeighborEdges(vm) {
+		hz := c.cl.HostOf(ed.Peer)
 		if hz == cluster.NoHost {
 			continue
 		}
-		rate := c.tm.Rate(vm, z)
-		if c.pathUses(vm, z, cur, hz, hot) {
-			relief += rate
+		if c.pathUses(vm, ed.Peer, cur, hz, hot) {
+			relief += ed.Rate
 		}
-		if c.pathUses(vm, z, target, hz, hot) {
-			relief -= rate
+		if c.pathUses(vm, ed.Peer, target, hz, hot) {
+			relief -= ed.Rate
 		}
 	}
 	return relief
@@ -285,11 +284,10 @@ func (c *Controller) moveVM(vm cluster.VMID, target cluster.HostID) error {
 	if err := c.cl.Move(vm, target); err != nil {
 		return err
 	}
-	for _, z := range c.tm.Neighbors(vm) {
-		hz := c.cl.HostOf(z)
-		rate := c.tm.Rate(vm, z)
-		c.net.ShiftPair(vm, z, from, hz, -rate)
-		c.net.ShiftPair(vm, z, target, hz, rate)
+	for _, ed := range c.tm.NeighborEdges(vm) {
+		hz := c.cl.HostOf(ed.Peer)
+		c.net.ShiftPair(vm, ed.Peer, from, hz, -ed.Rate)
+		c.net.ShiftPair(vm, ed.Peer, target, hz, ed.Rate)
 	}
 	return nil
 }

@@ -249,10 +249,10 @@ func (r *Runner) hop(holder cluster.VMID) {
 }
 
 func (r *Runner) holderView(u cluster.VMID) token.HolderView {
-	neigh := r.eng.Traffic().Neighbors(u)
+	neigh := r.eng.Traffic().NeighborEdges(u)
 	levels := make(map[cluster.VMID]uint8, len(neigh))
-	for _, v := range neigh {
-		levels[v] = uint8(r.eng.PairLevel(u, v))
+	for _, ed := range neigh {
+		levels[ed.Peer] = uint8(r.eng.PairLevel(u, ed.Peer))
 	}
 	return token.HolderView{
 		Holder:         u,
@@ -283,11 +283,10 @@ func (r *Runner) startMigration(dec core.Decision) {
 	}
 	// Shift the VM's flows onto the new paths.
 	tm := r.eng.Traffic()
-	for _, z := range tm.Neighbors(dec.VM) {
-		hz := cl.HostOf(z)
-		rate := tm.Rate(dec.VM, z)
-		r.net.ShiftPair(dec.VM, z, from, hz, -rate)
-		r.net.ShiftPair(dec.VM, z, dec.Target, hz, rate)
+	for _, ed := range tm.NeighborEdges(dec.VM) {
+		hz := cl.HostOf(ed.Peer)
+		r.net.ShiftPair(dec.VM, ed.Peer, from, hz, -ed.Rate)
+		r.net.ShiftPair(dec.VM, ed.Peer, dec.Target, hz, ed.Rate)
 	}
 	r.iterMigs++
 	r.metrics.TotalMigrations++

@@ -9,13 +9,37 @@
 // number of elephant flows while mice flows dominate in count
 // (Section V-C, VI). The initial matrix can be scaled ×10 / ×50 into the
 // medium and dense variants of Fig. 3.
+//
+// # Adjacency layout
+//
+// Matrix stores the sparse symmetric matrix in CSR style: one []Edge
+// slice per VM, sorted by peer ID and kept sorted on every mutation.
+// Each communicating pair (u, v) appears twice — as Edge{v, λ} in u's
+// slice and Edge{u, λ} in v's — so the decision hot path (core.Engine)
+// walks a VM's neighbors and rates in a single cache-friendly scan with
+// no per-edge map lookup and no allocation. Point queries (Rate) binary
+// search the row. A generation counter increments on every mutation; it
+// backs the lazily rebuilt pair-list cache served by Pairs and lets
+// consumers (e.g. the engine's incremental cost accounting) detect
+// in-place mutation.
+//
+// # Slice ownership
+//
+// NeighborEdges and Pairs return slices owned by the Matrix: callers
+// must treat them as read-only and must not hold them across mutations
+// (Set/Add). Adjacency rows are edited in place, so a NeighborEdges
+// slice held across a mutation may see its entries rewritten or
+// shifted. Pair-list snapshots from Pairs are rebuilt into fresh
+// backing arrays, so an earlier snapshot merely goes stale but stays
+// internally consistent. Neighbors, by contrast, returns a copy owned
+// by the caller.
 package traffic
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"github.com/score-dc/score/internal/cluster"
 	"github.com/score-dc/score/internal/topology"
@@ -34,50 +58,121 @@ func MakePair(u, v cluster.VMID) Pair {
 	return Pair{A: u, B: v}
 }
 
+// Edge is one adjacency entry of a VM: the peer it exchanges traffic
+// with and the rate λ in Mb/s.
+type Edge struct {
+	Peer cluster.VMID
+	Rate float64
+}
+
+// CompareEdges orders adjacency entries by peer ID — the sort key every
+// edge row in this package (and any consumer maintaining its own rows,
+// e.g. the hypervisor agents) must use.
+func CompareEdges(a, b Edge) int {
+	switch {
+	case a.Peer < b.Peer:
+		return -1
+	case a.Peer > b.Peer:
+		return 1
+	}
+	return 0
+}
+
 // Matrix is a sparse symmetric pairwise traffic-rate matrix in Mb/s.
-// The zero value is ready to use.
+// The zero value is ready to use. See the package comment for the
+// adjacency layout and slice-ownership rules.
 type Matrix struct {
-	rates map[Pair]float64
-	neigh map[cluster.VMID][]cluster.VMID
+	adj      map[cluster.VMID][]Edge // per-VM edges, sorted by Peer
+	numPairs int
+	gen      uint64
+
+	// Cached pair list served by Pairs, rebuilt lazily when gen moves.
+	pairCache  []Pair
+	rateCache  []float64
+	cacheGen   uint64
+	cacheValid bool
 }
 
 // NewMatrix returns an empty matrix.
 func NewMatrix() *Matrix {
-	return &Matrix{
-		rates: make(map[Pair]float64),
-		neigh: make(map[cluster.VMID][]cluster.VMID),
-	}
+	return &Matrix{adj: make(map[cluster.VMID][]Edge)}
 }
 
 func (m *Matrix) init() {
-	if m.rates == nil {
-		m.rates = make(map[Pair]float64)
-		m.neigh = make(map[cluster.VMID][]cluster.VMID)
+	if m.adj == nil {
+		m.adj = make(map[cluster.VMID][]Edge)
 	}
+}
+
+// findEdge binary searches edges (sorted by Peer) for peer, returning
+// the insertion index and whether it is present.
+func findEdge(edges []Edge, peer cluster.VMID) (int, bool) {
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if edges[mid].Peer < peer {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(edges) && edges[lo].Peer == peer
+}
+
+// setEdge inserts or updates the directed entry u→v, keeping u's row
+// sorted. It reports whether the entry was newly created.
+func (m *Matrix) setEdge(u, v cluster.VMID, rate float64) bool {
+	edges := m.adj[u]
+	i, ok := findEdge(edges, v)
+	if ok {
+		edges[i].Rate = rate
+		return false
+	}
+	edges = append(edges, Edge{})
+	copy(edges[i+1:], edges[i:])
+	edges[i] = Edge{Peer: v, Rate: rate}
+	m.adj[u] = edges
+	return true
+}
+
+// removeEdge deletes the directed entry u→v, reporting whether it
+// existed.
+func (m *Matrix) removeEdge(u, v cluster.VMID) bool {
+	edges := m.adj[u]
+	i, ok := findEdge(edges, v)
+	if !ok {
+		return false
+	}
+	copy(edges[i:], edges[i+1:])
+	edges = edges[:len(edges)-1]
+	if len(edges) == 0 {
+		delete(m.adj, u)
+	} else {
+		m.adj[u] = edges
+	}
+	return true
 }
 
 // Set fixes λ(u, v) to rateMbps. Setting a self-pair or a non-positive
 // rate removes the entry.
 func (m *Matrix) Set(u, v cluster.VMID, rateMbps float64) {
-	m.init()
 	if u == v {
 		return
 	}
-	p := MakePair(u, v)
-	_, existed := m.rates[p]
+	m.init()
 	if rateMbps <= 0 {
-		if existed {
-			delete(m.rates, p)
-			m.removeNeighbor(u, v)
-			m.removeNeighbor(v, u)
+		if m.removeEdge(u, v) {
+			m.removeEdge(v, u)
+			m.numPairs--
+			m.gen++
 		}
 		return
 	}
-	m.rates[p] = rateMbps
-	if !existed {
-		m.neigh[u] = append(m.neigh[u], v)
-		m.neigh[v] = append(m.neigh[v], u)
+	if m.setEdge(u, v, rateMbps) {
+		m.numPairs++
 	}
+	m.setEdge(v, u, rateMbps)
+	m.gen++
 }
 
 // Add increases λ(u, v) by rateMbps, creating the pair if absent.
@@ -85,49 +180,55 @@ func (m *Matrix) Add(u, v cluster.VMID, rateMbps float64) {
 	if u == v || rateMbps <= 0 {
 		return
 	}
-	m.init()
 	m.Set(u, v, m.Rate(u, v)+rateMbps)
-}
-
-func (m *Matrix) removeNeighbor(u, v cluster.VMID) {
-	s := m.neigh[u]
-	for i, x := range s {
-		if x == v {
-			s[i] = s[len(s)-1]
-			m.neigh[u] = s[:len(s)-1]
-			break
-		}
-	}
-	if len(m.neigh[u]) == 0 {
-		delete(m.neigh, u)
-	}
 }
 
 // Rate returns λ(u, v), 0 when the VMs do not communicate.
 func (m *Matrix) Rate(u, v cluster.VMID) float64 {
-	if m.rates == nil || u == v {
+	if m.adj == nil || u == v {
 		return 0
 	}
-	return m.rates[MakePair(u, v)]
+	edges := m.adj[u]
+	if i, ok := findEdge(edges, v); ok {
+		return edges[i].Rate
+	}
+	return 0
+}
+
+// NeighborEdges returns VM u's adjacency row: its peers in ascending ID
+// order with their rates. The slice is owned by the matrix — read-only,
+// valid until the next mutation (see the package comment).
+func (m *Matrix) NeighborEdges(u cluster.VMID) []Edge {
+	if m.adj == nil {
+		return nil
+	}
+	return m.adj[u]
 }
 
 // Neighbors returns Vu, the set of VMs exchanging data with u, in
-// ascending ID order. The returned slice is owned by the caller.
+// ascending ID order. The returned slice is owned by the caller; hot
+// paths should prefer NeighborEdges, which does not copy.
 func (m *Matrix) Neighbors(u cluster.VMID) []cluster.VMID {
-	if m.neigh == nil {
+	if m.adj == nil {
 		return nil
 	}
-	out := append([]cluster.VMID(nil), m.neigh[u]...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	edges := m.adj[u]
+	if len(edges) == 0 {
+		return nil
+	}
+	out := make([]cluster.VMID, len(edges))
+	for i, e := range edges {
+		out[i] = e.Peer
+	}
 	return out
 }
 
 // Degree returns |Vu| without allocating.
 func (m *Matrix) Degree(u cluster.VMID) int {
-	if m.neigh == nil {
+	if m.adj == nil {
 		return 0
 	}
-	return len(m.neigh[u])
+	return len(m.adj[u])
 }
 
 // VMLoad returns Σ_{v∈Vu} λ(u, v), the aggregate traffic rate of VM u.
@@ -135,55 +236,82 @@ func (m *Matrix) Degree(u cluster.VMID) int {
 // the token (Section V-B3), and what the bandwidth-threshold admission
 // check of Section V-C sums per host.
 func (m *Matrix) VMLoad(u cluster.VMID) float64 {
-	if m.neigh == nil {
+	if m.adj == nil {
 		return 0
 	}
 	var sum float64
-	for _, v := range m.neigh[u] {
-		sum += m.rates[MakePair(u, v)]
+	for _, e := range m.adj[u] {
+		sum += e.Rate
 	}
 	return sum
 }
 
 // NumPairs returns the number of communicating pairs.
-func (m *Matrix) NumPairs() int { return len(m.rates) }
+func (m *Matrix) NumPairs() int { return m.numPairs }
+
+// Generation returns a counter that increments on every mutation.
+// Consumers caching derived state (pair lists, incremental cost
+// accumulators) compare generations to detect staleness.
+func (m *Matrix) Generation() uint64 { return m.gen }
 
 // TotalRate returns the sum of λ over all pairs.
 func (m *Matrix) TotalRate() float64 {
 	var sum float64
-	for _, r := range m.rates {
-		sum += r
+	for _, edges := range m.adj {
+		for _, e := range edges {
+			sum += e.Rate
+		}
 	}
-	return sum
+	return sum / 2 // every pair is stored in both endpoint rows
 }
 
-// Pairs returns all communicating pairs in deterministic (sorted) order
-// with their rates. The slices are owned by the caller.
+// Pairs returns all communicating pairs in deterministic (A asc, B asc)
+// order with their rates. The result is cached between mutations; the
+// returned slices are owned by the matrix and must be treated as
+// read-only (see the package comment).
 func (m *Matrix) Pairs() ([]Pair, []float64) {
-	ps := make([]Pair, 0, len(m.rates))
-	for p := range m.rates {
-		ps = append(ps, p)
+	if !m.cacheValid || m.cacheGen != m.gen {
+		m.rebuildPairCache()
 	}
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].A != ps[j].A {
-			return ps[i].A < ps[j].A
+	return m.pairCache, m.rateCache
+}
+
+func (m *Matrix) rebuildPairCache() {
+	ids := make([]cluster.VMID, 0, len(m.adj))
+	for u := range m.adj {
+		ids = append(ids, u)
+	}
+	slices.Sort(ids)
+	ps := make([]Pair, 0, m.numPairs)
+	rs := make([]float64, 0, m.numPairs)
+	for _, u := range ids {
+		for _, e := range m.adj[u] {
+			if u < e.Peer { // emit each pair once, in canonical order
+				ps = append(ps, Pair{A: u, B: e.Peer})
+				rs = append(rs, e.Rate)
+			}
 		}
-		return ps[i].B < ps[j].B
-	})
-	rs := make([]float64, len(ps))
-	for i, p := range ps {
-		rs[i] = m.rates[p]
 	}
-	return ps, rs
+	m.pairCache, m.rateCache = ps, rs
+	m.cacheGen, m.cacheValid = m.gen, true
 }
 
 // Scaled returns a copy of the matrix with every rate multiplied by f,
 // the paper's ×10 (medium) and ×50 (dense) load-stress transformation.
+// A non-positive factor yields an empty matrix (all entries removed).
 func (m *Matrix) Scaled(f float64) *Matrix {
 	out := NewMatrix()
-	for p, r := range m.rates {
-		out.Set(p.A, p.B, r*f)
+	if f <= 0 || math.IsNaN(f) {
+		return out
 	}
+	for u, edges := range m.adj {
+		cp := make([]Edge, len(edges))
+		for i, e := range edges {
+			cp[i] = Edge{Peer: e.Peer, Rate: e.Rate * f}
+		}
+		out.adj[u] = cp
+	}
+	out.numPairs = m.numPairs
 	return out
 }
 

@@ -120,8 +120,13 @@ func ScaledCanonicalConfig(racks, hostsPerRack int) CanonicalConfig {
 
 // Traffic model (paper Section III, VI).
 type (
-	// TrafficMatrix is the sparse symmetric pairwise λ(u, v) matrix.
+	// TrafficMatrix is the sparse symmetric pairwise λ(u, v) matrix,
+	// stored as per-VM sorted adjacency rows (see traffic.Matrix for the
+	// layout and slice-ownership rules).
 	TrafficMatrix = traffic.Matrix
+	// TrafficEdge is one adjacency entry: peer VM and rate in Mb/s.
+	// TrafficMatrix.NeighborEdges returns rows of these without copying.
+	TrafficEdge = traffic.Edge
 	// GenConfig tunes the hotspot workload generator.
 	GenConfig = traffic.GenConfig
 )
