@@ -9,6 +9,7 @@
 package score_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -235,9 +236,22 @@ func BenchmarkTotalCost(b *testing.B) {
 }
 
 // BenchmarkTotalCostRebuild invalidates the incremental accounting every
-// iteration (as a traffic-window rollover would) to measure the full
-// O(|pairs|) recompute path.
+// iteration (as swapping in a new measurement window's matrix would) to
+// measure the full O(|pairs|) recompute path.
 func BenchmarkTotalCostRebuild(b *testing.B) {
+	eng, _ := benchEngine(b)
+	tm := eng.Traffic()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.SetTraffic(tm) // drops the accounting even for the same matrix
+		_ = eng.TotalCost()
+	}
+}
+
+// BenchmarkTotalCostWindowRollover measures the in-place rollover fast
+// path: a rate mutation folded from the matrix's edge changelog instead
+// of triggering the full rebuild above.
+func BenchmarkTotalCostWindowRollover(b *testing.B) {
 	eng, _ := benchEngine(b)
 	tm := eng.Traffic()
 	vms := eng.Cluster().VMs()
@@ -295,6 +309,64 @@ func BenchmarkBestMigrationDense(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _ = eng.BestMigration(vms[rng.Intn(len(vms))])
+	}
+}
+
+// BenchmarkSingleTokenPass is the paper's serial control loop on the
+// dense fat-tree macro instance: one full token pass (every VM visited
+// once, ascending ring order, decisions applied immediately) — the
+// baseline BenchmarkShardedTokenPass is measured against.
+func BenchmarkSingleTokenPass(b *testing.B) {
+	eng, _ := benchEngineDense(b)
+	snap := eng.Cluster().Snapshot()
+	vms := eng.Cluster().VMs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := eng.Cluster().Restore(snap); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, u := range vms {
+			if dec, ok := eng.BestMigration(u); ok {
+				if _, err := eng.Apply(dec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkShardedTokenPass measures one full sharded round (partition,
+// concurrent per-shard token rings, merge + cross-shard reconciliation)
+// on the same dense fat-tree instance, across shard counts. shards=1 is
+// the serialized coordinator (single ring plus coordination overhead);
+// higher counts should approach linear speedup on multi-core hardware —
+// the wall-clock win the partition/reconcile deviation exists for.
+func BenchmarkShardedTokenPass(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			eng, _ := benchEngineDense(b)
+			snap := eng.Cluster().Snapshot()
+			coord, err := score.NewShardCoordinator(eng, score.ShardConfig{
+				Shards: n, Granularity: score.ShardByPod,
+				NewPolicy: func(int) score.TokenPolicy { return score.RoundRobin{} },
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := eng.Cluster().Restore(snap); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := coord.RunRound(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

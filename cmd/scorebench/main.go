@@ -5,6 +5,7 @@
 // Usage:
 //
 //	scorebench [-scale small|medium|paper] [-seed N] [-out DIR] [-only fig2,fig3,...]
+//	           [-shards N]
 package main
 
 import (
@@ -30,8 +31,9 @@ func run() error {
 	scaleFlag := flag.String("scale", "medium", "instance scale: small, medium, or paper")
 	seed := flag.Int64("seed", 20140630, "deterministic seed")
 	outDir := flag.String("out", "results", "directory for CSV output (empty disables)")
-	only := flag.String("only", "", "comma-separated subset: fig2,fig3tm,fig3,fig4,fig5a,fig5b,fig5cd,ablations")
+	only := flag.String("only", "", "comma-separated subset: fig2,fig3tm,fig3,fig4,fig5a,fig5b,fig5cd,ablations,shards")
 	maxFlows := flag.Int("maxflows", 1000000, "flow-table sweep upper bound for fig5a")
+	maxShards := flag.Int("shards", 8, "largest shard count in the shard sweep (doubling from 2)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -188,6 +190,43 @@ func run() error {
 			return fmt.Errorf("ablation policies: %w", err)
 		}
 		ap.Render(w)
+	}
+
+	if enabled("shards") {
+		fmt.Fprintf(w, "\n== Shard sweep: sharded token scheduler vs single token ==\n")
+		counts := []int{1}
+		for n := 2; n <= *maxShards; n *= 2 {
+			counts = append(counts, n)
+		}
+		res, err := experiments.ShardSweep(experiments.FatTree, experiments.Dense, scale, *seed,
+			counts, []string{"hlf", "rr"})
+		if err != nil {
+			return fmt.Errorf("shards: %w", err)
+		}
+		res.Render(w)
+		if *outDir != "" {
+			cols := make([][]float64, 0, 1+2*len(res.Policies))
+			headers := make([]string, 0, cap(cols))
+			shardCol := make([]float64, len(res.Counts))
+			for i, n := range res.Counts {
+				shardCol[i] = float64(n)
+			}
+			headers = append(headers, "shards")
+			cols = append(cols, shardCol)
+			for pi, pol := range res.Policies {
+				reds := make([]float64, len(res.Counts))
+				hops := make([]float64, len(res.Counts))
+				for ci := range res.Counts {
+					reds[ci] = res.Reduction[pi][ci]
+					hops[ci] = float64(res.CriticalHops[pi][ci])
+				}
+				headers = append(headers, pol+"_reduction", pol+"_critical_hops")
+				cols = append(cols, reds, hops)
+			}
+			if err := writeCSV(*outDir, "shard_sweep.csv", headers, cols...); err != nil {
+				return err
+			}
+		}
 	}
 
 	if enabled("fig5cd") {

@@ -7,6 +7,7 @@
 //	scoresim [-topo canonical|fattree] [-racks N] [-hosts N] [-k N]
 //	         [-vms-per-host N] [-density 1|10|50] [-policy hlf|rr|llf|random]
 //	         [-cm COST] [-duration SEC] [-loss PROB] [-seed N]
+//	         [-shards N] [-shard-granularity pod|rack] [-shard-workers N]
 package main
 
 import (
@@ -41,6 +42,9 @@ func run() error {
 	loss := flag.Float64("loss", 0, "token loss probability per hop")
 	seed := flag.Int64("seed", 1, "random seed")
 	chart := flag.Bool("chart", true, "render ASCII cost chart")
+	shards := flag.Int("shards", 1, "concurrent token rings (>1 enables sharded mode)")
+	shardGran := flag.String("shard-granularity", "pod", "shard alignment: pod or rack")
+	shardWorkers := flag.Int("shard-workers", 0, "worker pool size for sharded mode (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -101,9 +105,22 @@ func run() error {
 	simCfg.HopLatencyS = *hop
 	simCfg.SampleIntervalS = *duration / 100
 	simCfg.TokenLossProb = *loss
+	if *shards > 1 {
+		g, err := score.ParseShardGranularity(*shardGran)
+		if err != nil {
+			return err
+		}
+		simCfg.Shards = *shards
+		simCfg.ShardGranularity = g
+		simCfg.ShardWorkers = *shardWorkers
+	}
 
-	fmt.Printf("%s: %d hosts, %d racks, %d VMs, %d pairs, policy=%s, cm=%g\n",
-		topo.Name(), topo.Hosts(), topo.Racks(), cl.NumVMs(), tm.NumPairs(), pol.Name(), *cm)
+	mode := "single-token"
+	if *shards > 1 {
+		mode = fmt.Sprintf("%d shards by %s", *shards, *shardGran)
+	}
+	fmt.Printf("%s: %d hosts, %d racks, %d VMs, %d pairs, policy=%s, cm=%g, %s\n",
+		topo.Name(), topo.Hosts(), topo.Racks(), cl.NumVMs(), tm.NumPairs(), pol.Name(), *cm, mode)
 
 	runner, err := score.NewRunner(eng, pol, simCfg, rng)
 	if err != nil {
@@ -123,6 +140,14 @@ func run() error {
 	fmt.Printf("migrations: %d (aborted %d), hops: %d, tokens regenerated: %d\n",
 		m.TotalMigrations, m.AbortedMigrations, m.TokenHops, m.TokensRegenerated)
 	fmt.Printf("migrated: %.0f MB total\n", m.TotalMigratedMB)
+	if len(m.PerShard) > 0 {
+		fmt.Printf("cross-shard: %d proposed, %d applied after reconciliation\n",
+			m.CrossProposed, m.CrossApplied)
+		for _, st := range m.PerShard {
+			fmt.Printf("  shard %d: %d VMs, %d hops, %d intra-shard migrations, %d proposals\n",
+				st.Shard, st.VMs, st.Hops, st.Migrations, st.Proposals)
+		}
+	}
 	for _, it := range m.Iterations {
 		if it.Migrations == 0 {
 			continue

@@ -309,6 +309,19 @@ func (c *Cluster) HostOf(vm VMID) HostID {
 	return h
 }
 
+// DenseAllocSnapshot copies the dense VMID→HostID mirror: base is the
+// ID of alloc[0], and alloc[id-base] is the host of id (NoHost when
+// unplaced or unregistered). ok is false when IDs were issued too
+// sparsely for the mirror to exist; callers then fall back to HostOf.
+// Decision views use the copy as an O(1) overlay base, keeping their
+// allocation reads as cheap as the cluster's own fast path.
+func (c *Cluster) DenseAllocSnapshot() (base VMID, alloc []HostID, ok bool) {
+	if c.denseHost == nil {
+		return 0, nil, false
+	}
+	return c.denseBase, append([]HostID(nil), c.denseHost...), true
+}
+
 // VMsOn returns the VMs currently placed on host. The returned slice is
 // owned by the caller.
 func (c *Cluster) VMsOn(host HostID) []VMID {

@@ -69,9 +69,11 @@ type rankEntry struct {
 // matrix's CSR rows, and the rank buffer and probed-host set are scratch
 // state reused across calls. The engine additionally keeps incremental
 // accounting — a running C^A and per-host external traffic loads —
-// registered as a cluster allocation observer and invalidated whenever
-// the traffic matrix changes, so TotalCost and HostNetLoad are O(1)
-// between traffic windows instead of O(|pairs|) per call.
+// registered as a cluster allocation observer, so TotalCost and
+// HostNetLoad are O(1) between traffic windows instead of O(|pairs|)
+// per call. In-place traffic mutations are folded edge by edge from the
+// matrix's changelog (ChangesSince); only swapping matrices (SetTraffic)
+// or outrunning the changelog window forces a full rebuild.
 //
 // Engine is not safe for concurrent use: scratch buffers and the
 // accounting caches are mutated by reads.
@@ -264,6 +266,50 @@ func (e *Engine) VMCost(u cluster.VMID) float64 {
 // they are rebuilt from scratch on the next read.
 func (e *Engine) invalidateAccounting() { e.acctValid = false }
 
+// foldTrafficChanges advances the accounting from its traffic-matrix
+// snapshot to the matrix's current generation by replaying the matrix's
+// edge-level changelog — the window-rollover fast path that replaces the
+// O(|pairs|) rebuild for in-place rate updates. It reports whether the
+// accounting is now current; false means the changelog window was
+// outrun and the caller must rebuild.
+//
+// The rate deltas predate any allocation change being folded on top of
+// them, so when called from the allocation observer (whose cluster has
+// already applied the move) the moved VM must be read at its pre-move
+// host: movedVM/movedFrom override HostOf for that VM; pass
+// movedVM = 0, override = false from paths with no in-flight move.
+func (e *Engine) foldTrafficChanges(movedVM cluster.VMID, movedFrom cluster.HostID, override bool) bool {
+	if !e.acctValid {
+		return false
+	}
+	changes, ok := e.tm.ChangesSince(e.acctTMGen)
+	if !ok {
+		return false
+	}
+	for _, ch := range changes {
+		ha, hb := e.cl.HostOf(ch.A), e.cl.HostOf(ch.B)
+		if override {
+			if ch.A == movedVM {
+				ha = movedFrom
+			}
+			if ch.B == movedVM {
+				hb = movedFrom
+			}
+		}
+		d := ch.New - ch.Old
+		e.total += e.cost.PairCost(d, e.levelOrDepth(ha, hb))
+		if ha != cluster.NoHost && ha != hb {
+			e.hostNet[ha] += d
+		}
+		if hb != cluster.NoHost && hb != ha {
+			e.hostNet[hb] += d
+		}
+	}
+	e.acctTMGen = e.tm.Generation()
+	e.acctFolds += len(changes)
+	return true
+}
+
 // onAllocChange folds one placement change into the running totals:
 // every affected pair level and host boundary crossing is O(1) given
 // the moved VM's adjacency row.
@@ -271,8 +317,8 @@ func (e *Engine) onAllocChange(vm cluster.VMID, from, to cluster.HostID) {
 	if !e.acctValid {
 		return
 	}
-	if e.tm.Generation() != e.acctTMGen {
-		e.acctValid = false // traffic mutated since the snapshot; rebuild lazily
+	if e.tm.Generation() != e.acctTMGen && !e.foldTrafficChanges(vm, from, true) {
+		e.acctValid = false // traffic outran the changelog; rebuild lazily
 		return
 	}
 	e.acctFolds++
@@ -337,6 +383,9 @@ func (e *Engine) ensureAccounting() {
 		// cached totals would go silently stale. Always recompute.
 		e.rebuildAccounting()
 		return
+	}
+	if e.acctValid && e.acctTMGen != e.tm.Generation() {
+		e.foldTrafficChanges(0, cluster.NoHost, false) // window rollover: replay the changelog
 	}
 	if !e.acctValid || e.acctTMGen != e.tm.Generation() || e.acctFolds >= acctResyncInterval {
 		e.rebuildAccounting()
@@ -463,7 +512,15 @@ func (e *Engine) neighborRank(u cluster.VMID) []rankEntry {
 			rate:  ed.Rate,
 		})
 	}
-	slices.SortStableFunc(e.rank, func(a, b rankEntry) int {
+	sortRank(e.rank)
+	return e.rank
+}
+
+// sortRank orders rank entries from highest to lowest communication
+// level, breaking ties by descending rate — shared by the engine's and
+// the views' neighborRank so both probe in the same order.
+func sortRank(rank []rankEntry) {
+	slices.SortStableFunc(rank, func(a, b rankEntry) int {
 		if a.level != b.level {
 			return b.level - a.level
 		}
@@ -475,7 +532,6 @@ func (e *Engine) neighborRank(u cluster.VMID) []rankEntry {
 		}
 		return 0
 	})
-	return e.rank
 }
 
 // considerTarget probes one candidate host: skip duplicates and the

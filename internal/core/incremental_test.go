@@ -433,3 +433,49 @@ func TestDeltaAgainstTrafficEdges(t *testing.T) {
 		}
 	}
 }
+
+// TestWindowRolloverFoldsIncrementally: in-place rate updates (a traffic
+// window rolling over) must be folded from the matrix changelog without
+// dropping the accounting, and the folded totals must match recomputation
+// throughout an interleaving of rate updates and migrations.
+func TestWindowRolloverFoldsIncrementally(t *testing.T) {
+	fx := newFixture(t, DefaultConfig())
+	fx.eng.TotalCost() // prime
+	rng := rand.New(rand.NewSource(17))
+	vms := fx.cl.VMs()
+	pairs, rates := fx.tm.Pairs()
+	pairList := append([]traffic.Pair(nil), pairs...)
+	rateList := append([]float64(nil), rates...)
+
+	for step := 0; step < 400; step++ {
+		switch step % 4 {
+		case 0, 1: // rate update on an existing pair
+			i := rng.Intn(len(pairList))
+			fx.tm.Set(pairList[i].A, pairList[i].B, rateList[i]*(0.5+rng.Float64()))
+		case 2: // new pair
+			fx.tm.Add(vms[rng.Intn(len(vms))], vms[rng.Intn(len(vms))], rng.Float64()*10)
+		default: // migration while the accounting is behind the matrix
+			u := vms[rng.Intn(len(vms))]
+			h := cluster.HostID(rng.Intn(fx.cl.NumHosts()))
+			if fx.cl.HostOf(u) != h && fx.cl.Fits(u, h) {
+				if err := fx.cl.Move(u, h); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if step%50 == 49 {
+			assertCostAgrees(t, fx, "rollover interleaving")
+		}
+	}
+	if !fx.eng.acctValid {
+		t.Fatal("accounting dropped: changelog fold never kept it alive")
+	}
+	assertCostAgrees(t, fx, "after rollover interleaving")
+	want := scratchHostNet(fx)
+	for h := range want {
+		got := fx.eng.HostNetLoad(cluster.HostID(h))
+		if math.Abs(got-want[h]) > 1e-6*math.Max(1, want[h]) {
+			t.Fatalf("HostNetLoad(%d) = %v, recomputed %v", h, got, want[h])
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/score-dc/score/internal/cluster"
+)
+
+// TestViewMatchesEngine: with an empty overlay, a view must reproduce
+// the engine's decision surface exactly — same deltas, same
+// admissibility, same best migration for every VM.
+func TestViewMatchesEngine(t *testing.T) {
+	fx := newFixture(t, DefaultConfig())
+	v := fx.eng.NewView()
+	rng := rand.New(rand.NewSource(4))
+	vms := fx.cl.VMs()
+	for trial := 0; trial < 300; trial++ {
+		u := vms[rng.Intn(len(vms))]
+		h := cluster.HostID(rng.Intn(fx.cl.NumHosts()))
+		if ed, vd := fx.eng.Delta(u, h), v.Delta(u, h); ed != vd {
+			t.Fatalf("Delta(%d→%d): engine %v, view %v", u, h, ed, vd)
+		}
+		if ea, va := fx.eng.Admissible(u, h), v.Admissible(u, h); ea != va {
+			t.Fatalf("Admissible(%d→%d): engine %v, view %v", u, h, ea, va)
+		}
+	}
+	for _, u := range vms {
+		ed, eok := fx.eng.BestMigration(u)
+		vd, vok := v.BestMigration(u)
+		if eok != vok || ed != vd {
+			t.Fatalf("BestMigration(%d): engine %+v/%v, view %+v/%v", u, ed, eok, vd, vok)
+		}
+		if el, vl := fx.eng.VMLevel(u), v.VMLevel(u); el != vl {
+			t.Fatalf("VMLevel(%d): engine %d, view %d", u, el, vl)
+		}
+	}
+}
+
+// TestViewCommitTracksEngineApply: a sequence of decisions staged in a
+// view and then replayed through Engine.Apply must leave the engine at
+// the same allocation and cost the view predicted, and the view's
+// staged deltas must match what the engine realizes.
+func TestViewCommitTracksEngineApply(t *testing.T) {
+	fx := newFixture(t, DefaultConfig())
+	v := fx.eng.NewView()
+	staged := 0
+	for _, u := range fx.cl.VMs() {
+		dec, ok := v.BestMigration(u)
+		if !ok {
+			continue
+		}
+		if _, err := v.Commit(dec); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+		staged++
+	}
+	if staged == 0 {
+		t.Fatal("no decisions staged; fixture not exercising the view")
+	}
+	for _, d := range v.Commits() {
+		realized, err := fx.eng.Apply(d)
+		if err != nil {
+			t.Fatalf("replaying staged decision %+v: %v", d, err)
+		}
+		if math.Abs(realized-d.Delta) > 1e-9*(1+math.Abs(d.Delta)) {
+			t.Fatalf("staged delta %v, engine realized %v", d.Delta, realized)
+		}
+	}
+	for _, d := range v.Commits() {
+		if got := fx.cl.HostOf(d.VM); got != d.Target {
+			t.Fatalf("VM %d at host %d after replay, staged %d", d.VM, got, d.Target)
+		}
+	}
+}
+
+// TestViewCapacityIsolation: a view must refuse to stage more VMs onto
+// a host than its remaining capacity allows, counting its own staged
+// moves.
+func TestViewCapacityIsolation(t *testing.T) {
+	fx := newFixture(t, DefaultConfig())
+	v := fx.eng.NewView()
+	vms := fx.cl.VMs()
+	// Find a host and fill its free slots through the view.
+	var target cluster.HostID = cluster.NoHost
+	for h := 0; h < fx.cl.NumHosts(); h++ {
+		if fx.cl.FreeSlots(cluster.HostID(h)) >= 1 {
+			target = cluster.HostID(h)
+			break
+		}
+	}
+	if target == cluster.NoHost {
+		t.Fatal("no host with free capacity")
+	}
+	free := fx.cl.FreeSlots(target)
+	staged := 0
+	for _, u := range vms {
+		if v.HostOf(u) == target {
+			continue
+		}
+		if _, err := v.Commit(Decision{VM: u, Target: target}); err == nil {
+			staged++
+		}
+		if staged == free {
+			break
+		}
+	}
+	if staged != free {
+		t.Fatalf("staged %d moves onto host %d, want %d", staged, target, free)
+	}
+	for _, u := range vms {
+		if v.HostOf(u) == target {
+			continue
+		}
+		if _, err := v.Commit(Decision{VM: u, Target: target}); err == nil {
+			t.Fatal("view overfilled a host past its slot capacity")
+		}
+		break
+	}
+	// The engine's real cluster must be untouched by staging.
+	if got := fx.cl.FreeSlots(target); got != free {
+		t.Fatalf("staging mutated the cluster: %d free slots, want %d", got, free)
+	}
+}
+
+// TestViewsConcurrentReads: many views deciding concurrently over a
+// frozen engine must be race-free (exercised under -race) and each
+// reproduce the serial engine's decisions.
+func TestViewsConcurrentReads(t *testing.T) {
+	fx := newFixture(t, DefaultConfig())
+	vms := fx.cl.VMs()
+	type out struct {
+		dec Decision
+		ok  bool
+	}
+	want := make([]out, len(vms))
+	for i, u := range vms {
+		want[i].dec, want[i].ok = fx.eng.BestMigration(u)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	views := make([]*AllocView, workers)
+	for w := range views {
+		views[w] = fx.eng.NewView()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(v *AllocView) {
+			defer wg.Done()
+			for i, u := range vms {
+				dec, ok := v.BestMigration(u)
+				if ok != want[i].ok || dec != want[i].dec {
+					errs <- "concurrent view diverged from serial engine"
+					return
+				}
+			}
+		}(views[w])
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

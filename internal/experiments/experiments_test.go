@@ -287,3 +287,29 @@ func TestFig5cdEnvelope(t *testing.T) {
 		t.Fatal("downtime does not grow with load")
 	}
 }
+
+func TestShardSweepSmall(t *testing.T) {
+	res, err := ShardSweep(FatTree, Sparse, ScaleSmall, 1, []int{2, 4}, []string{"hlf", "rr"})
+	if err != nil {
+		t.Fatalf("ShardSweep: %v", err)
+	}
+	if len(res.Counts) != 3 || res.Counts[0] != 1 {
+		t.Fatalf("baseline shard count missing: %v", res.Counts)
+	}
+	for pi := range res.Policies {
+		for ci := range res.Counts {
+			if res.FinalCost[pi][ci] >= res.InitialCost {
+				t.Fatalf("policy %s shards=%d did not reduce cost", res.Policies[pi], res.Counts[ci])
+			}
+			if res.Reduction[pi][ci] < 0.5*res.Reduction[pi][0] {
+				t.Fatalf("policy %s shards=%d keeps under half the baseline reduction",
+					res.Policies[pi], res.Counts[ci])
+			}
+		}
+	}
+	var buf strings.Builder
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Shard sweep") {
+		t.Fatal("render output empty")
+	}
+}

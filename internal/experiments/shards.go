@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/score-dc/score/internal/sim"
+	"github.com/score-dc/score/internal/token"
+)
+
+// ShardSweepResult is the shard-granularity × policy scenario axis
+// opened by the sharded token scheduler: for each shard count it runs
+// the same instance to quiescence and reports how much of the
+// single-token cost reduction the partition/reconcile scheme keeps,
+// what it pays in cross-shard reconciliation, and how far the
+// wall-clock critical path (the longest ring per round) shrinks.
+type ShardSweepResult struct {
+	Family  Family
+	Density Density
+	// Counts[0] is always 1 — the single-token baseline.
+	Counts   []int
+	Policies []string
+	// Indexed [policy][count].
+	FinalCost     [][]float64
+	Reduction     [][]float64
+	Migrations    [][]int
+	CrossApplied  [][]int
+	Rounds        [][]int
+	CriticalHops  [][]int // longest-ring hops summed over rounds
+	WallClock     [][]time.Duration
+	InitialCost   float64
+	TotalVMs      int
+	EffectiveShrd [][]int // effective shard count after unit clamping
+}
+
+// ShardSweep runs the sweep on one topology family and density. Counts
+// not including 1 get it prepended, so the baseline is always present.
+func ShardSweep(f Family, d Density, s Scale, seed int64, counts []int, policies []string) (*ShardSweepResult, error) {
+	if len(counts) == 0 || counts[0] != 1 {
+		counts = append([]int{1}, counts...)
+	}
+	if len(policies) == 0 {
+		policies = []string{"hlf"}
+	}
+	res := &ShardSweepResult{
+		Family: f, Density: d, Counts: counts, Policies: policies,
+	}
+	for _, polName := range policies {
+		base, err := NewScenario(f, s, d, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.InitialCost = base.Eng.TotalCost()
+		res.TotalVMs = base.Cl.NumVMs()
+		var costs, reds []float64
+		var migs, cross, rounds, hops, eff []int
+		var walls []time.Duration
+		for _, n := range counts {
+			run, err := base.CloneForRun()
+			if err != nil {
+				return nil, err
+			}
+			pol, err := token.ByName(polName, run.Rng)
+			if err != nil {
+				return nil, err
+			}
+			cfg := sim.DefaultConfig()
+			cfg.Shards = n
+			cfg.HopLatencyS = 0.05
+			cfg.MaxIterations = 40
+			cfg.DurationS = cfg.HopLatencyS * float64(40*run.Cl.NumVMs())
+			cfg.SampleIntervalS = cfg.DurationS / 40
+			runner, err := sim.NewRunner(run.Eng, pol, cfg, run.Rng)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			m, err := runner.Run()
+			if err != nil {
+				return nil, err
+			}
+			walls = append(walls, time.Since(start))
+			costs = append(costs, m.FinalCost)
+			reds = append(reds, m.Reduction())
+			migs = append(migs, m.TotalMigrations)
+			cross = append(cross, m.CrossApplied)
+			rounds = append(rounds, len(m.Iterations))
+			critical := 0
+			if n > 1 {
+				longest := 0
+				for _, st := range m.PerShard {
+					if st.Hops > longest {
+						longest = st.Hops
+					}
+				}
+				// PerShard hops accumulate across rounds; the longest
+				// ring's total approximates the concurrent critical path.
+				critical = longest
+				eff = append(eff, len(m.PerShard))
+			} else {
+				critical = m.TokenHops
+				eff = append(eff, 1)
+			}
+			hops = append(hops, critical)
+		}
+		res.FinalCost = append(res.FinalCost, costs)
+		res.Reduction = append(res.Reduction, reds)
+		res.Migrations = append(res.Migrations, migs)
+		res.CrossApplied = append(res.CrossApplied, cross)
+		res.Rounds = append(res.Rounds, rounds)
+		res.CriticalHops = append(res.CriticalHops, hops)
+		res.WallClock = append(res.WallClock, walls)
+		res.EffectiveShrd = append(res.EffectiveShrd, eff)
+	}
+	return res, nil
+}
+
+// Render prints one table per policy.
+func (r *ShardSweepResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Shard sweep: %s / %s, %d VMs, initial cost %.0f\n",
+		r.Family, r.Density, r.TotalVMs, r.InitialCost)
+	for pi, pol := range r.Policies {
+		fmt.Fprintf(w, "policy %s:\n", pol)
+		fmt.Fprintln(w, "shards  eff  final-cost  reduction  migrations  cross  rounds  critical-hops  wall")
+		for ci, n := range r.Counts {
+			fmt.Fprintf(w, "%6d  %3d  %10.0f  %8.1f%%  %10d  %5d  %6d  %13d  %s\n",
+				n, r.EffectiveShrd[pi][ci], r.FinalCost[pi][ci], 100*r.Reduction[pi][ci],
+				r.Migrations[pi][ci], r.CrossApplied[pi][ci], r.Rounds[pi][ci],
+				r.CriticalHops[pi][ci], r.WallClock[pi][ci].Round(time.Millisecond))
+		}
+	}
+}

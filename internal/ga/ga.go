@@ -10,7 +10,11 @@
 // generations". Computing it took circa 12 hours for a medium-load setup,
 // which is exactly why S-CORE exists; this implementation exposes the
 // population size and instance scale so laptop-scale runs finish in
-// seconds while preserving the optimization structure.
+// seconds while preserving the optimization structure. Genomes are
+// independent, so fitness evaluation and per-child breeding (crossover,
+// mutation, memetic local search) fan out over the internal/shard worker
+// pool; selection and child seeds are drawn sequentially, making results
+// identical for every worker count.
 package ga
 
 import (
@@ -20,6 +24,7 @@ import (
 
 	"github.com/score-dc/score/internal/cluster"
 	"github.com/score-dc/score/internal/core"
+	"github.com/score-dc/score/internal/shard"
 	"github.com/score-dc/score/internal/topology"
 )
 
@@ -60,6 +65,14 @@ type Config struct {
 	// the paper's 1,000 individuals × 12 hours as the "approximate
 	// optimal".
 	LocalSearchVMs int
+	// Workers bounds the worker pool that fans out fitness evaluation
+	// and per-child breeding (crossover + mutation + memetic search);
+	// genomes are independent, so both parallelize cleanly. 0 means
+	// GOMAXPROCS; 1 forces serial execution. Results are identical for
+	// every worker count: selection and seeds are drawn sequentially
+	// from the caller's RNG, and each child breeds with its own
+	// seed-derived RNG.
+	Workers int
 }
 
 // DefaultConfig returns laptop-scale parameters with the paper's
@@ -193,6 +206,8 @@ func Optimize(eng *core.Engine, cfg Config, rng *rand.Rand) (Result, error) {
 		}
 	}
 
+	pool := shard.NewPool(cfg.Workers)
+
 	pop := make([][]cluster.HostID, cfg.Population)
 	fit := make([]float64, cfg.Population)
 	pop[0] = seed // current allocation as one individual
@@ -211,9 +226,7 @@ func Optimize(eng *core.Engine, cfg Config, rng *rand.Rand) (Result, error) {
 			pop[i] = in.randomDense(rng)
 		}
 	}
-	for i := range pop {
-		fit[i] = in.evaluate(pop[i])
-	}
+	pool.Run(cfg.Population, func(i int) { fit[i] = in.evaluate(pop[i]) })
 
 	res := Result{}
 	bestIdx := argmin(fit)
@@ -221,32 +234,55 @@ func Optimize(eng *core.Engine, cfg Config, rng *rand.Rand) (Result, error) {
 	bestCost := fit[bestIdx]
 	res.History = append(res.History, bestCost)
 
+	// childSpec is the sequentially drawn breeding plan for one child;
+	// the expensive part (crossover + mutation + memetic search +
+	// fitness) then fans out over the pool with a per-child RNG.
+	type childSpec struct {
+		pa, pb []cluster.HostID // pb nil = clone pa
+		mutate bool
+		seed   int64
+	}
+
 	for gen := 0; gen < cfg.MaxGenerations; gen++ {
-		next := make([][]cluster.HostID, 0, cfg.Population)
-		// Elitism: best individuals carry over.
+		next := make([][]cluster.HostID, cfg.Population)
+		nextFit := make([]float64, cfg.Population)
+		// Elitism: best individuals carry over with known fitness.
 		order := sortedByFitness(fit)
-		for e := 0; e < cfg.Elite && e < len(order); e++ {
-			next = append(next, append([]cluster.HostID(nil), pop[order[e]]...))
+		elite := cfg.Elite
+		if elite > len(order) {
+			elite = len(order)
 		}
-		for len(next) < cfg.Population {
-			pa := pop[tournament(fit, cfg.TournamentK, rng)]
-			var child []cluster.HostID
+		for e := 0; e < elite; e++ {
+			next[e] = append([]cluster.HostID(nil), pop[order[e]]...)
+			nextFit[e] = fit[order[e]]
+		}
+		specs := make([]childSpec, cfg.Population-elite)
+		for j := range specs {
+			sp := childSpec{pa: pop[tournament(fit, cfg.TournamentK, rng)]}
 			if rng.Float64() < cfg.CrossoverRate {
-				pb := pop[tournament(fit, cfg.TournamentK, rng)]
-				child = in.crossover(pa, pb, rng)
+				sp.pb = pop[tournament(fit, cfg.TournamentK, rng)]
+			}
+			sp.mutate = rng.Float64() < cfg.MutationRate
+			sp.seed = rng.Int63()
+			specs[j] = sp
+		}
+		pool.Run(len(specs), func(j int) {
+			sp := specs[j]
+			crng := rand.New(rand.NewSource(sp.seed))
+			var child []cluster.HostID
+			if sp.pb != nil {
+				child = in.crossover(sp.pa, sp.pb, crng)
 			} else {
-				child = append([]cluster.HostID(nil), pa...)
+				child = append([]cluster.HostID(nil), sp.pa...)
 			}
-			if rng.Float64() < cfg.MutationRate {
-				in.mutate(child, cfg.MaxSwaps, rng)
+			if sp.mutate {
+				in.mutate(child, cfg.MaxSwaps, crng)
 			}
-			in.localSearch(child, cfg.LocalSearchVMs, rng)
-			next = append(next, child)
-		}
-		pop = next
-		for i := range pop {
-			fit[i] = in.evaluate(pop[i])
-		}
+			in.localSearch(child, cfg.LocalSearchVMs, crng)
+			next[elite+j] = child
+			nextFit[elite+j] = in.evaluate(child)
+		})
+		pop, fit = next, nextFit
 		if i := argmin(fit); fit[i] < bestCost {
 			bestCost = fit[i]
 			copy(best, pop[i])

@@ -169,3 +169,43 @@ func TestGreedySeedFeasible(t *testing.T) {
 		}
 	}
 }
+
+// TestWorkerCountInvariant: the parallel fan-out must not change the
+// optimization's result — any worker count yields the same best cost,
+// history and allocation as a serial run.
+func TestWorkerCountInvariant(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Population = 24
+	cfg.MaxGenerations = 15
+	cfg.MinGenerations = 5
+	run := func(workers int) Result {
+		cfg.Workers = workers
+		eng, _ := buildEngine(t, 55)
+		res, err := Optimize(eng, cfg, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, w := range []int{2, 8} {
+		par := run(w)
+		if par.BestCost != serial.BestCost || par.Generations != serial.Generations {
+			t.Fatalf("workers=%d diverged: %v/%d vs serial %v/%d",
+				w, par.BestCost, par.Generations, serial.BestCost, serial.Generations)
+		}
+		if len(par.History) != len(serial.History) {
+			t.Fatalf("workers=%d history length %d vs %d", w, len(par.History), len(serial.History))
+		}
+		for i := range par.History {
+			if par.History[i] != serial.History[i] {
+				t.Fatalf("workers=%d history[%d] = %v, serial %v", w, i, par.History[i], serial.History[i])
+			}
+		}
+		for vm, h := range serial.BestAlloc {
+			if par.BestAlloc[vm] != h {
+				t.Fatalf("workers=%d allocation differs at VM %d", w, vm)
+			}
+		}
+	}
+}

@@ -62,7 +62,21 @@ type AgentConfig struct {
 	Policy token.Policy
 	// ProbeTimeout bounds location/capacity round trips.
 	ProbeTimeout time.Duration
+	// LocationCacheTTL bounds how long a probed peer location is
+	// reused before the agent re-probes. Within one token visit the
+	// decision loop and the holder-view construction both resolve every
+	// peer, so even a short TTL halves location round trips; across
+	// visits the cache drops the per-peer round trip entirely. Entries
+	// are additionally invalidated whenever the agent observes a
+	// migration — it executes one, receives the VM, or the registry
+	// points the peer at a different dom0. Zero means a 1s default; a
+	// negative value disables caching.
+	LocationCacheTTL time.Duration
 }
+
+// defaultLocationCacheTTL applies when AgentConfig.LocationCacheTTL is
+// zero.
+const defaultLocationCacheTTL = time.Second
 
 // TokenEvent reports one processed token visit to the observer.
 type TokenEvent struct {
@@ -80,11 +94,12 @@ type Agent struct {
 	tr  Transport
 	reg *Registry
 
-	mu      sync.Mutex
-	vms     map[cluster.VMID]*vmRecord
-	pending map[uint32]chan Message
-	seq     atomic.Uint32
-	closed  bool
+	mu       sync.Mutex
+	vms      map[cluster.VMID]*vmRecord
+	pending  map[uint32]chan Message
+	locCache map[cluster.VMID]locEntry
+	seq      atomic.Uint32
+	closed   bool
 
 	// OnToken, when set, observes each token visit; returning false
 	// stops the ring (the harness's termination hook). It must be set
@@ -98,6 +113,15 @@ type Agent struct {
 type vmRecord struct {
 	ramMB int
 	rates []traffic.Edge // λ(u, v) toward each peer, Mb/s; sorted by Peer
+}
+
+// locEntry caches one peer's probed location. addr records which dom0
+// answered: if the registry later points the VM elsewhere, the entry is
+// stale regardless of TTL (an observed migration invalidates it).
+type locEntry struct {
+	host    cluster.HostID
+	addr    string
+	expires time.Time
 }
 
 func compareEdgePeer(e traffic.Edge, peer cluster.VMID) int {
@@ -116,11 +140,15 @@ func NewAgent(cfg AgentConfig, reg *Registry) (*Agent, error) {
 	if cfg.ProbeTimeout <= 0 {
 		cfg.ProbeTimeout = 2 * time.Second
 	}
+	if cfg.LocationCacheTTL == 0 {
+		cfg.LocationCacheTTL = defaultLocationCacheTTL
+	}
 	return &Agent{
-		cfg:     cfg,
-		reg:     reg,
-		vms:     make(map[cluster.VMID]*vmRecord),
-		pending: make(map[uint32]chan Message),
+		cfg:      cfg,
+		reg:      reg,
+		vms:      make(map[cluster.VMID]*vmRecord),
+		pending:  make(map[uint32]chan Message),
+		locCache: make(map[cluster.VMID]locEntry),
 	}, nil
 }
 
@@ -224,6 +252,7 @@ func (a *Agent) handle(from string, m Message) {
 		}
 		a.mu.Lock()
 		a.vms[m.VM] = &vmRecord{ramMB: int(m.RAMMB), rates: rates}
+		delete(a.locCache, m.VM) // observed migration: the VM is here now
 		a.mu.Unlock()
 		a.reg.Assign(m.VM, a.tr.Addr())
 		_ = a.tr.Send(m.ReplyTo, Message{Type: MsgMigrateAck, ReqID: m.ReqID, VM: m.VM, Host: a.cfg.HostID})
@@ -323,7 +352,8 @@ func (a *Agent) processToken(m Message) {
 }
 
 // currentHostOf returns where the holder is after any migration this
-// visit performed: itself unless the VM moved away.
+// visit performed: itself unless the VM moved away, in which case the
+// location resolves through the same cached probe path as any peer.
 func (a *Agent) currentHostOf(vm cluster.VMID) cluster.HostID {
 	a.mu.Lock()
 	_, still := a.vms[vm]
@@ -331,16 +361,46 @@ func (a *Agent) currentHostOf(vm cluster.VMID) cluster.HostID {
 	if still {
 		return a.cfg.HostID
 	}
-	if addr, ok := a.reg.Lookup(vm); ok && addr != a.tr.Addr() {
-		// Peer probe for its new host.
-		if resp, err := a.request(addr, Message{Type: MsgLocationReq, VM: vm}); err == nil {
-			return resp.Host
-		}
+	if h, ok := a.locate(vm); ok {
+		return h
 	}
 	return a.cfg.HostID
 }
 
-// locate probes the dom0 hosting vm for its server identity.
+// cacheLocation records a freshly observed peer location.
+func (a *Agent) cacheLocation(vm cluster.VMID, host cluster.HostID, addr string) {
+	if a.cfg.LocationCacheTTL < 0 {
+		return
+	}
+	a.mu.Lock()
+	a.locCache[vm] = locEntry{host: host, addr: addr, expires: time.Now().Add(a.cfg.LocationCacheTTL)}
+	a.mu.Unlock()
+}
+
+// cachedLocation serves vm's location from the cache when the entry is
+// inside its TTL and the registry still points at the dom0 that
+// answered the probe — a registry address change is an observed
+// migration and invalidates the entry immediately.
+func (a *Agent) cachedLocation(vm cluster.VMID, addr string) (cluster.HostID, bool) {
+	if a.cfg.LocationCacheTTL < 0 {
+		return cluster.NoHost, false
+	}
+	a.mu.Lock()
+	ent, ok := a.locCache[vm]
+	if ok && (ent.addr != addr || time.Now().After(ent.expires)) {
+		delete(a.locCache, vm)
+		ok = false
+	}
+	a.mu.Unlock()
+	if !ok {
+		return cluster.NoHost, false
+	}
+	return ent.host, true
+}
+
+// locate resolves the server hosting vm: from the TTL cache when fresh,
+// otherwise by probing the dom0 the registry names (Section V-B4's
+// location request) and caching the answer.
 func (a *Agent) locate(vm cluster.VMID) (cluster.HostID, bool) {
 	addr, ok := a.reg.Lookup(vm)
 	if !ok {
@@ -349,10 +409,14 @@ func (a *Agent) locate(vm cluster.VMID) (cluster.HostID, bool) {
 	if addr == a.tr.Addr() {
 		return a.cfg.HostID, true
 	}
+	if h, ok := a.cachedLocation(vm, addr); ok {
+		return h, true
+	}
 	resp, err := a.request(addr, Message{Type: MsgLocationReq, VM: vm})
 	if err != nil {
 		return cluster.NoHost, false
 	}
+	a.cacheLocation(vm, resp.Host, addr)
 	return resp.Host, true
 }
 
@@ -437,6 +501,10 @@ func (a *Agent) decide(holder cluster.VMID, ramMB int, rates []traffic.Edge) Tok
 	a.mu.Lock()
 	delete(a.vms, holder)
 	a.mu.Unlock()
+	// The source dom0 observed this migration first-hand: record the
+	// holder's new location so the post-decision view build (and any
+	// later visit inside the TTL) needs no extra round trip.
+	a.cacheLocation(holder, best.host, best.addr)
 	ev.Migrated = true
 	ev.Target = best.host
 	ev.Delta = bestDelta

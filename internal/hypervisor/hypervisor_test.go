@@ -321,3 +321,133 @@ func TestAgentRejectsOverCapacityAdd(t *testing.T) {
 		t.Fatal("slot-overflow AddVM accepted")
 	}
 }
+
+func TestLocationCacheAvoidsReprobes(t *testing.T) {
+	_, agents, _ := buildAgents(t, 4)
+	if err := agents[2].AddVM(7, 1024, nil); err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := agents[0].locate(7); !ok || h != 2 {
+		t.Fatalf("locate = %d,%v, want host 2", h, ok)
+	}
+	// Poison the cached host: a second locate inside the TTL must serve
+	// the poisoned value, proving no fresh probe happened.
+	agents[0].mu.Lock()
+	ent, ok := agents[0].locCache[7]
+	if !ok {
+		agents[0].mu.Unlock()
+		t.Fatal("location probe did not populate the cache")
+	}
+	ent.host = 99
+	agents[0].locCache[7] = ent
+	agents[0].mu.Unlock()
+	if h, _ := agents[0].locate(7); h != 99 {
+		t.Fatalf("locate inside TTL = %d, want cached sentinel 99", h)
+	}
+	// Expire the entry: the next locate must re-probe and heal.
+	agents[0].mu.Lock()
+	ent = agents[0].locCache[7]
+	ent.expires = time.Now().Add(-time.Second)
+	agents[0].locCache[7] = ent
+	agents[0].mu.Unlock()
+	if h, ok := agents[0].locate(7); !ok || h != 2 {
+		t.Fatalf("locate after expiry = %d,%v, want re-probed host 2", h, ok)
+	}
+}
+
+func TestLocationCacheDisabled(t *testing.T) {
+	topo, err := topology.NewCanonicalTree(topology.CanonicalConfig{
+		Racks: 2, HostsPerRack: 2, RacksPerPod: 2, CoreSwitches: 1,
+		HostLinkMbps: 1000, TorUplinkMbps: 1000, AggUplinkMbps: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := core.NewCostModel(core.PaperWeights()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := NewMemHub()
+	reg := NewRegistry()
+	mk := func(addr string) func(Handler) (Transport, error) {
+		return func(h Handler) (Transport, error) { return hub.NewEndpoint(addr, h) }
+	}
+	cfg := AgentConfig{
+		HostID: 0, Slots: 4, RAMMB: 8192, Topo: topo, Cost: cm,
+		Policy: token.RoundRobin{}, LocationCacheTTL: -1,
+	}
+	a0, err := NewAgent(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a0.Start(mk("x0")); err != nil {
+		t.Fatal(err)
+	}
+	defer a0.Close()
+	cfg1 := cfg
+	cfg1.HostID = 1
+	cfg1.LocationCacheTTL = 0 // default TTL
+	a1, err := NewAgent(cfg1, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.Start(mk("x1")); err != nil {
+		t.Fatal(err)
+	}
+	defer a1.Close()
+	if err := a1.AddVM(5, 512, nil); err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := a0.locate(5); !ok || h != 1 {
+		t.Fatalf("locate = %d,%v", h, ok)
+	}
+	a0.mu.Lock()
+	n := len(a0.locCache)
+	a0.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("disabled cache holds %d entries", n)
+	}
+}
+
+func TestLocationCacheInvalidatedOnObservedMigration(t *testing.T) {
+	_, agents, _ := buildAgents(t, 4)
+	if err := agents[2].AddVM(7, 1024, nil); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := agents[0].locate(7); h != 2 {
+		t.Fatalf("initial locate = %d, want 2", h)
+	}
+	// The VM "migrates" to agent 3: the registry now names a different
+	// dom0, so the cached entry must be dropped despite its live TTL.
+	if err := agents[3].AddVM(7, 1024, nil); err != nil { // Assigns in registry
+		t.Fatal(err)
+	}
+	if h, ok := agents[0].locate(7); !ok || h != 3 {
+		t.Fatalf("locate after observed migration = %d,%v, want host 3", h, ok)
+	}
+}
+
+func TestDecideUpdatesSourceCache(t *testing.T) {
+	_, agents, topo := buildAgents(t, 8)
+	if err := agents[0].AddVM(1, 1024, map[cluster.VMID]float64{2: 80}); err != nil {
+		t.Fatal(err)
+	}
+	if err := agents[6].AddVM(2, 1024, map[cluster.VMID]float64{1: 80}); err != nil {
+		t.Fatal(err)
+	}
+	ev := agents[0].decide(1, 1024, []traffic.Edge{{Peer: 2, Rate: 80}})
+	if !ev.Migrated {
+		t.Fatal("level-3 pair did not migrate")
+	}
+	// The source dom0 observed its own migration: its cache must name
+	// the target without another probe.
+	agents[0].mu.Lock()
+	ent, ok := agents[0].locCache[1]
+	agents[0].mu.Unlock()
+	if !ok || ent.host != ev.Target {
+		t.Fatalf("source cache for migrated VM = %+v,%v, want host %d", ent, ok, ev.Target)
+	}
+	if topo.Level(ev.Target, 6) > 1 {
+		t.Fatalf("migration target %d not near peer host 6", ev.Target)
+	}
+}

@@ -1,0 +1,278 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/core"
+	"github.com/score-dc/score/internal/token"
+)
+
+// Config tunes a sharded token scheduler.
+type Config struct {
+	// Shards is the number of concurrent token rings (clamped to the
+	// number of topology units at the chosen granularity). 1 reproduces
+	// the paper's single serial token — bit-for-bit when the
+	// bandwidth-threshold admission is disabled; with it enabled, an
+	// admission decision sitting exactly on the NIC limit can differ in
+	// the last ulp, because views add staged net-load deltas onto the
+	// frozen per-host loads while the serial engine folds the same
+	// rates into its accumulators directly.
+	Shards int
+	// Granularity aligns shard boundaries to pods (default) or racks.
+	Granularity Granularity
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// NewPolicy builds shard s's token-forwarding policy. It is invoked
+	// sequentially in shard order at the start of every round, so
+	// stochastic policies can draw per-shard seeds deterministically.
+	// Nil defaults to Highest-Level First for every shard.
+	NewPolicy func(s int) token.Policy
+	// MaxRounds caps Run; 0 means run until a round applies no
+	// migration (bounded by a generous safety cap).
+	MaxRounds int
+}
+
+// ShardRound reports one shard ring's activity within a round.
+type ShardRound struct {
+	Shard int
+	// VMs is the ring's population this round.
+	VMs int
+	// Hops is the number of token hops the ring performed.
+	Hops int
+	// Committed intra-shard migrations staged by the ring; Merged is
+	// the subset that survived merge-time re-validation and was
+	// applied (Committed - Merged were stale-rejected).
+	Committed int
+	Merged    int
+	// Proposed cross-shard migrations queued for reconciliation.
+	Proposed int
+}
+
+// Round summarizes one partition → concurrent rings → merge cycle.
+type Round struct {
+	// Applied lists every migration actually executed, in application
+	// order: staged intra-shard commits in shard order, then reconciled
+	// cross-shard moves. Delta carries the ΔC realized at apply time.
+	Applied []core.Decision
+	// RealizedDelta is the summed ΔC of Applied.
+	RealizedDelta float64
+	// Shards holds per-ring statistics.
+	Shards []ShardRound
+	// CrossApplied / CrossRejected count the reconciliation outcomes of
+	// queued cross-shard proposals.
+	CrossApplied, CrossRejected int
+	// StaleRejected counts staged intra-shard moves dropped at merge
+	// time because an earlier-merged shard's migrations invalidated
+	// their ΔC or admissibility.
+	StaleRejected int
+	// RingHops is the longest ring's hop count — the round's wall-clock
+	// extent when rings run concurrently. TotalHops sums all rings.
+	RingHops, TotalHops int
+}
+
+// Result aggregates a Run.
+type Result struct {
+	Rounds     []*Round
+	Migrations int
+	// RealizedDelta is the total cost reduction across all rounds.
+	RealizedDelta float64
+}
+
+// runSafetyCap bounds Run when MaxRounds is 0: S-CORE converges (every
+// applied move strictly lowers a bounded cost), so this is a defensive
+// limit, not a tuning knob.
+const runSafetyCap = 1024
+
+// Coordinator drives sharded token rounds against one engine. It owns
+// the engine (and its cluster) for the duration of each call: the
+// caller must not mutate cluster or traffic state while a round runs.
+type Coordinator struct {
+	eng  *core.Engine
+	cfg  Config
+	pool *Pool
+}
+
+// NewCoordinator validates the configuration and binds it to an engine.
+func NewCoordinator(eng *core.Engine, cfg Config) (*Coordinator, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("shard: nil engine")
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: shard count %d must be positive", cfg.Shards)
+	}
+	if cfg.Granularity != ByPod && cfg.Granularity != ByRack {
+		return nil, fmt.Errorf("shard: unknown granularity %v", cfg.Granularity)
+	}
+	if cfg.NewPolicy == nil {
+		cfg.NewPolicy = func(int) token.Policy { return token.HighestLevelFirst{} }
+	}
+	return &Coordinator{eng: eng, cfg: cfg, pool: NewPool(cfg.Workers)}, nil
+}
+
+// shardOutcome is one ring's private result, merged sequentially.
+type shardOutcome struct {
+	stats     ShardRound
+	commits   []core.Decision
+	proposals []core.Decision
+}
+
+// RunRound executes one full cycle: partition the current allocation,
+// run every shard's token ring concurrently against frozen state, then
+// merge staged moves and reconcile cross-shard proposals sequentially.
+func (c *Coordinator) RunRound() (*Round, error) {
+	part, err := NewPartition(c.eng.Topology(), c.eng.Cluster(), c.cfg.Granularity, c.cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	n := part.Shards()
+	// Views and policies are created sequentially (view creation primes
+	// the engine's shared accounting; policy construction may consume a
+	// caller RNG), then used strictly concurrently.
+	views := make([]*core.AllocView, n)
+	policies := make([]token.Policy, n)
+	for s := 0; s < n; s++ {
+		views[s] = c.eng.NewView()
+		policies[s] = c.cfg.NewPolicy(s)
+	}
+
+	outcomes := make([]*shardOutcome, n)
+	c.pool.Run(n, func(s int) {
+		outcomes[s] = c.ringPass(s, part, views[s], policies[s])
+	})
+
+	round := &Round{Shards: make([]ShardRound, 0, n)}
+	cm := c.eng.Config().MigrationCost
+	var proposals []core.Decision
+	for s := 0; s < n; s++ {
+		o := outcomes[s]
+		round.TotalHops += o.stats.Hops
+		if o.stats.Hops > round.RingHops {
+			round.RingHops = o.stats.Hops
+		}
+		// Merge: replay the ring's staged intra-shard moves. Capacity
+		// cannot have shifted (no other ring touches this shard's
+		// hosts), but a staged move's ΔC was computed against frozen
+		// cross-shard peer positions — an earlier-merged shard may have
+		// moved a peer since. Re-validate each move against the merged
+		// allocation so Theorem 1 holds for everything that lands; with
+		// a single shard the re-check is exact and never fires.
+		for _, d := range o.commits {
+			if c.eng.Delta(d.VM, d.Target) <= cm || !c.eng.Admissible(d.VM, d.Target) {
+				round.StaleRejected++
+				continue
+			}
+			realized, err := c.eng.Apply(d)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: merging staged move of VM %d: %w", s, d.VM, err)
+			}
+			round.Applied = append(round.Applied, core.Decision{VM: d.VM, From: d.From, Target: d.Target, Delta: realized})
+			round.RealizedDelta += realized
+			o.stats.Merged++
+		}
+		round.Shards = append(round.Shards, o.stats)
+		proposals = append(proposals, o.proposals...)
+	}
+
+	// Reconcile cross-shard proposals in a deterministic order:
+	// strongest staged ΔC first, ties by VM then target. Each proposal
+	// is re-validated against the merged allocation, preserving
+	// Theorem 1 for every move that lands.
+	sort.Slice(proposals, func(i, j int) bool {
+		a, b := proposals[i], proposals[j]
+		if a.Delta != b.Delta {
+			return a.Delta > b.Delta
+		}
+		if a.VM != b.VM {
+			return a.VM < b.VM
+		}
+		return a.Target < b.Target
+	})
+	for _, pr := range proposals {
+		d := c.eng.Delta(pr.VM, pr.Target)
+		if d <= cm || !c.eng.Admissible(pr.VM, pr.Target) {
+			round.CrossRejected++
+			continue
+		}
+		from := c.eng.Cluster().HostOf(pr.VM)
+		realized, err := c.eng.Apply(core.Decision{VM: pr.VM, From: from, Target: pr.Target, Delta: d})
+		if err != nil {
+			round.CrossRejected++
+			continue
+		}
+		round.Applied = append(round.Applied, core.Decision{VM: pr.VM, From: from, Target: pr.Target, Delta: realized})
+		round.RealizedDelta += realized
+		round.CrossApplied++
+	}
+	return round, nil
+}
+
+// Run repeats rounds until one applies no migration, or MaxRounds.
+func (c *Coordinator) Run() (*Result, error) {
+	limit := c.cfg.MaxRounds
+	if limit <= 0 || limit > runSafetyCap {
+		limit = runSafetyCap
+	}
+	res := &Result{}
+	for r := 0; r < limit; r++ {
+		round, err := c.RunRound()
+		if err != nil {
+			return nil, err
+		}
+		res.Rounds = append(res.Rounds, round)
+		res.Migrations += len(round.Applied)
+		res.RealizedDelta += round.RealizedDelta
+		if len(round.Applied) == 0 {
+			break
+		}
+	}
+	return res, nil
+}
+
+// ringPass runs one shard's token ring to completion: every shard VM is
+// visited once (one pass, |V_s| hops), decisions are staged in the
+// shard's view, and the token moves by the shard's policy — the
+// Section V-A loop scoped to one shard.
+func (c *Coordinator) ringPass(s int, part *Partition, view *core.AllocView, pol token.Policy) *shardOutcome {
+	vms := part.VMs(s)
+	o := &shardOutcome{stats: ShardRound{Shard: s, VMs: len(vms)}}
+	if len(vms) == 0 {
+		return o
+	}
+	depth := uint8(c.eng.Topology().Depth())
+	tok := token.NewAtLevel(vms, depth)
+	tm := c.eng.Traffic()
+	_, levelFree := pol.(token.LevelFree)
+	holder := vms[0]
+	for hop := 0; hop < len(vms); hop++ {
+		o.stats.Hops++
+		if dec, ok := view.BestMigration(holder); ok {
+			if part.ShardOfHost(dec.Target) == s {
+				if _, err := view.Commit(dec); err == nil {
+					o.stats.Committed++
+				}
+			} else {
+				o.proposals = append(o.proposals, dec)
+				o.stats.Proposed++
+			}
+		}
+		hv := token.HolderView{Holder: holder}
+		if !levelFree {
+			neigh := tm.NeighborEdges(holder)
+			levels := make(map[cluster.VMID]uint8, len(neigh))
+			for _, ed := range neigh {
+				levels[ed.Peer] = uint8(view.PairLevel(holder, ed.Peer))
+			}
+			hv.OwnLevel = uint8(view.VMLevel(holder))
+			hv.NeighborLevels = levels
+		}
+		next, ok := pol.Next(tok, hv)
+		if !ok {
+			break
+		}
+		holder = next
+	}
+	o.commits = view.Commits()
+	return o
+}

@@ -1,0 +1,50 @@
+// Package shard runs S-CORE token scheduling concurrently over
+// topology-aligned shards of the VM population, with mergeable ΔC
+// accounting.
+//
+// # Deviation from the paper
+//
+// The paper's Section V-A circulates a single token: one VM decides at a
+// time, which serializes the entire control loop. With the per-decision
+// hot path allocation-free, that serialization dominates wall-clock at
+// data-center scale. This package trades the single global ring for a
+// partition-then-reconcile scheme in the spirit of per-cell
+// decompositions of cluster management (Han et al.'s approximate-MDP
+// manager) and the partition/reconcile pattern surveyed by Xu et al.:
+//
+//  1. Partition. Hosts are grouped into shards along topology lines
+//     (whole aggregation pods by default, or whole racks), and every
+//     placed VM belongs to the shard of its current host. Aligning
+//     shard boundaries with topology levels keeps the common,
+//     high-value moves — co-locating communicating VMs within a rack
+//     or pod — inside one shard.
+//
+//  2. Concurrent rings. Each shard runs one independent token ring
+//     over its own VMs on a bounded worker pool. A ring stages its
+//     decisions in a private core.AllocView: intra-shard migrations
+//     commit into the view lock-free (no other shard can touch the
+//     shard's hosts), while proposals whose best target lies in
+//     another shard are queued, not applied. Remote VMs are read at
+//     their frozen round-start positions.
+//
+//  3. Merge + reconcile. After all rings finish, staged intra-shard
+//     moves are replayed against the real engine in shard order, then
+//     queued cross-shard proposals are applied sequentially in a
+//     deterministic order (descending staged ΔC, then VM ID, then
+//     target). Both replay paths re-validate ΔC and admissibility
+//     against the merged allocation — a staged move's ΔC was computed
+//     against frozen cross-shard peer positions, and an earlier-merged
+//     shard may have moved a peer since — so Theorem 1's guarantee
+//     (every applied move lowers the global cost) holds for every
+//     migration the coordinator performs.
+//
+// Because each ring's outcome depends only on the frozen round-start
+// state and its own staged moves, and both merge phases run in a fixed
+// order, a run's output is byte-for-byte identical for any GOMAXPROCS
+// and any worker-pool size. With a single shard the coordinator
+// degenerates to the paper's serial token pass.
+//
+// The worker pool (Pool) is exported separately: the GA baseline reuses
+// it to fan population fitness evaluation and memetic local search over
+// the same bounded concurrency.
+package shard

@@ -1,0 +1,62 @@
+package shard
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded worker pool for indexed fan-out. Results land by
+// index, so output is deterministic regardless of scheduling as long as
+// tasks are independent and each task's work is a pure function of its
+// index (give stochastic tasks their own index-derived RNG).
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool running at most workers tasks concurrently;
+// workers <= 0 means GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes task(0) … task(n-1), at most Workers at a time, and
+// returns when all have completed. With one worker (or n == 1) tasks
+// run inline in index order, avoiding goroutine overhead.
+func (p *Pool) Run(n int, task func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				task(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,343 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/core"
+	"github.com/score-dc/score/internal/token"
+	"github.com/score-dc/score/internal/topology"
+	"github.com/score-dc/score/internal/traffic"
+)
+
+// buildEngine assembles a fat-tree instance with hotspot traffic. The
+// bandwidth threshold is disabled so the serial reference and the
+// view-based rings compare NIC loads accumulated in different
+// floating-point orders nowhere (see core.AllocView docs); capacity
+// admission (slots/RAM) stays active.
+func buildEngine(t testing.TB, k int, seed int64, scale float64) *core.Engine {
+	t.Helper()
+	topo, err := topology.NewFatTree(k, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.UniformHosts(topo.Hosts(), 8, 32768, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pm := cluster.NewPlacementManager(cl, 0x0a000001)
+	for i := 0; i < topo.Hosts()*4; i++ {
+		if _, err := pm.CreateVM(1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pm.PlaceRandom(rng); err != nil {
+		t.Fatal(err)
+	}
+	tm, err := traffic.Generate(traffic.DefaultGenConfig(topo.Racks()), topo, cl, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 1 {
+		tm = tm.Scaled(scale)
+	}
+	cm, err := core.NewCostModel(core.PaperWeights()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.BandwidthThreshold = 0
+	eng, err := core.NewEngine(topo, cm, cl, tm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// serialTokenPass is the reference single-token implementation: one
+// full HLF ring pass over all VMs, decisions applied immediately
+// through the engine — the paper's Section V-A loop.
+func serialTokenPass(eng *core.Engine) []core.Decision {
+	vms := eng.Cluster().VMs()
+	if len(vms) == 0 {
+		return nil
+	}
+	tok := token.NewAtLevel(vms, uint8(eng.Topology().Depth()))
+	tm := eng.Traffic()
+	pol := token.HighestLevelFirst{}
+	var applied []core.Decision
+	holder := vms[0]
+	for hop := 0; hop < len(vms); hop++ {
+		if dec, ok := eng.BestMigration(holder); ok {
+			realized, err := eng.Apply(dec)
+			if err == nil {
+				applied = append(applied, core.Decision{VM: dec.VM, From: dec.From, Target: dec.Target, Delta: realized})
+			}
+		}
+		neigh := tm.NeighborEdges(holder)
+		levels := make(map[cluster.VMID]uint8, len(neigh))
+		for _, ed := range neigh {
+			levels[ed.Peer] = uint8(eng.PairLevel(holder, ed.Peer))
+		}
+		next, ok := pol.Next(tok, token.HolderView{
+			Holder:         holder,
+			OwnLevel:       uint8(eng.VMLevel(holder)),
+			NeighborLevels: levels,
+		})
+		if !ok {
+			break
+		}
+		holder = next
+	}
+	return applied
+}
+
+// TestSingleShardMatchesSerialToken: with one shard the coordinator
+// must reproduce the serial single-token pass decision for decision and
+// land on a bitwise-identical cost.
+func TestSingleShardMatchesSerialToken(t *testing.T) {
+	ref := buildEngine(t, 4, 7, 10)
+	ref.TotalCost() // prime the accounting at round start, as NewView does
+	wantApplied := serialTokenPass(ref)
+	wantCost := ref.TotalCost()
+
+	eng := buildEngine(t, 4, 7, 10)
+	coord, err := NewCoordinator(eng, Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, err := coord.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(round.Applied) != len(wantApplied) {
+		t.Fatalf("1-shard round applied %d migrations, serial token %d", len(round.Applied), len(wantApplied))
+	}
+	for i := range wantApplied {
+		if round.Applied[i] != wantApplied[i] {
+			t.Fatalf("decision %d diverged: sharded %+v, serial %+v", i, round.Applied[i], wantApplied[i])
+		}
+	}
+	if round.CrossApplied+round.CrossRejected != 0 {
+		t.Fatalf("single shard produced %d cross-shard proposals", round.CrossApplied+round.CrossRejected)
+	}
+	if got := eng.TotalCost(); got != wantCost {
+		t.Fatalf("1-shard final cost %v, serial token %v", got, wantCost)
+	}
+	if len(wantApplied) == 0 {
+		t.Fatal("fixture produced no migrations; test vacuous")
+	}
+}
+
+// runSerialToQuiescence repeats serial passes until one applies nothing.
+func runSerialToQuiescence(eng *core.Engine) int {
+	total := 0
+	for r := 0; r < runSafetyCap; r++ {
+		applied := serialTokenPass(eng)
+		total += len(applied)
+		if len(applied) == 0 {
+			break
+		}
+	}
+	return total
+}
+
+// TestShardedConvergesNearSerial: on connected hotspot traffic, the
+// 4-shard scheduler run to quiescence must land within tolerance of the
+// single-token final cost (the partition/reconcile scheme loses some
+// global moves but the reconciliation pass recovers cross-shard
+// co-locations), and every applied move must have lowered the cost.
+func TestShardedConvergesNearSerial(t *testing.T) {
+	ref := buildEngine(t, 4, 11, 10)
+	initial := ref.TotalCost()
+	runSerialToQuiescence(ref)
+	serialFinal := ref.TotalCost()
+	if serialFinal >= initial {
+		t.Fatalf("serial token did not reduce cost: %v -> %v", initial, serialFinal)
+	}
+
+	for _, g := range []Granularity{ByPod, ByRack} {
+		eng := buildEngine(t, 4, 11, 10)
+		coord, err := NewCoordinator(eng, Config{Shards: 4, Granularity: g, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := coord.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := eng.TotalCost()
+		if final >= initial {
+			t.Fatalf("%v-sharded run did not reduce cost: %v -> %v", g, initial, final)
+		}
+		for _, round := range res.Rounds {
+			for _, d := range round.Applied {
+				if d.Delta <= 0 {
+					t.Fatalf("%v-sharded run applied a non-improving move: %+v", g, d)
+				}
+			}
+			staged, merged := 0, 0
+			for _, sh := range round.Shards {
+				staged += sh.Committed
+				merged += sh.Merged
+			}
+			if staged-merged != round.StaleRejected {
+				t.Fatalf("%v: staged %d, merged %d, but StaleRejected = %d",
+					g, staged, merged, round.StaleRejected)
+			}
+			if merged+round.CrossApplied != len(round.Applied) {
+				t.Fatalf("%v: merged %d + cross %d != applied %d",
+					g, merged, round.CrossApplied, len(round.Applied))
+			}
+		}
+		// Tolerance: the sharded scheme must capture most of the serial
+		// token's reduction.
+		serialRed := initial - serialFinal
+		shardRed := initial - final
+		if shardRed < 0.85*serialRed {
+			t.Fatalf("%v-sharded reduction %v captures only %.1f%% of serial reduction %v",
+				g, shardRed, 100*shardRed/serialRed, serialRed)
+		}
+	}
+}
+
+// fingerprint serializes a run's full observable output: every applied
+// decision with its realized ΔC bits, per-shard stats, and the final
+// cost and allocation — byte-for-byte comparable.
+func fingerprint(res *Result, eng *core.Engine) string {
+	out := ""
+	for ri, round := range res.Rounds {
+		out += fmt.Sprintf("round %d hops=%d/%d cross=%d/%d stale=%d\n",
+			ri, round.RingHops, round.TotalHops, round.CrossApplied, round.CrossRejected, round.StaleRejected)
+		for _, sh := range round.Shards {
+			out += fmt.Sprintf("  shard %d vms=%d hops=%d c=%d m=%d p=%d\n",
+				sh.Shard, sh.VMs, sh.Hops, sh.Committed, sh.Merged, sh.Proposed)
+		}
+		for _, d := range round.Applied {
+			out += fmt.Sprintf("  vm %d: %d->%d delta=%x\n", d.VM, d.From, d.Target, math.Float64bits(d.Delta))
+		}
+	}
+	out += fmt.Sprintf("final=%x\n", math.Float64bits(eng.TotalCost()))
+	for _, vm := range eng.Cluster().VMs() {
+		out += fmt.Sprintf("%d@%d ", vm, eng.Cluster().HostOf(vm))
+	}
+	return out
+}
+
+// TestShardedDeterministicAcrossGOMAXPROCS: identical byte-for-byte
+// output whatever the parallelism — the property that makes sharded
+// runs reproducible and debuggable.
+func TestShardedDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func(procs int) string {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		eng := buildEngine(t, 4, 23, 10)
+		coord, err := NewCoordinator(eng, Config{Shards: 4, Workers: 8, MaxRounds: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := coord.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Migrations == 0 {
+			t.Fatal("fixture produced no migrations; determinism test vacuous")
+		}
+		return fingerprint(res, eng)
+	}
+	base := run(1)
+	for _, procs := range []int{4, 8} {
+		if got := run(procs); got != base {
+			t.Fatalf("sharded run output differs between GOMAXPROCS=1 and %d", procs)
+		}
+	}
+}
+
+// TestPartitionAlignment: every host of a rack (and pod, at pod
+// granularity) must land in the same shard, shards must be contiguous,
+// and every placed VM must be owned by the shard of its host.
+func TestPartitionAlignment(t *testing.T) {
+	eng := buildEngine(t, 4, 3, 1)
+	topo := eng.Topology()
+	for _, g := range []Granularity{ByPod, ByRack} {
+		for _, n := range []int{1, 2, 3, 4, 64} {
+			part, err := NewPartition(topo, eng.Cluster(), g, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for h := 0; h < topo.Hosts(); h++ {
+				a := cluster.HostID(h)
+				var unitPeer cluster.HostID = -1
+				for h2 := 0; h2 < topo.Hosts(); h2++ {
+					b := cluster.HostID(h2)
+					sameUnit := topo.RackOf(a) == topo.RackOf(b)
+					if g == ByPod {
+						sameUnit = topo.PodOf(a) == topo.PodOf(b)
+					}
+					if sameUnit && part.ShardOfHost(a) != part.ShardOfHost(b) {
+						t.Fatalf("g=%v n=%d: hosts %d and %d share a unit but not a shard", g, n, a, b)
+					}
+					_ = unitPeer
+				}
+			}
+			seen := 0
+			for s := 0; s < part.Shards(); s++ {
+				for _, vm := range part.VMs(s) {
+					if got := part.ShardOfHost(eng.Cluster().HostOf(vm)); got != s {
+						t.Fatalf("VM %d listed in shard %d but hosted in shard %d", vm, s, got)
+					}
+					seen++
+				}
+			}
+			if seen != eng.Cluster().NumVMs() {
+				t.Fatalf("g=%v n=%d: partition covers %d of %d VMs", g, n, seen, eng.Cluster().NumVMs())
+			}
+		}
+	}
+	// Shard counts beyond the unit count clamp.
+	part, err := NewPartition(topo, eng.Cluster(), ByPod, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Shards() != 4 { // k=4 fat-tree has 4 pods
+		t.Fatalf("clamped shard count = %d, want 4", part.Shards())
+	}
+}
+
+// TestPoolRunsEveryTaskOnce under varying worker counts.
+func TestPoolRunsEveryTaskOnce(t *testing.T) {
+	for _, w := range []int{0, 1, 2, 7, 64} {
+		p := NewPool(w)
+		const n = 500
+		hits := make([]int32, n)
+		p.Run(n, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", w, i, h)
+			}
+		}
+		p.Run(0, func(int) { t.Fatal("task invoked for n=0") })
+	}
+}
+
+// TestCoordinatorValidation rejects broken configs.
+func TestCoordinatorValidation(t *testing.T) {
+	eng := buildEngine(t, 4, 1, 1)
+	if _, err := NewCoordinator(nil, Config{Shards: 1}); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := NewCoordinator(eng, Config{Shards: 0}); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if _, err := NewCoordinator(eng, Config{Shards: 2, Granularity: Granularity(9)}); err == nil {
+		t.Fatal("unknown granularity accepted")
+	}
+	if _, err := ParseGranularity("mesh"); err == nil {
+		t.Fatal("unknown granularity string accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package sim
+
+// This file implements the runner's sharded mode: instead of
+// circulating one token through the discrete-event engine, the runner
+// executes partition/reconcile rounds via internal/shard. Each round
+// runs one token ring per topology-aligned shard concurrently;
+// simulated time advances by the longest ring's hop count (the rings
+// overlap in wall-clock), and the cost series is sampled at round
+// boundaries. Migration durations and downtimes are still drawn from
+// the pre-copy model under the current link load, so Fig. 5-style
+// distributions remain comparable with single-token runs.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/score-dc/score/internal/shard"
+	"github.com/score-dc/score/internal/token"
+)
+
+// shardPolicyFactory builds one policy instance per shard ring.
+// Stateless policies are shared; the stochastic Random policy gets a
+// per-shard RNG seeded sequentially from the run's RNG so results stay
+// deterministic for a fixed seed and any GOMAXPROCS.
+func (r *Runner) shardPolicyFactory() func(int) token.Policy {
+	if _, stochastic := r.policy.(*token.Random); !stochastic {
+		return func(int) token.Policy { return r.policy }
+	}
+	return func(int) token.Policy {
+		return &token.Random{Rng: rand.New(rand.NewSource(r.rng.Int63()))}
+	}
+}
+
+// runSharded executes rounds until the duration budget, the iteration
+// cap, or quiescence (a round that applies no migration).
+func (r *Runner) runSharded() (*Metrics, error) {
+	cl := r.eng.Cluster()
+	vms := cl.VMs()
+	if len(vms) < 2 {
+		return nil, fmt.Errorf("sim: need at least 2 VMs, have %d", len(vms))
+	}
+	r.numVMs = len(vms)
+	coord, err := shard.NewCoordinator(r.eng, shard.Config{
+		Shards:      r.cfg.Shards,
+		Granularity: r.cfg.ShardGranularity,
+		Workers:     r.cfg.ShardWorkers,
+		NewPolicy:   r.shardPolicyFactory(),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	r.metrics.InitialCost = r.eng.TotalCost()
+	r.metrics.Cost.Append(0, r.metrics.InitialCost)
+	r.net.Recompute(r.eng.Traffic(), cl)
+
+	perShard := map[int]*ShardStats{}
+	now := 0.0
+	for round := 1; ; round++ {
+		res, err := coord.RunRound()
+		if err != nil {
+			return nil, err
+		}
+		hops := res.RingHops
+		if hops < 1 {
+			hops = 1
+		}
+		now += float64(hops) * r.cfg.HopLatencyS
+		r.metrics.TokenHops += res.TotalHops
+		r.metrics.CrossApplied += res.CrossApplied
+		r.metrics.CrossProposed += res.CrossApplied + res.CrossRejected
+
+		// Per-migration modeling: durations, downtime and moved bytes
+		// under the link load of the round's starting allocation.
+		for _, d := range res.Applied {
+			bg := r.net.HostLinkUtilization(d.From)
+			if t := r.net.HostLinkUtilization(d.Target); t > bg {
+				bg = t
+			}
+			mres := r.cfg.Model.Migrate(r.cfg.Workloads.Draw(r.rng), bg)
+			r.metrics.TotalMigrations++
+			r.metrics.TotalMigratedMB += mres.MigratedMB
+			r.metrics.MigrationTimesS = append(r.metrics.MigrationTimesS, mres.TotalS)
+			r.metrics.DowntimesMS = append(r.metrics.DowntimesMS, mres.DowntimeMS)
+		}
+		for _, sh := range res.Shards {
+			st, ok := perShard[sh.Shard]
+			if !ok {
+				st = &ShardStats{Shard: sh.Shard}
+				perShard[sh.Shard] = st
+			}
+			st.VMs = sh.VMs
+			st.Hops += sh.Hops
+			st.Migrations += sh.Merged
+			st.Proposals += sh.Proposed
+		}
+		r.metrics.Iterations = append(r.metrics.Iterations, IterationStats{
+			Index:      round,
+			Migrations: len(res.Applied),
+			VMs:        r.numVMs,
+			Ratio:      float64(len(res.Applied)) / float64(r.numVMs),
+		})
+		r.net.Recompute(r.eng.Traffic(), cl)
+		r.metrics.Cost.Append(now, r.eng.TotalCost())
+
+		if len(res.Applied) == 0 || now >= r.cfg.DurationS {
+			break
+		}
+		if r.cfg.MaxIterations > 0 && round >= r.cfg.MaxIterations {
+			break
+		}
+	}
+
+	for s := 0; s < len(perShard); s++ {
+		if st, ok := perShard[s]; ok {
+			r.metrics.PerShard = append(r.metrics.PerShard, *st)
+		}
+	}
+	r.metrics.FinalCost = r.eng.TotalCost()
+	r.metrics.UtilizationByLevel = map[int][]float64{
+		1: r.net.UtilizationAtLevel(1),
+		2: r.net.UtilizationAtLevel(2),
+		3: r.net.UtilizationAtLevel(3),
+	}
+	return &r.metrics, nil
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/score-dc/score/internal/shard"
+	"github.com/score-dc/score/internal/token"
+)
+
+// TestShardedRunReducesCost: the sharded mode must converge like the
+// single-token run and populate the per-shard rollup and cross-shard
+// accounting.
+func TestShardedRunReducesCost(t *testing.T) {
+	for _, pol := range []token.Policy{token.HighestLevelFirst{}, token.RoundRobin{}} {
+		eng, rng := buildEngine(t, 9)
+		cfg := smallConfig()
+		cfg.Shards = 4
+		cfg.ShardWorkers = 4
+		r, err := NewRunner(eng, pol, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.FinalCost >= m.InitialCost {
+			t.Fatalf("%s: sharded run did not reduce cost: %v -> %v", pol.Name(), m.InitialCost, m.FinalCost)
+		}
+		if m.Reduction() < 0.2 {
+			t.Fatalf("%s: sharded reduction only %.1f%%", pol.Name(), 100*m.Reduction())
+		}
+		if m.TotalMigrations == 0 || m.TokenHops == 0 {
+			t.Fatalf("%s: missing migration/hop accounting: %+v", pol.Name(), m)
+		}
+		if len(m.PerShard) == 0 {
+			t.Fatalf("%s: per-shard rollup empty", pol.Name())
+		}
+		var shardHops, shardMigs int
+		for _, st := range m.PerShard {
+			shardHops += st.Hops
+			shardMigs += st.Migrations
+		}
+		if shardHops != m.TokenHops {
+			t.Fatalf("%s: shard hop rollup %d != token hops %d", pol.Name(), shardHops, m.TokenHops)
+		}
+		if shardMigs+m.CrossApplied != m.TotalMigrations {
+			t.Fatalf("%s: intra (%d) + cross (%d) migrations != total %d",
+				pol.Name(), shardMigs, m.CrossApplied, m.TotalMigrations)
+		}
+		if len(m.MigrationTimesS) != m.TotalMigrations || len(m.DowntimesMS) != m.TotalMigrations {
+			t.Fatalf("%s: migration model samples missing", pol.Name())
+		}
+		if len(m.Cost.T) < 2 || m.Cost.V[len(m.Cost.V)-1] != m.FinalCost {
+			t.Fatalf("%s: cost series not sampled per round", pol.Name())
+		}
+	}
+}
+
+// TestShardedMatchesSingleTokenTrend: the sharded mode must reach a
+// final cost in the same neighborhood as the classic single-token DES
+// run on the same instance (it is a scheduling deviation, not a
+// different objective).
+func TestShardedMatchesSingleTokenTrend(t *testing.T) {
+	engSingle, rngSingle := buildEngine(t, 13)
+	single, err := NewRunner(engSingle, token.HighestLevelFirst{}, smallConfig(), rngSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := single.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engShard, rngShard := buildEngine(t, 13)
+	cfg := smallConfig()
+	cfg.Shards = 4
+	cfg.ShardGranularity = shard.ByRack
+	sharded, err := NewRunner(engShard, token.HighestLevelFirst{}, cfg, rngShard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh, err := sharded.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mh.Reduction() < 0.75*ms.Reduction() {
+		t.Fatalf("sharded reduction %.1f%% captures under 75%% of single-token %.1f%%",
+			100*mh.Reduction(), 100*ms.Reduction())
+	}
+}
+
+// TestShardedRandomPolicyDeterministic: the stochastic Random policy
+// must give per-shard rings deterministically seeded RNGs — two runs
+// with equal seeds produce identical metrics.
+func TestShardedRandomPolicyDeterministic(t *testing.T) {
+	run := func() *Metrics {
+		eng, rng := buildEngine(t, 21)
+		cfg := smallConfig()
+		cfg.Shards = 4
+		cfg.MaxIterations = 6
+		r, err := NewRunner(eng, &token.Random{Rng: rng}, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	if a.FinalCost != b.FinalCost || a.TotalMigrations != b.TotalMigrations || a.TokenHops != b.TokenHops {
+		t.Fatalf("sharded random-policy runs diverged: %v/%d/%d vs %v/%d/%d",
+			a.FinalCost, a.TotalMigrations, a.TokenHops,
+			b.FinalCost, b.TotalMigrations, b.TokenHops)
+	}
+}

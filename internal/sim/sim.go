@@ -18,6 +18,7 @@ import (
 	"github.com/score-dc/score/internal/core"
 	"github.com/score-dc/score/internal/migration"
 	"github.com/score-dc/score/internal/netsim"
+	"github.com/score-dc/score/internal/shard"
 	"github.com/score-dc/score/internal/stats"
 	"github.com/score-dc/score/internal/token"
 )
@@ -46,6 +47,17 @@ type Config struct {
 	// needs even though the paper assumes a reliable token.
 	TokenLossProb float64
 	RegenTimeoutS float64
+	// Shards > 1 selects the sharded concurrent mode (internal/shard):
+	// instead of one circulating token, each round runs an independent
+	// token ring per topology-aligned shard concurrently and merges the
+	// results through a deterministic reconciliation pass. 0 or 1 keeps
+	// the paper's single-token discrete-event run. Token-loss injection
+	// does not apply to sharded rounds.
+	Shards int
+	// ShardGranularity aligns shard boundaries to pods (default) or
+	// racks; ShardWorkers bounds the worker pool (0 = GOMAXPROCS).
+	ShardGranularity shard.Granularity
+	ShardWorkers     int
 }
 
 // DefaultConfig covers a scaled-down Fig. 3 style run.
@@ -89,6 +101,27 @@ type Metrics struct {
 	// UtilizationByLevel holds the final per-link utilizations keyed by
 	// hierarchy level (Fig. 4a input).
 	UtilizationByLevel map[int][]float64
+	// PerShard rolls up each shard ring's activity across all rounds
+	// (sharded mode only; nil for single-token runs).
+	PerShard []ShardStats
+	// CrossProposed / CrossApplied count cross-shard migration
+	// proposals raised by shard rings and the subset the deterministic
+	// reconciliation pass applied (sharded mode only).
+	CrossProposed, CrossApplied int
+}
+
+// ShardStats aggregates one shard ring's activity across a sharded run.
+type ShardStats struct {
+	Shard int
+	// VMs is the ring's population at the final round (VMs migrate
+	// between shards as the allocation evolves).
+	VMs int
+	// Hops, Migrations and Proposals accumulate across rounds:
+	// Migrations counts intra-shard commits that merged, Proposals the
+	// cross-shard candidates handed to reconciliation.
+	Hops       int
+	Migrations int
+	Proposals  int
 }
 
 // CostRatioSeries converts the cost series into ratios over a reference
@@ -155,6 +188,9 @@ func NewRunner(eng *core.Engine, pol token.Policy, cfg Config, rng *rand.Rand) (
 
 // Run executes the simulation and returns its metrics.
 func (r *Runner) Run() (*Metrics, error) {
+	if r.cfg.Shards > 1 {
+		return r.runSharded()
+	}
 	cl := r.eng.Cluster()
 	vms := cl.VMs()
 	if len(vms) < 2 {

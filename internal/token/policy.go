@@ -38,6 +38,14 @@ var (
 	_ Policy = (*LowestLevelFirst)(nil)
 )
 
+// LevelFree marks policies whose Next reads no level information from
+// the holder's view (neither OwnLevel nor NeighborLevels). Schedulers
+// may skip assembling the view for such policies — for Round-Robin this
+// removes every per-hop level computation from the ring loop.
+type LevelFree interface {
+	LevelFree()
+}
+
 // RoundRobin passes the token among VMs in ascending ID order
 // (Section V-A1): starting from the VM with the lowest ID, the token
 // visits each VM exactly once per cycle and wraps around.
@@ -45,6 +53,9 @@ type RoundRobin struct{}
 
 // Name implements Policy.
 func (RoundRobin) Name() string { return "round-robin" }
+
+// LevelFree implements the marker: Next only walks the ring order.
+func (RoundRobin) LevelFree() {}
 
 // Next implements Policy.
 func (RoundRobin) Next(tok *Token, view HolderView) (cluster.VMID, bool) {

@@ -21,7 +21,10 @@
 // search the row. A generation counter increments on every mutation; it
 // backs the lazily rebuilt pair-list cache served by Pairs and lets
 // consumers (e.g. the engine's incremental cost accounting) detect
-// in-place mutation.
+// in-place mutation. Each mutation is additionally recorded in a bounded
+// edge-level changelog (ChangesSince), so consumers a few generations
+// behind can fold the delta per edge instead of rebuilding from the full
+// pair list — the traffic-window rollover fast path.
 //
 // # Slice ownership
 //
@@ -78,6 +81,20 @@ func CompareEdges(a, b Edge) int {
 	return 0
 }
 
+// EdgeChange records one pair-rate mutation: λ(A, B) moved from Old to
+// New. A sequence of changes replays a matrix's recent history, letting
+// consumers (the engine's incremental accounting) fold traffic-window
+// rollovers edge by edge instead of rebuilding from the full pair list.
+type EdgeChange struct {
+	Pair
+	Old, New float64
+}
+
+// changeLogCap bounds the in-memory changelog. Each mutation appends one
+// entry; when the log fills it restarts from the current generation, and
+// consumers further behind than its window fall back to a full rebuild.
+const changeLogCap = 4096
+
 // Matrix is a sparse symmetric pairwise traffic-rate matrix in Mb/s.
 // The zero value is ready to use. See the package comment for the
 // adjacency layout and slice-ownership rules.
@@ -85,6 +102,11 @@ type Matrix struct {
 	adj      map[cluster.VMID][]Edge // per-VM edges, sorted by Peer
 	numPairs int
 	gen      uint64
+
+	// Edge-level changelog: log[i] is the mutation that advanced the
+	// generation from logBaseGen+i to logBaseGen+i+1.
+	log        []EdgeChange
+	logBaseGen uint64
 
 	// Cached pair list served by Pairs, rebuilt lazily when gen moves.
 	pairCache  []Pair
@@ -153,6 +175,32 @@ func (m *Matrix) removeEdge(u, v cluster.VMID) bool {
 	return true
 }
 
+// logChange appends one mutation to the changelog, restarting the
+// window when it is full. Must be called exactly once per generation
+// increment, before gen moves.
+func (m *Matrix) logChange(u, v cluster.VMID, old, new float64) {
+	if len(m.log) >= changeLogCap {
+		m.log = m.log[:0]
+		m.logBaseGen = m.gen
+	}
+	m.log = append(m.log, EdgeChange{Pair: MakePair(u, v), Old: old, New: new})
+}
+
+// ChangesSince returns the mutations that advanced the matrix from
+// generation gen to the current one, in application order. ok is false
+// when gen lies behind the changelog's window (the caller must fall back
+// to a full recompute). The slice is owned by the matrix: read-only,
+// valid until the next mutation.
+func (m *Matrix) ChangesSince(gen uint64) ([]EdgeChange, bool) {
+	if gen == m.gen {
+		return nil, true
+	}
+	if gen > m.gen || gen < m.logBaseGen {
+		return nil, false
+	}
+	return m.log[gen-m.logBaseGen:], true
+}
+
 // Set fixes λ(u, v) to rateMbps. Setting a self-pair or a non-positive
 // rate removes the entry.
 func (m *Matrix) Set(u, v cluster.VMID, rateMbps float64) {
@@ -160,10 +208,12 @@ func (m *Matrix) Set(u, v cluster.VMID, rateMbps float64) {
 		return
 	}
 	m.init()
+	old := m.Rate(u, v)
 	if rateMbps <= 0 {
 		if m.removeEdge(u, v) {
 			m.removeEdge(v, u)
 			m.numPairs--
+			m.logChange(u, v, old, 0)
 			m.gen++
 		}
 		return
@@ -172,6 +222,7 @@ func (m *Matrix) Set(u, v cluster.VMID, rateMbps float64) {
 		m.numPairs++
 	}
 	m.setEdge(v, u, rateMbps)
+	m.logChange(u, v, old, rateMbps)
 	m.gen++
 }
 

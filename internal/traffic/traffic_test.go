@@ -281,3 +281,90 @@ func TestMatrixQuickSymmetry(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestChangesSinceReplay: the changelog replays every mutation in order,
+// so a consumer at any in-window generation reconstructs the present.
+func TestChangesSinceReplay(t *testing.T) {
+	m := NewMatrix()
+	base := m.Generation()
+	m.Set(1, 2, 10)
+	m.Add(2, 3, 5)
+	m.Set(1, 2, 25)
+	m.Set(2, 3, 0) // removal
+	m.Add(4, 1, 7)
+
+	changes, ok := m.ChangesSince(base)
+	if !ok {
+		t.Fatal("in-window generation reported unavailable")
+	}
+	if len(changes) != 5 {
+		t.Fatalf("got %d changes, want 5", len(changes))
+	}
+	// Replaying the log over an empty rate map must reproduce Rate.
+	replay := map[Pair]float64{}
+	for _, ch := range changes {
+		if got := replay[ch.Pair]; math.Abs(got-ch.Old) > 1e-12 {
+			t.Fatalf("change %+v: replay sees old rate %v", ch, got)
+		}
+		if ch.New == 0 {
+			delete(replay, ch.Pair)
+		} else {
+			replay[ch.Pair] = ch.New
+		}
+	}
+	for p, r := range replay {
+		if got := m.Rate(p.A, p.B); got != r {
+			t.Fatalf("replayed rate for %+v = %v, matrix has %v", p, r, got)
+		}
+	}
+	if m.Rate(2, 3) != 0 {
+		t.Fatal("removed pair still has rate")
+	}
+
+	// Current generation: empty delta, still ok.
+	if ch, ok := m.ChangesSince(m.Generation()); !ok || len(ch) != 0 {
+		t.Fatalf("ChangesSince(now) = %v, %v", ch, ok)
+	}
+	// A future generation is unknowable.
+	if _, ok := m.ChangesSince(m.Generation() + 1); ok {
+		t.Fatal("future generation reported available")
+	}
+}
+
+// TestChangesSinceWindowOverflow: once the log restarts, generations
+// behind the new window must be refused (full-rebuild signal), while
+// generations inside it keep working.
+func TestChangesSinceWindowOverflow(t *testing.T) {
+	m := NewMatrix()
+	m.Set(1, 2, 1)
+	old := m.Generation()
+	for i := 0; i < changeLogCap+10; i++ {
+		m.Set(1, 2, float64(i+2))
+	}
+	if _, ok := m.ChangesSince(old); ok {
+		t.Fatal("generation behind the restarted window reported available")
+	}
+	recent := m.Generation()
+	m.Set(3, 4, 9)
+	changes, ok := m.ChangesSince(recent)
+	if !ok || len(changes) != 1 || changes[0].New != 9 {
+		t.Fatalf("recent delta = %v, %v", changes, ok)
+	}
+}
+
+// TestNoOpMutationsLogNothing: mutations that do not change the matrix
+// must not advance the generation or grow the log.
+func TestNoOpMutationsLogNothing(t *testing.T) {
+	m := NewMatrix()
+	m.Set(1, 2, 5)
+	gen := m.Generation()
+	m.Set(3, 3, 7)  // self pair
+	m.Set(8, 9, -1) // removal of an absent pair
+	m.Set(8, 9, 0)
+	if m.Generation() != gen {
+		t.Fatalf("generation moved to %d on no-op mutations", m.Generation())
+	}
+	if ch, ok := m.ChangesSince(gen); !ok || len(ch) != 0 {
+		t.Fatalf("no-op mutations logged %v, %v", ch, ok)
+	}
+}

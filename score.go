@@ -45,6 +45,7 @@ import (
 	"github.com/score-dc/score/internal/migration"
 	"github.com/score-dc/score/internal/netsim"
 	"github.com/score-dc/score/internal/remedy"
+	"github.com/score-dc/score/internal/shard"
 	"github.com/score-dc/score/internal/sim"
 	"github.com/score-dc/score/internal/stats"
 	"github.com/score-dc/score/internal/token"
@@ -158,6 +159,10 @@ type (
 	EngineConfig = core.Config
 	// Decision is a recommended migration with its ΔC.
 	Decision = core.Decision
+	// EngineView is a shard-scoped decision view over an engine
+	// (Engine.NewView): private scratch and staged-move overlay, safe
+	// for concurrent use against a frozen cluster.
+	EngineView = core.AllocView
 )
 
 // NewCostModel builds a cost model from per-level weights.
@@ -216,6 +221,47 @@ type (
 	// Network tracks per-link offered load.
 	Network = netsim.Network
 )
+
+// Sharded token scheduling (a deliberate deviation from the paper's
+// single token: topology-aligned shards run concurrent rings whose
+// results merge through a deterministic reconciliation pass; see
+// internal/shard).
+type (
+	// ShardGranularity aligns shard boundaries to pods or racks.
+	ShardGranularity = shard.Granularity
+	// ShardConfig tunes a standalone sharded scheduler.
+	ShardConfig = shard.Config
+	// ShardCoordinator drives sharded token rounds against an engine.
+	ShardCoordinator = shard.Coordinator
+	// ShardRoundResult summarizes one partition/rings/merge cycle.
+	ShardRoundResult = shard.Round
+	// ShardStats is the per-shard rollup in sharded Metrics.
+	ShardStats = sim.ShardStats
+	// WorkerPool is the bounded deterministic fan-out pool shared by
+	// the sharded scheduler and the parallel GA.
+	WorkerPool = shard.Pool
+)
+
+// Shard alignment units.
+const (
+	ShardByPod  = shard.ByPod
+	ShardByRack = shard.ByRack
+)
+
+// NewShardCoordinator binds a sharded scheduler to an engine. Most
+// callers instead set SimConfig.Shards > 1 and use the Runner.
+func NewShardCoordinator(eng *Engine, cfg ShardConfig) (*ShardCoordinator, error) {
+	return shard.NewCoordinator(eng, cfg)
+}
+
+// ParseShardGranularity resolves "pod" or "rack".
+func ParseShardGranularity(s string) (ShardGranularity, error) {
+	return shard.ParseGranularity(s)
+}
+
+// NewWorkerPool returns a pool of at most workers concurrent tasks
+// (0 = GOMAXPROCS).
+func NewWorkerPool(workers int) *WorkerPool { return shard.NewPool(workers) }
 
 // DefaultSimConfig returns Fig. 3-style run parameters.
 func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
