@@ -11,6 +11,7 @@ package score_test
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"github.com/score-dc/score/internal/experiments"
 	"github.com/score-dc/score/internal/flowtable"
 	"github.com/score-dc/score/internal/ga"
+	"github.com/score-dc/score/internal/hypervisor"
 	"github.com/score-dc/score/internal/netsim"
 	"github.com/score-dc/score/internal/token"
 )
@@ -365,6 +367,152 @@ func BenchmarkShardedTokenPass(b *testing.B) {
 				if _, err := coord.RunRound(); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// benchAgentPlane wires the distributed dom0 agent plane (one agent per
+// host over the in-memory hub, plus a reconciler when shards > 0) on the
+// fat-tree k=4 dense instance.
+func benchAgentPlane(b *testing.B, shards int) (*hypervisor.Registry, []*hypervisor.Agent, *hypervisor.Reconciler, []score.VMID) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(benchSeed))
+	topo, err := score.NewFatTree(4, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := score.NewCluster(score.UniformHosts(topo.Hosts(), 8, 32768, 1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pm := score.NewPlacementManager(cl, 1)
+	for i := 0; i < topo.Hosts()*4; i++ {
+		if _, err := pm.CreateVM(1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := pm.PlaceRandom(rng); err != nil {
+		b.Fatal(err)
+	}
+	tm, err := score.GenerateTraffic(score.DefaultGenConfig(topo.Racks()), topo, cl, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm = tm.Scaled(50)
+	cost, err := score.NewCostModel(score.PaperWeights()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hub := hypervisor.NewMemHub()
+	reg := hypervisor.NewRegistry()
+	mk := func(addr string) func(hypervisor.Handler) (hypervisor.Transport, error) {
+		return func(h hypervisor.Handler) (hypervisor.Transport, error) { return hub.NewEndpoint(addr, h) }
+	}
+	agents := make([]*hypervisor.Agent, topo.Hosts())
+	for h := 0; h < topo.Hosts(); h++ {
+		ag, err := hypervisor.NewAgent(hypervisor.AgentConfig{
+			HostID: score.HostID(h), Slots: 8, RAMMB: 32768,
+			Topo: topo, Cost: cost, Policy: token.RoundRobin{},
+		}, reg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ag.Start(mk(fmt.Sprintf("dom0-%d", h))); err != nil {
+			b.Fatal(err)
+		}
+		agents[h] = ag
+	}
+	vms := cl.VMs()
+	for _, vm := range vms {
+		rates := make(map[score.VMID]float64)
+		for _, ed := range tm.NeighborEdges(vm) {
+			rates[ed.Peer] = ed.Rate
+		}
+		if err := agents[cl.HostOf(vm)].AddVM(vm, 1024, rates); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var rec *hypervisor.Reconciler
+	if shards > 0 {
+		rec, err = hypervisor.NewReconciler(hypervisor.ReconcilerConfig{
+			Topo: topo, Cost: cost, Shards: shards, Granularity: score.ShardByPod,
+		}, reg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rec.Start(mk("reconciler")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return reg, agents, rec, vms
+}
+
+func closeAgentPlane(agents []*hypervisor.Agent, rec *hypervisor.Reconciler) {
+	if rec != nil {
+		_ = rec.Close()
+	}
+	for _, a := range agents {
+		_ = a.Close()
+	}
+}
+
+// BenchmarkAgentRingPass measures one full pass of the paper's global
+// dom0 agent ring (|V| token visits, immediate migration execution) over
+// the in-memory transport — the serial baseline of the distributed
+// plane.
+func BenchmarkAgentRingPass(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		reg, agents, _, vms := benchAgentPlane(b, 0)
+		done := make(chan struct{})
+		var visits atomic.Int64
+		for _, ag := range agents {
+			ag.OnToken = func(hypervisor.TokenEvent) bool {
+				if visits.Add(1) >= int64(len(vms)) {
+					close(done)
+					return false
+				}
+				return true
+			}
+		}
+		addr, _ := reg.Lookup(vms[0])
+		var injector *hypervisor.Agent
+		for _, ag := range agents {
+			if ag.Addr() == addr {
+				injector = ag
+			}
+		}
+		tok := token.NewAtLevel(vms, 3)
+		b.StartTimer()
+		if err := injector.InjectToken(tok, vms[0]); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+		b.StopTimer()
+		closeAgentPlane(agents, nil)
+		b.StartTimer()
+	}
+}
+
+// BenchmarkShardedAgentRound measures one distributed sharded round
+// (shard assignment, concurrent per-shard agent rings, reconciler merge
+// and cross-shard reconciliation) on the same instance, across ring
+// counts. shards=1 is the serialized protocol plus coordination
+// overhead; higher counts overlap the rings' wall clock.
+func BenchmarkShardedAgentRound(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				_, agents, rec, _ := benchAgentPlane(b, n)
+				b.StartTimer()
+				if _, err := rec.RunRound(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				closeAgentPlane(agents, rec)
+				b.StartTimer()
 			}
 		})
 	}

@@ -31,9 +31,10 @@ func run() error {
 	scaleFlag := flag.String("scale", "medium", "instance scale: small, medium, or paper")
 	seed := flag.Int64("seed", 20140630, "deterministic seed")
 	outDir := flag.String("out", "results", "directory for CSV output (empty disables)")
-	only := flag.String("only", "", "comma-separated subset: fig2,fig3tm,fig3,fig4,fig5a,fig5b,fig5cd,ablations,shards")
+	only := flag.String("only", "", "comma-separated subset: fig2,fig3tm,fig3,fig4,fig5a,fig5b,fig5cd,ablations,shards,dist")
 	maxFlows := flag.Int("maxflows", 1000000, "flow-table sweep upper bound for fig5a")
 	maxShards := flag.Int("shards", 8, "largest shard count in the shard sweep (doubling from 2)")
+	distShards := flag.Int("distributed-shards", 0, "largest ring count in the distributed agent-plane sweep (>0 enables the dist section)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -224,6 +225,38 @@ func run() error {
 				cols = append(cols, reds, hops)
 			}
 			if err := writeCSV(*outDir, "shard_sweep.csv", headers, cols...); err != nil {
+				return err
+			}
+		}
+	}
+
+	if enabled("dist") && *distShards > 0 {
+		fmt.Fprintf(w, "\n== Distributed agent-plane sweep: sharded dom0 rings + reconciler ==\n")
+		counts := []int{1}
+		for n := 2; n <= *distShards; n *= 2 {
+			counts = append(counts, n)
+		}
+		res, err := experiments.DistributedSweep(experiments.FatTree, experiments.Dense, scale, *seed, counts)
+		if err != nil {
+			return fmt.Errorf("dist: %w", err)
+		}
+		res.Render(w)
+		if *outDir != "" {
+			shardCol := make([]float64, len(res.Counts))
+			reds := make([]float64, len(res.Counts))
+			proposed := make([]float64, len(res.Counts))
+			applied := make([]float64, len(res.Counts))
+			lat := make([]float64, len(res.Counts))
+			for i, n := range res.Counts {
+				shardCol[i] = float64(n)
+				reds[i] = res.Reduction[i]
+				proposed[i] = float64(res.CrossProposed[i])
+				applied[i] = float64(res.CrossApplied[i])
+				lat[i] = res.RingLatencyMS[i]
+			}
+			if err := writeCSV(*outDir, "distributed_sweep.csv",
+				[]string{"shards", "reduction", "cross_proposed", "cross_applied", "ring_latency_ms"},
+				shardCol, reds, proposed, applied, lat); err != nil {
 				return err
 			}
 		}

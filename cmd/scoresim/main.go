@@ -8,6 +8,7 @@
 //	         [-vms-per-host N] [-density 1|10|50] [-policy hlf|rr|llf|random]
 //	         [-cm COST] [-duration SEC] [-loss PROB] [-seed N]
 //	         [-shards N] [-shard-granularity pod|rack] [-shard-workers N]
+//	         [-distributed-shards N]
 package main
 
 import (
@@ -45,6 +46,7 @@ func run() error {
 	shards := flag.Int("shards", 1, "concurrent token rings (>1 enables sharded mode)")
 	shardGran := flag.String("shard-granularity", "pod", "shard alignment: pod or rack")
 	shardWorkers := flag.Int("shard-workers", 0, "worker pool size for sharded mode (0 = GOMAXPROCS)")
+	distShards := flag.Int("distributed-shards", 0, "run the distributed dom0 agent plane with this many token rings (>0; excludes -shards)")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -105,18 +107,24 @@ func run() error {
 	simCfg.HopLatencyS = *hop
 	simCfg.SampleIntervalS = *duration / 100
 	simCfg.TokenLossProb = *loss
-	if *shards > 1 {
+	if *shards > 1 || *distShards > 0 {
 		g, err := score.ParseShardGranularity(*shardGran)
 		if err != nil {
 			return err
 		}
-		simCfg.Shards = *shards
 		simCfg.ShardGranularity = g
-		simCfg.ShardWorkers = *shardWorkers
+		if *distShards > 0 {
+			simCfg.DistributedShards = *distShards
+		} else {
+			simCfg.Shards = *shards
+			simCfg.ShardWorkers = *shardWorkers
+		}
 	}
 
 	mode := "single-token"
-	if *shards > 1 {
+	if *distShards > 0 {
+		mode = fmt.Sprintf("distributed agent plane, %d rings by %s", *distShards, *shardGran)
+	} else if *shards > 1 {
 		mode = fmt.Sprintf("%d shards by %s", *shards, *shardGran)
 	}
 	fmt.Printf("%s: %d hosts, %d racks, %d VMs, %d pairs, policy=%s, cm=%g, %s\n",
@@ -141,11 +149,15 @@ func run() error {
 		m.TotalMigrations, m.AbortedMigrations, m.TokenHops, m.TokensRegenerated)
 	fmt.Printf("migrated: %.0f MB total\n", m.TotalMigratedMB)
 	if len(m.PerShard) > 0 {
-		fmt.Printf("cross-shard: %d proposed, %d applied after reconciliation\n",
-			m.CrossProposed, m.CrossApplied)
+		fmt.Printf("cross-shard: %d proposed, %d applied after reconciliation, %d staged moves stale-rejected\n",
+			m.CrossProposed, m.CrossApplied, m.StaleRejected)
 		for _, st := range m.PerShard {
-			fmt.Printf("  shard %d: %d VMs, %d hops, %d intra-shard migrations, %d proposals\n",
+			line := fmt.Sprintf("  shard %d: %d VMs, %d hops, %d intra-shard migrations, %d proposals",
 				st.Shard, st.VMs, st.Hops, st.Migrations, st.Proposals)
+			if st.LatencyS > 0 {
+				line += fmt.Sprintf(", %.2f ms ring latency", 1000*st.LatencyS)
+			}
+			fmt.Println(line)
 		}
 	}
 	for _, it := range m.Iterations {

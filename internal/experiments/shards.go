@@ -116,6 +116,113 @@ func ShardSweep(f Family, d Density, s Scale, seed int64, counts []int, policies
 	return res, nil
 }
 
+// DistributedSweepResult is the agent-plane counterpart of the shard
+// sweep: for each shard count, the full dom0 protocol (one agent per
+// host over an in-memory transport, per-shard token rings, the
+// reconciliation agent) runs to quiescence. It reports cost capture
+// plus the distributed plane's own observables — per-shard ring
+// latency and cross-shard proposal volume.
+type DistributedSweepResult struct {
+	Family  Family
+	Density Density
+	// Counts[0] is always 1 — the serial agent-ring baseline.
+	Counts        []int
+	FinalCost     []float64
+	Reduction     []float64
+	Migrations    []int
+	CrossProposed []int
+	CrossApplied  []int
+	Rounds        []int
+	// RingLatencyMS[i] is the mean per-round latency of the slowest
+	// ring (wall clock, token injection to completion report);
+	// ShardLatencyMS[i][s] the per-shard cumulative latency.
+	RingLatencyMS  []float64
+	ShardLatencyMS [][]float64
+	ShardHops      [][]int
+	ShardProposals [][]int
+	InitialCost    float64
+	TotalVMs       int
+}
+
+// DistributedSweep runs the distributed agent plane across shard counts
+// on one topology family and density.
+func DistributedSweep(f Family, d Density, s Scale, seed int64, counts []int) (*DistributedSweepResult, error) {
+	if len(counts) == 0 || counts[0] != 1 {
+		counts = append([]int{1}, counts...)
+	}
+	res := &DistributedSweepResult{Family: f, Density: d, Counts: counts}
+	for _, n := range counts {
+		base, err := NewScenario(f, s, d, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.InitialCost = base.Eng.TotalCost()
+		res.TotalVMs = base.Cl.NumVMs()
+		cfg := sim.DefaultConfig()
+		cfg.DistributedShards = n
+		cfg.HopLatencyS = 0.05
+		cfg.MaxIterations = 40
+		cfg.DurationS = cfg.HopLatencyS * float64(40*base.Cl.NumVMs())
+		cfg.SampleIntervalS = cfg.DurationS / 40
+		runner, err := sim.NewRunner(base.Eng, token.HighestLevelFirst{}, cfg, base.Rng)
+		if err != nil {
+			return nil, err
+		}
+		m, err := runner.Run()
+		if err != nil {
+			return nil, err
+		}
+		res.FinalCost = append(res.FinalCost, m.FinalCost)
+		res.Reduction = append(res.Reduction, m.Reduction())
+		res.Migrations = append(res.Migrations, m.TotalMigrations)
+		res.CrossProposed = append(res.CrossProposed, m.CrossProposed)
+		res.CrossApplied = append(res.CrossApplied, m.CrossApplied)
+		res.Rounds = append(res.Rounds, m.Rounds)
+		var lat []float64
+		var hops, props []int
+		worst := 0.0
+		for _, st := range m.PerShard {
+			lat = append(lat, 1000*st.LatencyS)
+			hops = append(hops, st.Hops)
+			props = append(props, st.Proposals)
+			if st.LatencyS > worst {
+				worst = st.LatencyS
+			}
+		}
+		mean := 0.0
+		if m.Rounds > 0 {
+			mean = 1000 * worst / float64(m.Rounds)
+		}
+		res.RingLatencyMS = append(res.RingLatencyMS, mean)
+		res.ShardLatencyMS = append(res.ShardLatencyMS, lat)
+		res.ShardHops = append(res.ShardHops, hops)
+		res.ShardProposals = append(res.ShardProposals, props)
+	}
+	return res, nil
+}
+
+// Render prints the distributed sweep table plus a per-shard breakdown.
+func (r *DistributedSweepResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Distributed agent-plane sweep: %s / %s, %d VMs, initial cost %.0f\n",
+		r.Family, r.Density, r.TotalVMs, r.InitialCost)
+	fmt.Fprintln(w, "shards  final-cost  reduction  migrations  cross-proposed  cross-applied  rounds  ring-lat-ms")
+	for i, n := range r.Counts {
+		fmt.Fprintf(w, "%6d  %10.0f  %8.1f%%  %10d  %14d  %13d  %6d  %11.2f\n",
+			n, r.FinalCost[i], 100*r.Reduction[i], r.Migrations[i],
+			r.CrossProposed[i], r.CrossApplied[i], r.Rounds[i], r.RingLatencyMS[i])
+	}
+	for i, n := range r.Counts {
+		if n == 1 {
+			continue
+		}
+		fmt.Fprintf(w, "per-shard at %d shards (cumulative):\n", n)
+		for s := range r.ShardLatencyMS[i] {
+			fmt.Fprintf(w, "  shard %d: %d hops, %d proposals, %.2f ms ring latency\n",
+				s, r.ShardHops[i][s], r.ShardProposals[i][s], r.ShardLatencyMS[i][s])
+		}
+	}
+}
+
 // Render prints one table per policy.
 func (r *ShardSweepResult) Render(w io.Writer) {
 	fmt.Fprintf(w, "Shard sweep: %s / %s, %d VMs, initial cost %.0f\n",

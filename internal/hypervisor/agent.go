@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"slices"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/score-dc/score/internal/cluster"
@@ -17,15 +16,24 @@ import (
 // Registry is the centralized VM instance placement manager's directory
 // (Section V-A): it resolves a VM ID to the address of the dom0 agent
 // currently hosting it, the role the paper's NAT redirect plays when
-// messages for a VM's IP are steered to its hypervisor.
+// messages for a VM's IP are steered to its hypervisor. It also carries
+// the static host directory — which dom0 serves which server — that the
+// sharded mode's reconciler and cross-host capacity probes resolve
+// arbitrary target hosts through.
 type Registry struct {
-	mu   sync.RWMutex
-	byVM map[cluster.VMID]string
+	mu       sync.RWMutex
+	byVM     map[cluster.VMID]string
+	hostAddr map[cluster.HostID]string
+	addrHost map[string]cluster.HostID
 }
 
 // NewRegistry returns an empty directory.
 func NewRegistry() *Registry {
-	return &Registry{byVM: make(map[cluster.VMID]string)}
+	return &Registry{
+		byVM:     make(map[cluster.VMID]string),
+		hostAddr: make(map[cluster.HostID]string),
+		addrHost: make(map[string]cluster.HostID),
+	}
 }
 
 // Assign records that vm is hosted by the dom0 at addr.
@@ -41,6 +49,63 @@ func (r *Registry) Lookup(vm cluster.VMID) (string, bool) {
 	defer r.mu.RUnlock()
 	a, ok := r.byVM[vm]
 	return a, ok
+}
+
+// AssignHost records the dom0 agent serving host h (agents register
+// themselves on Start).
+func (r *Registry) AssignHost(h cluster.HostID, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hostAddr[h] = addr
+	r.addrHost[addr] = h
+}
+
+// HostAddr resolves a host to its dom0 address.
+func (r *Registry) HostAddr(h cluster.HostID) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.hostAddr[h]
+	return a, ok
+}
+
+// HostOfVM resolves a VM to its current host through the directory: the
+// registry names the hosting dom0, and the host directory names that
+// dom0's server. This is the placement manager's authoritative view —
+// updated synchronously by every executed migration — which the
+// reconciler partitions and re-validates against.
+func (r *Registry) HostOfVM(vm cluster.VMID) (cluster.HostID, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	addr, ok := r.byVM[vm]
+	if !ok {
+		return cluster.NoHost, false
+	}
+	h, ok := r.addrHost[addr]
+	return h, ok
+}
+
+// VMList returns every registered VM in ascending ID order.
+func (r *Registry) VMList() []cluster.VMID {
+	r.mu.RLock()
+	out := make([]cluster.VMID, 0, len(r.byVM))
+	for vm := range r.byVM {
+		out = append(out, vm)
+	}
+	r.mu.RUnlock()
+	slices.Sort(out)
+	return out
+}
+
+// HostList returns every registered host in ascending ID order.
+func (r *Registry) HostList() []cluster.HostID {
+	r.mu.RLock()
+	out := make([]cluster.HostID, 0, len(r.hostAddr))
+	for h := range r.hostAddr {
+		out = append(out, h)
+	}
+	r.mu.RUnlock()
+	slices.Sort(out)
+	return out
 }
 
 // AgentConfig parameterizes one dom0 agent.
@@ -78,33 +143,41 @@ type AgentConfig struct {
 // zero.
 const defaultLocationCacheTTL = time.Second
 
-// TokenEvent reports one processed token visit to the observer.
+// TokenEvent reports one processed token visit to the observer. From is
+// the holder's server at decision time. In sharded rounds Migrated means
+// the move was *staged* for the merge (not yet executed); a cross-shard
+// proposal reports Migrated false with Target set.
 type TokenEvent struct {
 	Holder   cluster.VMID
 	Migrated bool
+	From     cluster.HostID
 	Target   cluster.HostID
 	Delta    float64
 }
 
 // Agent is one dom0: it tracks hosted VMs and their measured peer rates,
 // answers location and capacity probes, and executes the S-CORE decision
-// process when the token arrives for a hosted VM.
+// process when the token arrives for a hosted VM — immediately in the
+// global ring, staged into the ring state in sharded rounds.
 type Agent struct {
 	cfg AgentConfig
 	tr  Transport
 	reg *Registry
+	rq  requester
 
 	mu       sync.Mutex
 	vms      map[cluster.VMID]*vmRecord
-	pending  map[uint32]chan Message
 	locCache map[cluster.VMID]locEntry
-	seq      atomic.Uint32
+	assign   *ShardAssignment // current round's shard table, nil outside sharded rounds
 	closed   bool
 
 	// OnToken, when set, observes each token visit; returning false
 	// stops the ring (the harness's termination hook). It must be set
 	// before Start.
 	OnToken func(ev TokenEvent) bool
+	// OnShardToken, when set, observes each sharded-ring visit. Sharded
+	// rings terminate by hop count, so the observer cannot stop them.
+	OnShardToken func(shard int, ev TokenEvent)
 }
 
 // vmRecord mirrors the traffic matrix's CSR idiom: the peer-rate table
@@ -147,19 +220,21 @@ func NewAgent(cfg AgentConfig, reg *Registry) (*Agent, error) {
 		cfg:      cfg,
 		reg:      reg,
 		vms:      make(map[cluster.VMID]*vmRecord),
-		pending:  make(map[uint32]chan Message),
 		locCache: make(map[cluster.VMID]locEntry),
 	}, nil
 }
 
 // Start binds the agent to a transport created by mk (which receives the
-// agent's message handler).
+// agent's message handler) and registers the agent in the host
+// directory.
 func (a *Agent) Start(mk func(Handler) (Transport, error)) error {
 	tr, err := mk(a.handle)
 	if err != nil {
 		return err
 	}
 	a.tr = tr
+	a.rq.bind(tr, a.cfg.ProbeTimeout)
+	a.reg.AssignHost(a.cfg.HostID, tr.Addr())
 	return nil
 }
 
@@ -256,44 +331,37 @@ func (a *Agent) handle(from string, m Message) {
 		a.mu.Unlock()
 		a.reg.Assign(m.VM, a.tr.Addr())
 		_ = a.tr.Send(m.ReplyTo, Message{Type: MsgMigrateAck, ReqID: m.ReqID, VM: m.VM, Host: a.cfg.HostID})
-	case MsgLocationResp, MsgCapacityResp, MsgMigrateAck:
-		a.mu.Lock()
-		ch, ok := a.pending[m.ReqID]
-		a.mu.Unlock()
-		if ok {
-			select {
-			case ch <- m:
-			default:
-			}
-		}
+	case MsgLocationResp, MsgCapacityResp, MsgMigrateAck, MsgShardAssignAck, MsgReconcileResp:
+		a.rq.dispatch(m)
 	case MsgToken:
 		go a.processToken(m)
+	case MsgShardAssign:
+		asg, err := DecodeShardAssignment(m.Payload)
+		if err != nil {
+			return
+		}
+		a.mu.Lock()
+		a.assign = asg
+		a.mu.Unlock()
+		_ = a.tr.Send(m.ReplyTo, Message{Type: MsgShardAssignAck, ReqID: m.ReqID, Host: a.cfg.HostID})
+	case MsgShardToken:
+		go a.processShardToken(m)
+	case MsgReconcileCommit:
+		// The commit blocks on a MsgMigrate round trip; run it off the
+		// dispatch goroutine so the ack can be delivered.
+		go a.processReconcileCommit(m)
+	case MsgReconcileAbort:
+		// A staged move or proposal for this VM was rejected: any
+		// location the deciding path cached for it is suspect.
+		a.mu.Lock()
+		delete(a.locCache, m.VM)
+		a.mu.Unlock()
 	}
 }
 
 // request performs one correlated round trip.
 func (a *Agent) request(to string, m Message) (Message, error) {
-	id := a.seq.Add(1)
-	m.ReqID = id
-	m.ReplyTo = a.tr.Addr()
-	ch := make(chan Message, 1)
-	a.mu.Lock()
-	a.pending[id] = ch
-	a.mu.Unlock()
-	defer func() {
-		a.mu.Lock()
-		delete(a.pending, id)
-		a.mu.Unlock()
-	}()
-	if err := a.tr.Send(to, m); err != nil {
-		return Message{}, err
-	}
-	select {
-	case r := <-ch:
-		return r, nil
-	case <-time.After(a.cfg.ProbeTimeout):
-		return Message{}, fmt.Errorf("hypervisor: probe to %s timed out", to)
-	}
+	return a.rq.request(to, m)
 }
 
 // processToken runs the full Section V-B decision pipeline for one token
@@ -420,79 +488,97 @@ func (a *Agent) locate(vm cluster.VMID) (cluster.HostID, bool) {
 	return resp.Host, true
 }
 
-// decide evaluates the S-CORE policy for a hosted token holder. The
-// rates slice is the holder's adjacency row (sorted by peer), so peers
-// are probed in a deterministic order.
-func (a *Agent) decide(holder cluster.VMID, ramMB int, rates []traffic.Edge) TokenEvent {
-	ev := TokenEvent{Holder: holder, Target: cluster.NoHost}
-	type peerLoc struct {
-		vm   cluster.VMID
-		host cluster.HostID
-		addr string
-		rate float64
-	}
-	peers := make([]peerLoc, 0, len(rates))
-	for _, ed := range rates {
-		h, ok := a.locate(ed.Peer)
-		if !ok {
-			continue
-		}
-		addr, _ := a.reg.Lookup(ed.Peer)
-		peers = append(peers, peerLoc{vm: ed.Peer, host: h, addr: addr, rate: ed.Rate})
-	}
-	if len(peers) == 0 {
-		return ev
-	}
+// peerLoc is one located neighbor of a token holder.
+type peerLoc struct {
+	vm   cluster.VMID
+	host cluster.HostID
+	rate float64
+}
 
-	// Rank candidate servers: each peer's host, highest level first.
-	type cand struct {
-		host cluster.HostID
-		addr string
-	}
-	seen := map[cluster.HostID]bool{a.cfg.HostID: true}
-	var cands []cand
+// bestTarget runs the Section V-B ranking and decision shared by the
+// global ring's immediate path and the sharded staged path: candidate
+// servers are the located peers' hosts, highest communication level
+// first; ΔC follows Eq. 5 against holderHost; capacity (via probe, which
+// reports a candidate's free slots and RAM) is consulted only for
+// candidates that satisfy Theorem 1 and beat the running best.
+func (a *Agent) bestTarget(holderHost cluster.HostID, peers []peerLoc, ramMB int, probe func(h cluster.HostID) (slots, ramFree int32, ok bool)) (cluster.HostID, float64, bool) {
+	seen := map[cluster.HostID]bool{holderHost: true}
+	var cands []cluster.HostID
 	for lvl := a.cfg.Topo.Depth(); lvl >= 1; lvl-- {
 		for _, p := range peers {
-			if a.cfg.Topo.Level(a.cfg.HostID, p.host) != lvl || seen[p.host] {
+			if a.cfg.Topo.Level(holderHost, p.host) != lvl || seen[p.host] {
 				continue
 			}
 			seen[p.host] = true
-			cands = append(cands, cand{host: p.host, addr: p.addr})
+			cands = append(cands, p.host)
 		}
 	}
 
 	delta := func(target cluster.HostID) float64 {
 		var d float64
 		for _, p := range peers {
-			before := a.cfg.Cost.Prefix(a.cfg.Topo.Level(p.host, a.cfg.HostID))
+			before := a.cfg.Cost.Prefix(a.cfg.Topo.Level(p.host, holderHost))
 			after := a.cfg.Cost.Prefix(a.cfg.Topo.Level(p.host, target))
 			d += 2 * p.rate * (before - after)
 		}
 		return d
 	}
 
-	var best *cand
+	best := cluster.NoHost
 	var bestDelta float64
-	for i := range cands {
-		c := &cands[i]
-		d := delta(c.host)
-		if d <= a.cfg.MigrationCost || (best != nil && d <= bestDelta) {
+	for _, h := range cands {
+		d := delta(h)
+		if d <= a.cfg.MigrationCost || (best != cluster.NoHost && d <= bestDelta) {
 			continue
 		}
 		// Capacity probe (Section V-B5).
-		resp, err := a.request(c.addr, Message{Type: MsgCapacityReq, VM: holder, RAMMB: int32(ramMB)})
-		if err != nil || resp.FreeSlots < 1 || int(resp.FreeRAMMB) < ramMB {
+		slots, ramFree, ok := probe(h)
+		if !ok || slots < 1 || int(ramFree) < ramMB {
 			continue
 		}
-		best, bestDelta = c, d
+		best, bestDelta = h, d
 	}
-	if best == nil {
+	return best, bestDelta, best != cluster.NoHost
+}
+
+// decide evaluates the S-CORE policy for a hosted token holder in the
+// global ring and executes the winning migration immediately. The rates
+// slice is the holder's adjacency row (sorted by peer), so peers are
+// probed in a deterministic order.
+func (a *Agent) decide(holder cluster.VMID, ramMB int, rates []traffic.Edge) TokenEvent {
+	ev := TokenEvent{Holder: holder, From: a.cfg.HostID, Target: cluster.NoHost}
+	peers := make([]peerLoc, 0, len(rates))
+	addrOf := make(map[cluster.HostID]string, len(rates))
+	for _, ed := range rates {
+		h, ok := a.locate(ed.Peer)
+		if !ok {
+			continue
+		}
+		addr, _ := a.reg.Lookup(ed.Peer)
+		peers = append(peers, peerLoc{vm: ed.Peer, host: h, rate: ed.Rate})
+		if _, dup := addrOf[h]; !dup {
+			addrOf[h] = addr
+		}
+	}
+	if len(peers) == 0 {
+		return ev
+	}
+
+	probe := func(h cluster.HostID) (int32, int32, bool) {
+		resp, err := a.request(addrOf[h], Message{Type: MsgCapacityReq, VM: holder, RAMMB: int32(ramMB)})
+		if err != nil {
+			return 0, 0, false
+		}
+		return resp.FreeSlots, resp.FreeRAMMB, true
+	}
+	best, bestDelta, ok := a.bestTarget(a.cfg.HostID, peers, ramMB, probe)
+	if !ok {
 		return ev
 	}
 
 	// Execute the migration: ship the VM record to the target dom0.
 	payload := EncodeRateEdges(rates)
-	resp, err := a.request(best.addr, Message{
+	resp, err := a.request(addrOf[best], Message{
 		Type: MsgMigrate, VM: holder, RAMMB: int32(ramMB), Payload: payload,
 	})
 	if err != nil || resp.Type != MsgMigrateAck {
@@ -504,9 +590,9 @@ func (a *Agent) decide(holder cluster.VMID, ramMB int, rates []traffic.Edge) Tok
 	// The source dom0 observed this migration first-hand: record the
 	// holder's new location so the post-decision view build (and any
 	// later visit inside the TTL) needs no extra round trip.
-	a.cacheLocation(holder, best.host, best.addr)
+	a.cacheLocation(holder, best, addrOf[best])
 	ev.Migrated = true
-	ev.Target = best.host
+	ev.Target = best
 	ev.Delta = bestDelta
 	return ev
 }

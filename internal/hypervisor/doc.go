@@ -1,0 +1,67 @@
+// Package hypervisor implements the paper's Section V-B deployment: a
+// per-server dom0 agent that maintains flow statistics, receives the
+// migration token on behalf of its hosted VMs, probes peers for location
+// and capacity, makes the unilateral S-CORE migration decision, and
+// forwards the token — over either an in-memory transport (tests,
+// simulation) or real TCP sockets (the paper's token listener on a known
+// dom0 port behind a NAT redirect).
+//
+// # Global ring
+//
+// The paper's mode circulates one token: a MsgToken visit runs the full
+// Section V-B pipeline at the holder's dom0 (aggregate load, locate
+// peers with MsgLocationReq/Resp, rank candidate servers, probe capacity
+// with MsgCapacityReq/Resp, decide via Theorem 1, execute the move with
+// MsgMigrate/MigrateAck) and forwards the token to the next holder under
+// the configured policy. Decisions execute immediately, serialized by
+// the single token.
+//
+// # Sharded rings and the reconciliation agent
+//
+// The sharded mode removes the global serialization the same way the
+// in-process scheduler (internal/shard) does, with the partition →
+// concurrent rings → merge/reconcile cycle expressed as a wire protocol:
+//
+//  1. Partition. A Reconciler agent — the coordinator-side peer of the
+//     dom0 agents, colocated with the placement manager's Registry —
+//     derives a topology-aligned shard.Partition of the current
+//     allocation (from the registry, not a cluster) and pushes the
+//     host→shard table to every agent with MsgShardAssign, acknowledged
+//     by MsgShardAssignAck. The assignment names the reconciler's
+//     address and the round number.
+//
+//  2. Concurrent rings. The reconciler builds one token per shard
+//     (token.Rings) and injects each at its lowest-ID VM with
+//     MsgShardToken. A shard token carries a RingState blob alongside
+//     the encoded token: the ring's staged intra-shard moves and queued
+//     cross-shard proposals, each with the VM's peer-rate table. During
+//     a round *no migration executes*: a holder's decision overlays the
+//     ring's staged moves onto probed round-start locations and
+//     capacities, stages intra-shard moves into the state, and queues
+//     proposals whose best target lies in another shard. The rings run
+//     concurrently — each is serialized by its own token, and because
+//     the authoritative state is frozen for the round, any interleaving
+//     of probe traffic yields the same decisions. When a ring completes
+//     its pass (every shard VM visited once), the final holder's agent
+//     ships the state to the reconciler with MsgRingDone.
+//
+//  3. Merge + reconcile. Once every ring reports, the reconciler
+//     replays staged intra-shard moves in shard order and then queued
+//     cross-shard proposals in the canonical ΔC-desc/VM-ID order —
+//     running the *same* shard.MergeStaged / shard.ReconcileProposals
+//     code as the in-process Coordinator, over an Env backed by
+//     location/capacity probes, so the two planes cannot drift. Each
+//     surviving move is re-validated against live post-merge state
+//     (Theorem 1 holds for every committed migration) and executed by
+//     asking the source dom0 to ship the VM (MsgReconcileCommit →
+//     MsgMigrate → MsgReconcileResp); rejected moves are announced with
+//     MsgReconcileAbort so agents can drop stale location-cache entries.
+//
+// With one shard the staged overlay reproduces the global ring's
+// immediate-execution decisions bit for bit, and the merge re-check
+// never fires — a 1-shard sharded round is byte-identical to a global
+// ring pass. Executed migrations update the registry, which invalidates
+// every agent's TTL location cache for the moved VMs (a cached entry is
+// served only while the registry still names the dom0 that answered the
+// probe), so rings in later rounds never act on pre-merge locations.
+package hypervisor

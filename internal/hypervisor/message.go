@@ -1,16 +1,10 @@
-// Package hypervisor implements the paper's Section V-B deployment: a
-// per-server dom0 agent that maintains flow statistics, receives the
-// migration token on behalf of its hosted VMs, probes peers for location
-// and capacity, makes the unilateral S-CORE migration decision, and
-// forwards the token — over either an in-memory transport (tests,
-// simulation) or real TCP sockets (the paper's token listener on a known
-// dom0 port behind a NAT redirect).
 package hypervisor
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"slices"
 
 	"github.com/score-dc/score/internal/cluster"
@@ -43,6 +37,28 @@ const (
 	MsgMigrate
 	// MsgMigrateAck confirms the transfer.
 	MsgMigrateAck
+	// MsgShardAssign pushes a round's host→shard table (an encoded
+	// ShardAssignment) from the reconciler to a dom0 agent.
+	MsgShardAssign
+	// MsgShardAssignAck confirms the assignment took effect.
+	MsgShardAssignAck
+	// MsgShardToken carries one shard ring's token plus its staged
+	// RingState; Message.VM is the holder the visit is addressed to.
+	MsgShardToken
+	// MsgRingDone ships a completed ring's final RingState (staged
+	// intra-shard moves and cross-shard proposals) to the reconciler.
+	MsgRingDone
+	// MsgReconcileCommit asks the dom0 hosting Message.VM to execute a
+	// reconciler-validated migration to Message.Host; the payload names
+	// the target dom0's address.
+	MsgReconcileCommit
+	// MsgReconcileResp reports the commit outcome: FreeSlots is 1 on
+	// success, 0 on failure; Host echoes the landing host.
+	MsgReconcileResp
+	// MsgReconcileAbort tells the proposing dom0 that a staged move or
+	// cross-shard proposal for Message.VM was rejected at
+	// reconciliation, so it can drop stale cached state.
+	MsgReconcileAbort
 )
 
 // Message is the fixed-header wire unit exchanged between dom0 agents.
@@ -121,14 +137,18 @@ func DecodeMessage(buf []byte) (Message, error) {
 }
 
 // EncodeRateEdges serializes a VM's peer-rate rows (a sorted adjacency
-// slice, the agent's native record format) for a MsgMigrate payload.
+// slice, the agent's native record format) for a MsgMigrate or staged
+// ring-state payload. Rates travel as raw float64 bits: a VM record must
+// survive any number of migrations — and a staged move's reconciler-side
+// ΔC re-validation — without drifting from the floats the source dom0
+// decided on.
 func EncodeRateEdges(edges []traffic.Edge) []byte {
 	buf := make([]byte, 4+12*len(edges))
 	binary.BigEndian.PutUint32(buf, uint32(len(edges)))
 	off := 4
 	for _, e := range edges {
 		binary.BigEndian.PutUint32(buf[off:], uint32(e.Peer))
-		binary.BigEndian.PutUint64(buf[off+4:], uint64(e.Rate*1e6)) // µMb/s fixed point
+		binary.BigEndian.PutUint64(buf[off+4:], math.Float64bits(e.Rate))
 		off += 12
 	}
 	return buf
@@ -149,7 +169,7 @@ func DecodeRateEdges(buf []byte) ([]traffic.Edge, error) {
 	for i := 0; i < n; i++ {
 		out[i] = traffic.Edge{
 			Peer: cluster.VMID(binary.BigEndian.Uint32(buf[off:])),
-			Rate: float64(binary.BigEndian.Uint64(buf[off+4:])) / 1e6,
+			Rate: math.Float64frombits(binary.BigEndian.Uint64(buf[off+4:])),
 		}
 		off += 12
 	}

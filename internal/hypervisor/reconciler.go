@@ -1,0 +1,416 @@
+package hypervisor
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/core"
+	"github.com/score-dc/score/internal/shard"
+	"github.com/score-dc/score/internal/token"
+	"github.com/score-dc/score/internal/topology"
+	"github.com/score-dc/score/internal/traffic"
+)
+
+// ReconcilerConfig parameterizes the reconciliation agent — the
+// coordinator-side endpoint of the sharded mode, colocated with the
+// placement manager's registry.
+type ReconcilerConfig struct {
+	// Topo and Cost mirror every dom0's static knowledge; MigrationCost
+	// is Theorem 1's c_m, shared with the agents so staging and
+	// re-validation apply the same threshold.
+	Topo          topology.Topology
+	Cost          core.CostModel
+	MigrationCost float64
+	// Shards is the requested ring count (clamped to topology units);
+	// Granularity aligns shard boundaries to pods or racks.
+	Shards      int
+	Granularity shard.Granularity
+	// ProbeTimeout bounds each capacity/commit round trip; zero means
+	// 2s. RoundTimeout bounds the wait for all rings of a round; zero
+	// means 2 minutes.
+	ProbeTimeout time.Duration
+	RoundTimeout time.Duration
+}
+
+// RingReport summarizes one shard ring's activity within a round.
+type RingReport struct {
+	Shard int
+	// VMs is the ring population at injection; Hops the visits the ring
+	// performed.
+	VMs, Hops int
+	// Staged intra-shard moves, the Merged subset that survived
+	// re-validation, and the cross-shard Proposed count.
+	Staged, Merged, Proposed int
+	// Latency is the wall-clock time from token injection to the ring's
+	// completion report — the per-shard ring latency of the round.
+	Latency time.Duration
+}
+
+// RoundReport summarizes one distributed partition → rings →
+// merge/reconcile cycle. A round with an empty Applied list means the
+// plane has quiesced.
+type RoundReport struct {
+	Round uint32
+	// Applied lists every executed migration in application order:
+	// merged intra-shard commits in shard order, then reconciled
+	// cross-shard proposals in the canonical order. Delta is the ΔC
+	// re-validated immediately before execution.
+	Applied       []core.Decision
+	RealizedDelta float64
+	Rings         []RingReport
+	// Reconciliation outcome counters, as in shard.Round.
+	CrossApplied, CrossRejected, StaleRejected int
+	// RingHops is the longest ring's hop count (the round's critical
+	// path); TotalHops sums all rings.
+	RingHops, TotalHops int
+}
+
+// ringDone is one MsgRingDone arrival.
+type ringDone struct {
+	st *RingState
+	at time.Time
+}
+
+// Reconciler drives sharded rounds over the distributed agent plane: it
+// partitions the registry's authoritative allocation, pushes shard
+// assignments, injects one token per shard, collects the rings' staged
+// state, and re-validates and executes the staged moves through the
+// same shard.MergeStaged / shard.ReconcileProposals pass the in-process
+// Coordinator uses. RunRound must not be called concurrently.
+type Reconciler struct {
+	cfg  ReconcilerConfig
+	reg  *Registry
+	tr   Transport
+	rq   requester
+	done chan ringDone
+
+	round uint32
+}
+
+// NewReconciler validates the configuration; call Start with a transport
+// factory to go live.
+func NewReconciler(cfg ReconcilerConfig, reg *Registry) (*Reconciler, error) {
+	if cfg.Topo == nil || reg == nil {
+		return nil, fmt.Errorf("hypervisor: nil dependency")
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("hypervisor: shard count %d must be positive", cfg.Shards)
+	}
+	if cfg.Granularity != shard.ByPod && cfg.Granularity != shard.ByRack {
+		return nil, fmt.Errorf("hypervisor: unknown granularity %v", cfg.Granularity)
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = 2 * time.Minute
+	}
+	return &Reconciler{cfg: cfg, reg: reg, done: make(chan ringDone, 1024)}, nil
+}
+
+// Start binds the reconciler to a transport created by mk.
+func (r *Reconciler) Start(mk func(Handler) (Transport, error)) error {
+	tr, err := mk(r.handle)
+	if err != nil {
+		return err
+	}
+	r.tr = tr
+	r.rq.bind(tr, r.cfg.ProbeTimeout)
+	return nil
+}
+
+// Addr returns the reconciler's transport address.
+func (r *Reconciler) Addr() string { return r.tr.Addr() }
+
+// Close shuts down the transport.
+func (r *Reconciler) Close() error {
+	if r.tr == nil {
+		return nil
+	}
+	return r.tr.Close()
+}
+
+func (r *Reconciler) handle(from string, m Message) {
+	switch m.Type {
+	case MsgRingDone:
+		st, err := DecodeRingState(m.Payload)
+		if err != nil {
+			return
+		}
+		select {
+		case r.done <- ringDone{st: st, at: time.Now()}:
+		default: // overflow: the round will time out and report the loss
+		}
+	case MsgLocationResp, MsgCapacityResp, MsgMigrateAck, MsgShardAssignAck, MsgReconcileResp:
+		r.rq.dispatch(m)
+	}
+}
+
+// reconcileEnv backs the shared reconciliation pass with the distributed
+// plane: locations resolve through the registry (authoritative, updated
+// synchronously by every executed migration), capacity through live
+// probes, and Apply through the commit protocol. Calls are sequential,
+// so probes always observe the state left by the previous apply.
+type reconcileEnv struct {
+	r     *Reconciler
+	rates map[cluster.VMID][]traffic.Edge
+	ram   map[cluster.VMID]int32
+}
+
+func (e *reconcileEnv) HostOf(vm cluster.VMID) cluster.HostID {
+	h, ok := e.r.reg.HostOfVM(vm)
+	if !ok {
+		return cluster.NoHost
+	}
+	return h
+}
+
+// Delta recomputes Eq. 5 from the move's carried peer-rate table and
+// current locations — the same arithmetic, in the same peer order, as
+// the agents' staging path, so an undisturbed staged ΔC re-validates to
+// the identical float.
+func (e *reconcileEnv) Delta(vm cluster.VMID, target cluster.HostID) float64 {
+	cur := e.HostOf(vm)
+	if cur == target || cur == cluster.NoHost {
+		return 0
+	}
+	var d float64
+	for _, ed := range e.rates[vm] {
+		hz := e.HostOf(ed.Peer)
+		if hz == cluster.NoHost {
+			continue
+		}
+		before := e.r.cfg.Cost.Prefix(e.r.cfg.Topo.Level(hz, cur))
+		after := e.r.cfg.Cost.Prefix(e.r.cfg.Topo.Level(hz, target))
+		d += 2 * ed.Rate * (before - after)
+	}
+	return d
+}
+
+func (e *reconcileEnv) Admissible(vm cluster.VMID, target cluster.HostID) bool {
+	addr, ok := e.r.reg.HostAddr(target)
+	if !ok {
+		return false
+	}
+	resp, err := e.r.rq.request(addr, Message{Type: MsgCapacityReq, VM: vm, RAMMB: e.ram[vm]})
+	if err != nil {
+		return false
+	}
+	return resp.FreeSlots >= 1 && resp.FreeRAMMB >= e.ram[vm]
+}
+
+func (e *reconcileEnv) Apply(d core.Decision) (float64, error) {
+	realized := e.Delta(d.VM, d.Target)
+	srcAddr, ok := e.r.reg.Lookup(d.VM)
+	if !ok {
+		return 0, fmt.Errorf("hypervisor: VM %d has no registered dom0", d.VM)
+	}
+	tgtAddr, ok := e.r.reg.HostAddr(d.Target)
+	if !ok {
+		return 0, fmt.Errorf("hypervisor: host %d has no registered dom0", d.Target)
+	}
+	resp, err := e.r.rq.request(srcAddr, Message{
+		Type: MsgReconcileCommit, VM: d.VM, Host: d.Target, Payload: []byte(tgtAddr),
+	})
+	if err != nil {
+		return 0, err
+	}
+	if resp.FreeSlots != 1 {
+		return 0, fmt.Errorf("hypervisor: dom0 %s refused commit of VM %d", srcAddr, d.VM)
+	}
+	return realized, nil
+}
+
+// decisionsOf converts staged moves to the shared reconcile currency.
+func decisionsOf(ms []StagedMove) []core.Decision {
+	out := make([]core.Decision, len(ms))
+	for i, m := range ms {
+		out[i] = core.Decision{VM: m.VM, From: m.From, Target: m.To, Delta: m.Delta}
+	}
+	return out
+}
+
+// unmatched returns the commits that did not land (by VM/From/Target),
+// for abort notification.
+func unmatched(commits, applied []core.Decision) []core.Decision {
+	used := make([]bool, len(applied))
+	var out []core.Decision
+	for _, c := range commits {
+		found := false
+		for i, a := range applied {
+			if !used[i] && a.VM == c.VM && a.From == c.From && a.Target == c.Target {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// roundTimeoutCh arms the round-completion timeout.
+func (r *Reconciler) roundTimeoutCh() <-chan time.Time {
+	return time.After(r.cfg.RoundTimeout)
+}
+
+// RunRound executes one full distributed cycle and blocks until its
+// migrations have been committed. See the package documentation for the
+// message flow.
+func (r *Reconciler) RunRound() (*RoundReport, error) {
+	r.round++
+	roundID := r.round
+
+	// 1. Partition the registry's current allocation, reusing the
+	// in-process plane's topology-aligned partitioner.
+	hostIDs := r.reg.HostList()
+	if len(hostIDs) == 0 {
+		return nil, fmt.Errorf("hypervisor: no agents registered")
+	}
+	hosts := int(hostIDs[len(hostIDs)-1]) + 1
+	part, err := shard.NewHostPartition(r.cfg.Topo, hosts, r.cfg.Granularity, r.cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	for _, vm := range r.reg.VMList() {
+		if h, ok := r.reg.HostOfVM(vm); ok {
+			part.Insert(vm, h)
+		}
+	}
+	n := part.Shards()
+
+	// 2. Push the round's shard assignment to every agent.
+	table := make([]int32, hosts)
+	for h := 0; h < hosts; h++ {
+		table[h] = int32(part.ShardOfHost(cluster.HostID(h)))
+	}
+	asg := &ShardAssignment{Round: roundID, Shards: int32(n), ReconcilerAddr: r.tr.Addr(), HostShard: table}
+	payload := asg.Encode()
+	for _, h := range hostIDs {
+		addr, _ := r.reg.HostAddr(h)
+		if _, err := r.rq.request(addr, Message{Type: MsgShardAssign, Host: h, Payload: payload}); err != nil {
+			return nil, fmt.Errorf("hypervisor: shard assignment to host %d: %w", h, err)
+		}
+	}
+
+	// 3. Inject one token per shard; the rings run concurrently.
+	depth := uint8(r.cfg.Topo.Depth())
+	lists := make([][]cluster.VMID, n)
+	for s := range lists {
+		lists[s] = part.VMs(s)
+	}
+	rings := token.Rings(lists, depth)
+	reports := make([]RingReport, n)
+	injected := make([]time.Time, n)
+	expect := 0
+	for s := 0; s < n; s++ {
+		reports[s] = RingReport{Shard: s, VMs: len(lists[s])}
+		first, ok := rings[s].Inject()
+		if !ok {
+			continue // empty shard: no ring this round
+		}
+		addr, ok := r.reg.Lookup(first)
+		if !ok {
+			return nil, fmt.Errorf("hypervisor: injection point VM %d has no registered dom0", first)
+		}
+		st := &RingState{Shard: int32(s), Round: roundID, Limit: int32(len(lists[s])), Token: rings[s].Encode()}
+		injected[s] = time.Now()
+		if err := r.tr.Send(addr, Message{Type: MsgShardToken, VM: first, Payload: st.Encode()}); err != nil {
+			return nil, fmt.Errorf("hypervisor: injecting shard %d token: %w", s, err)
+		}
+		expect++
+	}
+
+	// 4. Collect ring completions.
+	states := make([]*RingState, n)
+	timeout := r.roundTimeoutCh()
+	for got := 0; got < expect; {
+		select {
+		case d := <-r.done:
+			if d.st.Round != roundID {
+				continue // straggler from an earlier, aborted round
+			}
+			s := int(d.st.Shard)
+			if s < 0 || s >= n || states[s] != nil {
+				continue
+			}
+			states[s] = d.st
+			reports[s].Hops = int(d.st.Hops)
+			reports[s].Staged = len(d.st.Staged)
+			reports[s].Proposed = len(d.st.Proposals)
+			reports[s].Latency = d.at.Sub(injected[s])
+			got++
+		case <-timeout:
+			return nil, fmt.Errorf("hypervisor: round %d timed out waiting for ring completions", roundID)
+		}
+	}
+
+	// 5. Merge staged intra-shard moves in shard order, then reconcile
+	// cross-shard proposals in the canonical order — the shared pass.
+	env := &reconcileEnv{
+		r:     r,
+		rates: make(map[cluster.VMID][]traffic.Edge),
+		ram:   make(map[cluster.VMID]int32),
+	}
+	for _, st := range states {
+		if st == nil {
+			continue
+		}
+		for _, lists := range [][]StagedMove{st.Staged, st.Proposals} {
+			for i := range lists {
+				m := &lists[i]
+				env.rates[m.VM] = m.Rates
+				env.ram[m.VM] = m.RAMMB
+			}
+		}
+	}
+
+	rep := &RoundReport{Round: roundID, Rings: reports}
+	var proposals []core.Decision
+	var aborts []core.Decision
+	for s := 0; s < n; s++ {
+		rep.TotalHops += reports[s].Hops
+		if reports[s].Hops > rep.RingHops {
+			rep.RingHops = reports[s].Hops
+		}
+		st := states[s]
+		if st == nil {
+			continue
+		}
+		commits := decisionsOf(st.Staged)
+		applied, stale, err := shard.MergeStaged(env, r.cfg.MigrationCost, commits)
+		if err != nil {
+			return nil, fmt.Errorf("hypervisor: shard %d merge: %w", s, err)
+		}
+		rep.StaleRejected += stale
+		reports[s].Merged = len(applied)
+		rep.Applied = append(rep.Applied, applied...)
+		for _, d := range applied {
+			rep.RealizedDelta += d.Delta
+		}
+		if stale > 0 {
+			aborts = append(aborts, unmatched(commits, applied)...)
+		}
+		proposals = append(proposals, decisionsOf(st.Proposals)...)
+	}
+
+	applied, rejected := shard.ReconcileProposals(env, r.cfg.MigrationCost, proposals)
+	rep.CrossApplied = len(applied)
+	rep.CrossRejected = len(rejected)
+	rep.Applied = append(rep.Applied, applied...)
+	for _, d := range applied {
+		rep.RealizedDelta += d.Delta
+	}
+	aborts = append(aborts, rejected...)
+
+	// 6. Abort notifications: losers' dom0s drop stale cached state.
+	for _, d := range aborts {
+		if addr, ok := r.reg.Lookup(d.VM); ok {
+			_ = r.tr.Send(addr, Message{Type: MsgReconcileAbort, VM: d.VM, Host: d.Target})
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,241 @@
+package hypervisor
+
+import (
+	"slices"
+
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/token"
+	"github.com/score-dc/score/internal/traffic"
+)
+
+// This file is the agent side of the sharded mode: processing one
+// shard-ring token visit with the staged-overlay decision, and executing
+// reconciler-validated commits. The reconciler side lives in
+// reconciler.go; see doc.go for the protocol.
+
+// ringOverlay is a visit-scoped index of a ring's staged moves: VM
+// locations (last staged move wins) and per-host capacity deltas. It is
+// built once per token visit, so peer resolution and capacity
+// adjustment are O(1) instead of rescanning the staged list — the
+// distributed counterpart of core.AllocView's dense overlay. Proposals
+// are not folded: they are queued, not applied, exactly as in the
+// Coordinator's view semantics.
+type ringOverlay struct {
+	loc   map[cluster.VMID]cluster.HostID
+	slots map[cluster.HostID]int32
+	ramMB map[cluster.HostID]int32
+}
+
+func newRingOverlay(st *RingState) *ringOverlay {
+	o := &ringOverlay{
+		loc:   make(map[cluster.VMID]cluster.HostID, len(st.Staged)),
+		slots: make(map[cluster.HostID]int32),
+		ramMB: make(map[cluster.HostID]int32),
+	}
+	for i := range st.Staged {
+		o.add(&st.Staged[i])
+	}
+	return o
+}
+
+// add folds one staged move into the overlay (called for every move
+// already in the state, and again when a visit stages a new one).
+func (o *ringOverlay) add(m *StagedMove) {
+	o.loc[m.VM] = m.To
+	o.slots[m.To]--
+	o.ramMB[m.To] -= m.RAMMB
+	o.slots[m.From]++
+	o.ramMB[m.From] += m.RAMMB
+}
+
+// ringLocate resolves a VM's position inside a sharded round: the ring's
+// staged overlay first (a staged move wins over the authoritative state,
+// which is frozen until the merge), the probed round-start location
+// otherwise.
+func (a *Agent) ringLocate(o *ringOverlay, vm cluster.VMID) (cluster.HostID, bool) {
+	if h, ok := o.loc[vm]; ok {
+		return h, true
+	}
+	return a.locate(vm)
+}
+
+// decideShard evaluates the S-CORE policy for a hosted holder inside a
+// sharded round. Nothing executes: an intra-shard winner is staged into
+// the ring state (visible to later visits of this ring through the
+// overlay), a cross-shard winner is queued as a proposal for the
+// reconciler. Capacity probes return round-start truth and are adjusted
+// by the ring's staged moves, mirroring the Coordinator's view
+// semantics.
+func (a *Agent) decideShard(holder cluster.VMID, holderHost cluster.HostID, ramMB int, rates []traffic.Edge, st *RingState, o *ringOverlay, asg *ShardAssignment) TokenEvent {
+	ev := TokenEvent{Holder: holder, From: holderHost, Target: cluster.NoHost}
+	peers := make([]peerLoc, 0, len(rates))
+	for _, ed := range rates {
+		h, ok := a.ringLocate(o, ed.Peer)
+		if !ok {
+			continue
+		}
+		peers = append(peers, peerLoc{vm: ed.Peer, host: h, rate: ed.Rate})
+	}
+	if len(peers) == 0 {
+		return ev
+	}
+
+	probe := func(h cluster.HostID) (int32, int32, bool) {
+		addr, ok := a.reg.HostAddr(h)
+		if !ok {
+			return 0, 0, false
+		}
+		resp, err := a.request(addr, Message{Type: MsgCapacityReq, VM: holder, RAMMB: int32(ramMB)})
+		if err != nil {
+			return 0, 0, false
+		}
+		return resp.FreeSlots + o.slots[h], resp.FreeRAMMB + o.ramMB[h], true
+	}
+	best, bestDelta, ok := a.bestTarget(holderHost, peers, ramMB, probe)
+	if !ok {
+		return ev
+	}
+
+	mv := StagedMove{
+		VM: holder, From: holderHost, To: best,
+		Delta: bestDelta, RAMMB: int32(ramMB), Rates: rates,
+	}
+	if asg.ShardOfHost(best) == int(st.Shard) {
+		st.Staged = append(st.Staged, mv)
+		o.add(&st.Staged[len(st.Staged)-1])
+		ev.Migrated = true
+	} else {
+		st.Proposals = append(st.Proposals, mv)
+	}
+	ev.Target = best
+	ev.Delta = bestDelta
+	return ev
+}
+
+// processShardToken runs one sharded-ring visit: decode the ring state,
+// decide with the staged overlay, update the token's level entries from
+// the overlaid view, and either forward the token or — when the pass
+// completes — ship the final state to the reconciler.
+func (a *Agent) processShardToken(m Message) {
+	st, err := DecodeRingState(m.Payload)
+	if err != nil {
+		return
+	}
+	tok, err := token.Decode(st.Token)
+	if err != nil {
+		return
+	}
+	holder := m.VM
+
+	a.mu.Lock()
+	rec, hosted := a.vms[holder]
+	var ramMB int
+	var rates []traffic.Edge
+	if hosted {
+		ramMB = rec.ramMB
+		rates = slices.Clone(rec.rates)
+	}
+	asg := a.assign
+	closed := a.closed
+	a.mu.Unlock()
+	if closed || asg == nil || asg.Round != st.Round {
+		return // stale round: let the reconciler time the ring out
+	}
+
+	// The holder's position resolves through the overlay: an earlier
+	// visit of this ring may have staged it away even though the record
+	// stays here until the merge executes.
+	overlay := newRingOverlay(st)
+	holderHost := a.cfg.HostID
+	if h, ok := overlay.loc[holder]; ok {
+		holderHost = h
+	}
+
+	ev := TokenEvent{Holder: holder, From: holderHost, Target: cluster.NoHost}
+	if hosted {
+		ev = a.decideShard(holder, holderHost, ramMB, rates, st, overlay, asg)
+	}
+
+	// Build the holder view against the post-decision overlay and pass
+	// the token — the same sequence as the global ring's visit.
+	viewHost := holderHost
+	if h, ok := overlay.loc[holder]; ok {
+		viewHost = h
+	}
+	view := token.HolderView{Holder: holder, NeighborLevels: make(map[cluster.VMID]uint8, len(rates))}
+	var own uint8
+	for _, ed := range rates {
+		if h, ok := a.ringLocate(overlay, ed.Peer); ok {
+			lvl := uint8(a.cfg.Topo.Level(viewHost, h))
+			view.NeighborLevels[ed.Peer] = lvl
+			if lvl > own {
+				own = lvl
+			}
+		}
+	}
+	view.OwnLevel = own
+
+	if a.OnShardToken != nil {
+		a.OnShardToken(int(st.Shard), ev)
+	}
+
+	st.Hops++
+	done := st.Hops >= st.Limit
+	var next cluster.VMID
+	if !done {
+		n, ok := a.cfg.Policy.Next(tok, view)
+		if !ok {
+			done = true
+		} else {
+			next = n
+		}
+	}
+	st.Token = tok.Encode()
+	if !done {
+		if addr, ok := a.reg.Lookup(next); ok {
+			if a.tr.Send(addr, Message{Type: MsgShardToken, VM: next, Payload: st.Encode()}) == nil {
+				return
+			}
+		}
+		// No route to the next holder: close the ring early rather than
+		// stranding its staged state.
+	}
+	_ = a.tr.Send(asg.ReconcilerAddr, Message{Type: MsgRingDone, VM: holder, Host: a.cfg.HostID, Payload: st.Encode()})
+}
+
+// processReconcileCommit executes one reconciler-validated migration:
+// ship the VM record to the target dom0 named in the payload, then
+// report the outcome. It mirrors the global ring's execution tail in
+// decide.
+func (a *Agent) processReconcileCommit(m Message) {
+	fail := func() {
+		_ = a.tr.Send(m.ReplyTo, Message{Type: MsgReconcileResp, ReqID: m.ReqID, VM: m.VM, Host: cluster.NoHost})
+	}
+	targetAddr := string(m.Payload)
+	a.mu.Lock()
+	rec, ok := a.vms[m.VM]
+	var ramMB int
+	var rates []traffic.Edge
+	if ok {
+		ramMB = rec.ramMB
+		rates = slices.Clone(rec.rates)
+	}
+	a.mu.Unlock()
+	if !ok || targetAddr == "" {
+		fail()
+		return
+	}
+	resp, err := a.request(targetAddr, Message{
+		Type: MsgMigrate, VM: m.VM, RAMMB: int32(ramMB), Payload: EncodeRateEdges(rates),
+	})
+	if err != nil || resp.Type != MsgMigrateAck {
+		fail()
+		return
+	}
+	a.mu.Lock()
+	delete(a.vms, m.VM)
+	a.mu.Unlock()
+	// First-hand observation of the migration, as in decide.
+	a.cacheLocation(m.VM, m.Host, targetAddr)
+	_ = a.tr.Send(m.ReplyTo, Message{Type: MsgReconcileResp, ReqID: m.ReqID, VM: m.VM, Host: m.Host, FreeSlots: 1})
+}

@@ -193,6 +193,77 @@ func TestShiftPairMatchesRecompute(t *testing.T) {
 	}
 }
 
+// TestSyncFoldsChangelog: folding the matrix's edge changelog must
+// reproduce a fresh full-pair recompute through interleaved rate
+// mutations and (Sync-before-ShiftPair) migrations — the incremental
+// contract the simulator relies on at every sample tick.
+func TestSyncFoldsChangelog(t *testing.T) {
+	net, topo, cl, tm := buildNet(t)
+	rng := rand.New(rand.NewSource(11))
+	vms := cl.VMs()
+	for i := 0; i < 30; i++ {
+		u, v := vms[rng.Intn(len(vms))], vms[rng.Intn(len(vms))]
+		if u != v {
+			tm.Add(u, v, 1+rng.Float64()*40)
+		}
+	}
+	net.Recompute(tm, cl)
+
+	check := func(step int) {
+		t.Helper()
+		fresh := NewNetwork(topo)
+		fresh.Recompute(tm, cl)
+		for _, l := range topo.Links() {
+			a, b := net.LinkLoadMbps(l.ID), fresh.LinkLoadMbps(l.ID)
+			if math.Abs(a-b) > 1e-6 {
+				t.Fatalf("step %d link %d: incremental %v vs recomputed %v", step, l.ID, a, b)
+			}
+		}
+	}
+
+	for step := 0; step < 120; step++ {
+		switch rng.Intn(3) {
+		case 0: // rate mutation: picked up by the next Sync
+			u, v := vms[rng.Intn(len(vms))], vms[rng.Intn(len(vms))]
+			if u != v {
+				tm.Set(u, v, rng.Float64()*60)
+			}
+		case 1: // migration: drain the changelog first, then shift
+			u := vms[rng.Intn(len(vms))]
+			target := cluster.HostID(rng.Intn(topo.Hosts()))
+			if cl.HostOf(u) == target || !cl.Fits(u, target) {
+				continue
+			}
+			net.Sync(tm, cl)
+			from := cl.HostOf(u)
+			if err := cl.Move(u, target); err != nil {
+				t.Fatal(err)
+			}
+			for _, ed := range tm.NeighborEdges(u) {
+				hz := cl.HostOf(ed.Peer)
+				net.ShiftPair(u, ed.Peer, from, hz, -ed.Rate)
+				net.ShiftPair(u, ed.Peer, target, hz, ed.Rate)
+			}
+		case 2: // sample tick
+			net.Sync(tm, cl)
+			check(step)
+		}
+	}
+	net.Sync(tm, cl)
+	check(-1)
+
+	// A matrix swap must fall back to a full recompute.
+	swapped := tm.Scaled(2)
+	net.Sync(swapped, cl)
+	fresh := NewNetwork(topo)
+	fresh.Recompute(swapped, cl)
+	for _, l := range topo.Links() {
+		if math.Abs(net.LinkLoadMbps(l.ID)-fresh.LinkLoadMbps(l.ID)) > 1e-6 {
+			t.Fatal("Sync after matrix swap did not recompute")
+		}
+	}
+}
+
 func TestMaxUtilization(t *testing.T) {
 	net, _, cl, tm := buildNet(t)
 	tm.Set(0, 1, 800)

@@ -13,6 +13,12 @@ type Network struct {
 	topo topology.Topology
 	load []float64 // Mb/s per link, indexed by LinkID
 	path []topology.LinkID
+
+	// Incremental base for Sync: the matrix and generation the loads
+	// were last brought up to date against. baseTM is identity only —
+	// never dereferenced for reads beyond ChangesSince.
+	baseTM  *traffic.Matrix
+	baseGen uint64
 }
 
 // NewNetwork creates a load tracker over topo's links.
@@ -41,6 +47,52 @@ func (n *Network) Recompute(tm *traffic.Matrix, cl *cluster.Cluster) {
 			n.load[l] += rates[i]
 		}
 	}
+	n.baseTM, n.baseGen = tm, tm.Generation()
+}
+
+// Sync brings the link loads up to date with the matrix by folding its
+// edge changelog (ChangesSince) instead of rerouting the full pair list
+// — the same rollover fast path the decision engine uses for its cost
+// accounting. A matrix swap, or a base too far behind the changelog
+// window, falls back to Recompute.
+//
+// Contract: rate deltas are folded over the pairs' *current* hosts, so
+// the caller must Sync before applying an allocation change whose pair
+// contributions it shifts with ShiftPair (the simulator syncs at every
+// migration and at every sample tick). Allocation changes themselves
+// are out of scope here — ShiftPair remains the O(degree) companion for
+// those.
+func (n *Network) Sync(tm *traffic.Matrix, cl *cluster.Cluster) {
+	if n.baseTM != tm {
+		n.Recompute(tm, cl)
+		return
+	}
+	if tm.Generation() == n.baseGen {
+		return
+	}
+	changes, ok := tm.ChangesSince(n.baseGen)
+	if !ok {
+		n.Recompute(tm, cl)
+		return
+	}
+	for _, ch := range changes {
+		ha, hb := cl.HostOf(ch.A), cl.HostOf(ch.B)
+		if ha == cluster.NoHost || hb == cluster.NoHost || ha == hb {
+			continue
+		}
+		delta := ch.New - ch.Old
+		if delta == 0 {
+			continue
+		}
+		n.path = n.topo.PathLinks(n.path[:0], ha, hb, topology.PairHash(ch.A, ch.B))
+		for _, l := range n.path {
+			n.load[l] += delta
+			if n.load[l] < 0 {
+				n.load[l] = 0 // clamp accumulated float error
+			}
+		}
+	}
+	n.baseGen = tm.Generation()
 }
 
 // ShiftPair moves one pair's contribution when an endpoint relocates:

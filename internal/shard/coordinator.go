@@ -2,7 +2,6 @@ package shard
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/score-dc/score/internal/cluster"
 	"github.com/score-dc/score/internal/core"
@@ -92,9 +91,18 @@ type Coordinator struct {
 	eng  *core.Engine
 	cfg  Config
 	pool *Pool
+
+	// part is the live partition, maintained incrementally from cluster
+	// allocation-change observations instead of being rebuilt O(|V|)
+	// every round. It is dropped (nil) on bulk rewrites (Restore) and
+	// lazily rebuilt by the next round.
+	part   *Partition
+	detach func()
 }
 
 // NewCoordinator validates the configuration and binds it to an engine.
+// Close detaches the coordinator's allocation observer; callers that
+// outlive the cluster may skip it.
 func NewCoordinator(eng *core.Engine, cfg Config) (*Coordinator, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("shard: nil engine")
@@ -108,7 +116,52 @@ func NewCoordinator(eng *core.Engine, cfg Config) (*Coordinator, error) {
 	if cfg.NewPolicy == nil {
 		cfg.NewPolicy = func(int) token.Policy { return token.HighestLevelFirst{} }
 	}
-	return &Coordinator{eng: eng, cfg: cfg, pool: NewPool(cfg.Workers)}, nil
+	c := &Coordinator{eng: eng, cfg: cfg, pool: NewPool(cfg.Workers)}
+	c.detach = eng.Cluster().Observe(c.onAllocChange, c.onAllocReset)
+	return c, nil
+}
+
+// onAllocChange folds one placement mutation into the live partition.
+func (c *Coordinator) onAllocChange(vm cluster.VMID, from, to cluster.HostID) {
+	if c.part == nil {
+		return
+	}
+	switch {
+	case from == cluster.NoHost && to == cluster.NoHost:
+	case from == cluster.NoHost:
+		c.part.Insert(vm, to)
+	case to == cluster.NoHost:
+		c.part.Remove(vm, from)
+	default:
+		c.part.Move(vm, from, to)
+	}
+}
+
+// onAllocReset drops the partition after a bulk rewrite (Restore); the
+// next round rebuilds it from scratch.
+func (c *Coordinator) onAllocReset() { c.part = nil }
+
+// Close unregisters the coordinator's cluster observer. The coordinator
+// must not be used afterwards.
+func (c *Coordinator) Close() {
+	if c.detach != nil {
+		c.detach()
+		c.detach = nil
+	}
+	c.part = nil
+}
+
+// partition returns the live partition, building it on first use or
+// after a reset.
+func (c *Coordinator) partition() (*Partition, error) {
+	if c.part == nil {
+		part, err := NewPartition(c.eng.Topology(), c.eng.Cluster(), c.cfg.Granularity, c.cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		c.part = part
+	}
+	return c.part, nil
 }
 
 // shardOutcome is one ring's private result, merged sequentially.
@@ -122,7 +175,7 @@ type shardOutcome struct {
 // run every shard's token ring concurrently against frozen state, then
 // merge staged moves and reconcile cross-shard proposals sequentially.
 func (c *Coordinator) RunRound() (*Round, error) {
-	part, err := NewPartition(c.eng.Topology(), c.eng.Cluster(), c.cfg.Granularity, c.cfg.Shards)
+	part, err := c.partition()
 	if err != nil {
 		return nil, err
 	}
@@ -144,6 +197,7 @@ func (c *Coordinator) RunRound() (*Round, error) {
 
 	round := &Round{Shards: make([]ShardRound, 0, n)}
 	cm := c.eng.Config().MigrationCost
+	env := EngineEnv(c.eng)
 	var proposals []core.Decision
 	for s := 0; s < n; s++ {
 		o := outcomes[s]
@@ -151,59 +205,30 @@ func (c *Coordinator) RunRound() (*Round, error) {
 		if o.stats.Hops > round.RingHops {
 			round.RingHops = o.stats.Hops
 		}
-		// Merge: replay the ring's staged intra-shard moves. Capacity
-		// cannot have shifted (no other ring touches this shard's
-		// hosts), but a staged move's ΔC was computed against frozen
-		// cross-shard peer positions — an earlier-merged shard may have
-		// moved a peer since. Re-validate each move against the merged
-		// allocation so Theorem 1 holds for everything that lands; with
-		// a single shard the re-check is exact and never fires.
-		for _, d := range o.commits {
-			if c.eng.Delta(d.VM, d.Target) <= cm || !c.eng.Admissible(d.VM, d.Target) {
-				round.StaleRejected++
-				continue
-			}
-			realized, err := c.eng.Apply(d)
-			if err != nil {
-				return nil, fmt.Errorf("shard %d: merging staged move of VM %d: %w", s, d.VM, err)
-			}
-			round.Applied = append(round.Applied, core.Decision{VM: d.VM, From: d.From, Target: d.Target, Delta: realized})
-			round.RealizedDelta += realized
-			o.stats.Merged++
+		// Merge the ring's staged intra-shard moves via the shared
+		// re-validating replay (see MergeStaged).
+		applied, stale, err := MergeStaged(env, cm, o.commits)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: merging staged moves: %w", s, err)
+		}
+		round.StaleRejected += stale
+		o.stats.Merged = len(applied)
+		for _, d := range applied {
+			round.Applied = append(round.Applied, d)
+			round.RealizedDelta += d.Delta
 		}
 		round.Shards = append(round.Shards, o.stats)
 		proposals = append(proposals, o.proposals...)
 	}
 
-	// Reconcile cross-shard proposals in a deterministic order:
-	// strongest staged ΔC first, ties by VM then target. Each proposal
-	// is re-validated against the merged allocation, preserving
-	// Theorem 1 for every move that lands.
-	sort.Slice(proposals, func(i, j int) bool {
-		a, b := proposals[i], proposals[j]
-		if a.Delta != b.Delta {
-			return a.Delta > b.Delta
-		}
-		if a.VM != b.VM {
-			return a.VM < b.VM
-		}
-		return a.Target < b.Target
-	})
-	for _, pr := range proposals {
-		d := c.eng.Delta(pr.VM, pr.Target)
-		if d <= cm || !c.eng.Admissible(pr.VM, pr.Target) {
-			round.CrossRejected++
-			continue
-		}
-		from := c.eng.Cluster().HostOf(pr.VM)
-		realized, err := c.eng.Apply(core.Decision{VM: pr.VM, From: from, Target: pr.Target, Delta: d})
-		if err != nil {
-			round.CrossRejected++
-			continue
-		}
-		round.Applied = append(round.Applied, core.Decision{VM: pr.VM, From: from, Target: pr.Target, Delta: realized})
-		round.RealizedDelta += realized
-		round.CrossApplied++
+	// Reconcile cross-shard proposals through the shared canonical-order
+	// re-validating pass (see ReconcileProposals).
+	applied, rejected := ReconcileProposals(env, cm, proposals)
+	round.CrossRejected = len(rejected)
+	round.CrossApplied = len(applied)
+	for _, d := range applied {
+		round.Applied = append(round.Applied, d)
+		round.RealizedDelta += d.Delta
 	}
 	return round, nil
 }

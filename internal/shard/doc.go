@@ -36,13 +36,23 @@
 //     against frozen cross-shard peer positions, and an earlier-merged
 //     shard may have moved a peer since — so Theorem 1's guarantee
 //     (every applied move lowers the global cost) holds for every
-//     migration the coordinator performs.
+//     migration the coordinator performs. The ordering and
+//     re-validation live in reconcile.go (Env, MergeStaged,
+//     ReconcileProposals) and are shared verbatim with the distributed
+//     hypervisor plane's reconciler agent, so the in-process and
+//     wire-protocol planes cannot drift.
 //
 // Because each ring's outcome depends only on the frozen round-start
 // state and its own staged moves, and both merge phases run in a fixed
 // order, a run's output is byte-for-byte identical for any GOMAXPROCS
 // and any worker-pool size. With a single shard the coordinator
 // degenerates to the paper's serial token pass.
+//
+// The partition is maintained incrementally: the coordinator folds the
+// cluster's allocation-change observations (Partition.Insert / Remove /
+// Move) into the live shard rings, so a round costs only its rings and
+// merge instead of an O(|V|) rebuild; bulk rewrites (Restore) drop the
+// partition and the next round rebuilds it.
 //
 // The worker pool (Pool) is exported separately: the GA baseline reuses
 // it to fan population fitness evaluation and memetic local search over

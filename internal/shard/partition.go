@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"slices"
 
 	"github.com/score-dc/score/internal/cluster"
 	"github.com/score-dc/score/internal/topology"
@@ -53,18 +54,21 @@ type Partition struct {
 	vms       [][]cluster.VMID
 }
 
-// NewPartition derives a partition of the cluster's current allocation
-// into at most shards shards. The effective shard count is clamped to
-// the number of topology units at the chosen granularity.
-func NewPartition(topo topology.Topology, cl *cluster.Cluster, g Granularity, shards int) (*Partition, error) {
-	if topo == nil || cl == nil {
-		return nil, fmt.Errorf("shard: nil dependency")
+// NewHostPartition derives the host→shard mapping alone, with empty VM
+// rings: topology units (pods or racks) are assigned to shards in
+// contiguous blocks covering hosts [0, hosts). The effective shard count
+// is clamped to the number of units at the chosen granularity. Callers
+// that track VM placement themselves (the distributed reconciler agent,
+// which reads the registry rather than a cluster) populate the rings via
+// Insert.
+func NewHostPartition(topo topology.Topology, hosts int, g Granularity, shards int) (*Partition, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("shard: nil topology")
 	}
 	if shards < 1 {
 		return nil, fmt.Errorf("shard: shard count %d must be positive", shards)
 	}
-	hosts := topo.Hosts()
-	if n := cl.NumHosts(); n > hosts {
+	if n := topo.Hosts(); n > hosts {
 		hosts = n
 	}
 	unitOf := func(h cluster.HostID) int {
@@ -96,6 +100,20 @@ func NewPartition(topo topology.Topology, cl *cluster.Cluster, g Granularity, sh
 		p.hostShard[h] = int32(u * shards / units)
 	}
 	p.vms = make([][]cluster.VMID, shards)
+	return p, nil
+}
+
+// NewPartition derives a partition of the cluster's current allocation
+// into at most shards shards. The effective shard count is clamped to
+// the number of topology units at the chosen granularity.
+func NewPartition(topo topology.Topology, cl *cluster.Cluster, g Granularity, shards int) (*Partition, error) {
+	if cl == nil {
+		return nil, fmt.Errorf("shard: nil dependency")
+	}
+	p, err := NewHostPartition(topo, cl.NumHosts(), g, shards)
+	if err != nil {
+		return nil, err
+	}
 	// Each shard's VM list is its ring order and must ascend by ID. The
 	// dense allocation mirror yields IDs in ascending order by
 	// construction; the sparse fallback pays VMs()'s sort.
@@ -137,3 +155,38 @@ func (p *Partition) ShardOfHost(h cluster.HostID) int {
 // VMs returns shard s's VM population in ascending ID order. The slice
 // is owned by the partition.
 func (p *Partition) VMs(s int) []cluster.VMID { return p.vms[s] }
+
+// Insert places vm, hosted on h, into the ring of h's shard, keeping the
+// ring in ascending ID order. Inserting an ID already present is a
+// no-op. Together with Remove and Move this folds allocation-change
+// observations into a live partition, so a scheduling round costs only
+// its rings and merge instead of an O(|V|) rebuild.
+func (p *Partition) Insert(vm cluster.VMID, h cluster.HostID) {
+	s := p.ShardOfHost(h)
+	ring := p.vms[s]
+	i, found := slices.BinarySearch(ring, vm)
+	if found {
+		return
+	}
+	p.vms[s] = slices.Insert(ring, i, vm)
+}
+
+// Remove deletes vm from the ring of h's shard; absent IDs are a no-op.
+func (p *Partition) Remove(vm cluster.VMID, h cluster.HostID) {
+	s := p.ShardOfHost(h)
+	ring := p.vms[s]
+	if i, found := slices.BinarySearch(ring, vm); found {
+		p.vms[s] = slices.Delete(ring, i, i+1)
+	}
+}
+
+// Move updates vm's ring membership for a from→to host move. Moves
+// within one shard keep the ring unchanged (ring order is by VM ID, not
+// host).
+func (p *Partition) Move(vm cluster.VMID, from, to cluster.HostID) {
+	if p.ShardOfHost(from) == p.ShardOfHost(to) {
+		return
+	}
+	p.Remove(vm, from)
+	p.Insert(vm, to)
+}

@@ -1,0 +1,114 @@
+package shard
+
+import (
+	"sort"
+
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/core"
+)
+
+// Env abstracts the authoritative allocation state a reconciliation pass
+// re-validates and applies moves against. The in-process Coordinator
+// backs it with a core.Engine (EngineEnv); the distributed hypervisor
+// plane backs it with location/capacity probes and reconcile-commit
+// messages. Both planes run the *same* merge and reconciliation code
+// below, so their ordering and Theorem 1 re-validation cannot drift.
+//
+// Implementations must behave like the engine's primitives: Delta
+// returns Eq. 5's ΔC for moving vm to target against the current state,
+// Admissible performs the capacity check, HostOf resolves the current
+// host, and Apply executes the move returning the realized ΔC. Calls are
+// strictly sequential.
+type Env interface {
+	Delta(vm cluster.VMID, target cluster.HostID) float64
+	Admissible(vm cluster.VMID, target cluster.HostID) bool
+	HostOf(vm cluster.VMID) cluster.HostID
+	Apply(d core.Decision) (realized float64, err error)
+}
+
+// EngineEnv adapts a core.Engine to the reconciliation Env.
+func EngineEnv(eng *core.Engine) Env { return engineEnv{eng} }
+
+type engineEnv struct{ eng *core.Engine }
+
+func (e engineEnv) Delta(vm cluster.VMID, target cluster.HostID) float64 {
+	return e.eng.Delta(vm, target)
+}
+
+func (e engineEnv) Admissible(vm cluster.VMID, target cluster.HostID) bool {
+	return e.eng.Admissible(vm, target)
+}
+
+func (e engineEnv) HostOf(vm cluster.VMID) cluster.HostID {
+	return e.eng.Cluster().HostOf(vm)
+}
+
+func (e engineEnv) Apply(d core.Decision) (float64, error) {
+	return e.eng.Apply(d)
+}
+
+// OrderProposals sorts cross-shard proposals into the canonical
+// reconciliation order: strongest staged ΔC first, ties by VM then
+// target. Every reconciliation pass — the Coordinator's and the
+// distributed reconciler agent's — must apply proposals in exactly this
+// order for sharded runs to be deterministic and comparable across
+// planes.
+func OrderProposals(ps []core.Decision) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
+		if a.Delta != b.Delta {
+			return a.Delta > b.Delta
+		}
+		if a.VM != b.VM {
+			return a.VM < b.VM
+		}
+		return a.Target < b.Target
+	})
+}
+
+// MergeStaged replays one ring's staged intra-shard commits against env.
+// Capacity cannot have shifted within the shard (no other ring touches
+// its hosts), but a staged move's ΔC was computed against frozen
+// cross-shard peer positions — an earlier-merged shard may have moved a
+// peer since. Each move is therefore re-validated against the merged
+// state so Theorem 1 holds for everything that lands; with a single
+// shard the re-check is exact and never fires. stale counts the moves
+// dropped by re-validation. A failing Apply aborts the merge.
+func MergeStaged(env Env, cm float64, commits []core.Decision) (applied []core.Decision, stale int, err error) {
+	for _, d := range commits {
+		if env.Delta(d.VM, d.Target) <= cm || !env.Admissible(d.VM, d.Target) {
+			stale++
+			continue
+		}
+		realized, err := env.Apply(d)
+		if err != nil {
+			return applied, stale, err
+		}
+		applied = append(applied, core.Decision{VM: d.VM, From: d.From, Target: d.Target, Delta: realized})
+	}
+	return applied, stale, nil
+}
+
+// ReconcileProposals applies queued cross-shard proposals in the
+// canonical OrderProposals order, re-validating ΔC and admissibility
+// against the merged state before each apply — Theorem 1 for every move
+// that lands. Proposals that fail re-validation (or whose Apply errors)
+// are rejected. The input slice is reordered in place.
+func ReconcileProposals(env Env, cm float64, proposals []core.Decision) (applied []core.Decision, rejected []core.Decision) {
+	OrderProposals(proposals)
+	for _, pr := range proposals {
+		d := env.Delta(pr.VM, pr.Target)
+		if d <= cm || !env.Admissible(pr.VM, pr.Target) {
+			rejected = append(rejected, pr)
+			continue
+		}
+		from := env.HostOf(pr.VM)
+		realized, err := env.Apply(core.Decision{VM: pr.VM, From: from, Target: pr.Target, Delta: d})
+		if err != nil {
+			rejected = append(rejected, pr)
+			continue
+		}
+		applied = append(applied, core.Decision{VM: pr.VM, From: from, Target: pr.Target, Delta: realized})
+	}
+	return applied, rejected
+}

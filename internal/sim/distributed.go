@@ -1,0 +1,209 @@
+package sim
+
+// This file drives the distributed sharded mode end to end, next to the
+// in-process sharded mode (sharded.go): the decision plane is the real
+// dom0 agent protocol of internal/hypervisor — one agent per host over
+// an in-memory transport, one token ring per topology-aligned shard,
+// coordinated by a reconciliation agent — while the engine's cluster
+// acts as the metrics mirror. Every move the reconciler commits is
+// replayed into the mirror, so cost sampling, link loads and the
+// migration model see exactly what the agent plane executed.
+
+import (
+	"fmt"
+
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/hypervisor"
+	"github.com/score-dc/score/internal/token"
+)
+
+// agentPlane is a fully wired distributed hypervisor plane mirroring an
+// engine's cluster.
+type agentPlane struct {
+	hub    *hypervisor.MemHub
+	reg    *hypervisor.Registry
+	agents []*hypervisor.Agent
+	rec    *hypervisor.Reconciler
+}
+
+func (p *agentPlane) close() {
+	if p.rec != nil {
+		_ = p.rec.Close()
+	}
+	for _, a := range p.agents {
+		_ = a.Close()
+	}
+}
+
+// buildAgentPlane instantiates one dom0 agent per cluster host (with the
+// host's real capacity), registers every placed VM with its adjacency
+// row, and starts a reconciler for the configured shard count.
+func (r *Runner) buildAgentPlane() (*agentPlane, error) {
+	eng := r.eng
+	cl := eng.Cluster()
+	p := &agentPlane{hub: hypervisor.NewMemHub(), reg: hypervisor.NewRegistry()}
+	mk := func(addr string) func(hypervisor.Handler) (hypervisor.Transport, error) {
+		return func(h hypervisor.Handler) (hypervisor.Transport, error) {
+			return p.hub.NewEndpoint(addr, h)
+		}
+	}
+	for h := 0; h < cl.NumHosts(); h++ {
+		host, err := cl.Host(cluster.HostID(h))
+		if err != nil {
+			p.close()
+			return nil, err
+		}
+		// The dom0 capacity-response protocol carries slots and RAM only
+		// (Section V-B5); a CPU-admitting cluster would let the agent
+		// plane approve moves the mirror then rejects. Refuse up front
+		// rather than abort mid-run.
+		if host.CPUMilli > 0 {
+			p.close()
+			return nil, fmt.Errorf("sim: distributed mode does not support CPU admission (host %d sets CPUMilli)", h)
+		}
+		ag, err := hypervisor.NewAgent(hypervisor.AgentConfig{
+			HostID:        host.ID,
+			Slots:         host.Slots,
+			RAMMB:         host.RAMMB,
+			Topo:          eng.Topology(),
+			Cost:          eng.CostModel(),
+			MigrationCost: eng.Config().MigrationCost,
+			Policy:        r.policy,
+		}, p.reg)
+		if err != nil {
+			p.close()
+			return nil, err
+		}
+		if err := ag.Start(mk(fmt.Sprintf("dom0-%d", h))); err != nil {
+			p.close()
+			return nil, err
+		}
+		p.agents = append(p.agents, ag)
+	}
+	tm := eng.Traffic()
+	for _, vm := range cl.VMs() {
+		h := cl.HostOf(vm)
+		if h == cluster.NoHost {
+			continue
+		}
+		rec, err := cl.VM(vm)
+		if err != nil {
+			p.close()
+			return nil, err
+		}
+		rates := make(map[cluster.VMID]float64)
+		for _, ed := range tm.NeighborEdges(vm) {
+			rates[ed.Peer] = ed.Rate
+		}
+		if err := p.agents[h].AddVM(vm, rec.RAMMB, rates); err != nil {
+			p.close()
+			return nil, err
+		}
+	}
+	rec, err := hypervisor.NewReconciler(hypervisor.ReconcilerConfig{
+		Topo:          eng.Topology(),
+		Cost:          eng.CostModel(),
+		MigrationCost: eng.Config().MigrationCost,
+		Shards:        r.cfg.DistributedShards,
+		Granularity:   r.cfg.ShardGranularity,
+	}, p.reg)
+	if err != nil {
+		p.close()
+		return nil, err
+	}
+	if err := rec.Start(mk("reconciler")); err != nil {
+		p.close()
+		return nil, err
+	}
+	p.rec = rec
+	return p, nil
+}
+
+// runDistributed executes reconciler rounds against the agent plane
+// until quiescence, the duration budget, or the iteration cap, mirroring
+// every committed move into the engine's cluster for cost sampling.
+func (r *Runner) runDistributed() (*Metrics, error) {
+	cl := r.eng.Cluster()
+	vms := cl.VMs()
+	if len(vms) < 2 {
+		return nil, fmt.Errorf("sim: need at least 2 VMs, have %d", len(vms))
+	}
+	if _, stochastic := r.policy.(*token.Random); stochastic {
+		return nil, fmt.Errorf("sim: the distributed plane requires a deterministic token policy")
+	}
+	r.numVMs = len(vms)
+	plane, err := r.buildAgentPlane()
+	if err != nil {
+		return nil, err
+	}
+	defer plane.close()
+
+	r.metrics.InitialCost = r.eng.TotalCost()
+	r.metrics.Cost.Append(0, r.metrics.InitialCost)
+	r.net.Recompute(r.eng.Traffic(), cl)
+
+	perShard := map[int]*ShardStats{}
+	now := 0.0
+	for round := 1; ; round++ {
+		rep, err := plane.rec.RunRound()
+		if err != nil {
+			return nil, err
+		}
+		hops := rep.RingHops
+		if hops < 1 {
+			hops = 1
+		}
+		now += float64(hops) * r.cfg.HopLatencyS
+		r.metrics.TokenHops += rep.TotalHops
+		r.metrics.CrossApplied += rep.CrossApplied
+		r.metrics.CrossProposed += rep.CrossApplied + rep.CrossRejected
+		r.metrics.StaleRejected += rep.StaleRejected
+
+		// Mirror each committed move: model its transfer under the link
+		// load as it stands, shift its flows, and apply it to the
+		// metrics cluster — the same sequence as a single-token
+		// migration, driven by the agent plane's decisions.
+		tm := r.eng.Traffic()
+		for _, d := range rep.Applied {
+			r.modelMigration(d.From, d.Target)
+			if err := cl.Move(d.VM, d.Target); err != nil {
+				return nil, fmt.Errorf("sim: mirroring distributed move of VM %d: %w", d.VM, err)
+			}
+			for _, ed := range tm.NeighborEdges(d.VM) {
+				hz := cl.HostOf(ed.Peer)
+				r.net.ShiftPair(d.VM, ed.Peer, d.From, hz, -ed.Rate)
+				r.net.ShiftPair(d.VM, ed.Peer, d.Target, hz, ed.Rate)
+			}
+		}
+		for _, ring := range rep.Rings {
+			st, ok := perShard[ring.Shard]
+			if !ok {
+				st = &ShardStats{Shard: ring.Shard}
+				perShard[ring.Shard] = st
+			}
+			st.VMs = ring.VMs
+			st.Hops += ring.Hops
+			st.Migrations += ring.Merged
+			st.Proposals += ring.Proposed
+			st.LatencyS += ring.Latency.Seconds()
+		}
+		r.appendRoundStats(round, len(rep.Applied))
+		r.metrics.Cost.Append(now, r.eng.TotalCost())
+
+		if len(rep.Applied) == 0 || now >= r.cfg.DurationS {
+			break
+		}
+		if r.cfg.MaxIterations > 0 && round >= r.cfg.MaxIterations {
+			break
+		}
+	}
+
+	for s := 0; s < len(perShard); s++ {
+		if st, ok := perShard[s]; ok {
+			r.metrics.PerShard = append(r.metrics.PerShard, *st)
+		}
+	}
+	r.metrics.FinalCost = r.eng.TotalCost()
+	r.finishUtilization(cl)
+	return &r.metrics, nil
+}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math/rand"
 
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/core"
 	"github.com/score-dc/score/internal/shard"
 	"github.com/score-dc/score/internal/token"
 )
@@ -28,6 +30,78 @@ func (r *Runner) shardPolicyFactory() func(int) token.Policy {
 	}
 	return func(int) token.Policy {
 		return &token.Random{Rng: rand.New(rand.NewSource(r.rng.Int63()))}
+	}
+}
+
+// modelMigration draws the pre-copy model for one executed move under
+// the worse of the two endpoints' access-link loads and folds the
+// result into the metrics — the per-migration accounting shared by the
+// in-process and distributed sharded modes.
+func (r *Runner) modelMigration(from, target cluster.HostID) {
+	bg := r.net.HostLinkUtilization(from)
+	if t := r.net.HostLinkUtilization(target); t > bg {
+		bg = t
+	}
+	mres := r.cfg.Model.Migrate(r.cfg.Workloads.Draw(r.rng), bg)
+	r.metrics.TotalMigrations++
+	r.metrics.TotalMigratedMB += mres.MigratedMB
+	r.metrics.MigrationTimesS = append(r.metrics.MigrationTimesS, mres.TotalS)
+	r.metrics.DowntimesMS = append(r.metrics.DowntimesMS, mres.DowntimeMS)
+}
+
+// appendRoundStats closes one partition/rings/merge round for the
+// Fig. 2-style iteration series.
+func (r *Runner) appendRoundStats(round, applied int) {
+	r.metrics.Rounds = round
+	r.metrics.Iterations = append(r.metrics.Iterations, IterationStats{
+		Index:      round,
+		Migrations: applied,
+		VMs:        r.numVMs,
+		Ratio:      float64(applied) / float64(r.numVMs),
+	})
+}
+
+// finishUtilization records the final per-level link utilizations from
+// one exact rebuild, clearing any drift the incremental folds
+// accumulated.
+func (r *Runner) finishUtilization(cl *cluster.Cluster) {
+	r.net.Recompute(r.eng.Traffic(), cl)
+	r.metrics.UtilizationByLevel = map[int][]float64{
+		1: r.net.UtilizationAtLevel(1),
+		2: r.net.UtilizationAtLevel(2),
+		3: r.net.UtilizationAtLevel(3),
+	}
+}
+
+// shiftApplied folds one round's applied migrations into the link loads
+// with ShiftPair, replaying them in application order. The cluster
+// already holds the post-round allocation, so each VM's round-start
+// position is reconstructed from the move list (a VM's first move names
+// it in From) and peer positions are advanced move by move — every
+// shift uses the allocation as it stood at that point of the round.
+func (r *Runner) shiftApplied(applied []core.Decision) {
+	if len(applied) == 0 {
+		return
+	}
+	cl := r.eng.Cluster()
+	tm := r.eng.Traffic()
+	pos := make(map[cluster.VMID]cluster.HostID, len(applied))
+	for i := len(applied) - 1; i >= 0; i-- {
+		pos[applied[i].VM] = applied[i].From
+	}
+	hostOf := func(vm cluster.VMID) cluster.HostID {
+		if h, ok := pos[vm]; ok {
+			return h
+		}
+		return cl.HostOf(vm) // unmoved this round: current == round start
+	}
+	for _, d := range applied {
+		for _, ed := range tm.NeighborEdges(d.VM) {
+			hz := hostOf(ed.Peer)
+			r.net.ShiftPair(d.VM, ed.Peer, d.From, hz, -ed.Rate)
+			r.net.ShiftPair(d.VM, ed.Peer, d.Target, hz, ed.Rate)
+		}
+		pos[d.VM] = d.Target
 	}
 }
 
@@ -49,6 +123,7 @@ func (r *Runner) runSharded() (*Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer coord.Close()
 
 	r.metrics.InitialCost = r.eng.TotalCost()
 	r.metrics.Cost.Append(0, r.metrics.InitialCost)
@@ -73,15 +148,7 @@ func (r *Runner) runSharded() (*Metrics, error) {
 		// Per-migration modeling: durations, downtime and moved bytes
 		// under the link load of the round's starting allocation.
 		for _, d := range res.Applied {
-			bg := r.net.HostLinkUtilization(d.From)
-			if t := r.net.HostLinkUtilization(d.Target); t > bg {
-				bg = t
-			}
-			mres := r.cfg.Model.Migrate(r.cfg.Workloads.Draw(r.rng), bg)
-			r.metrics.TotalMigrations++
-			r.metrics.TotalMigratedMB += mres.MigratedMB
-			r.metrics.MigrationTimesS = append(r.metrics.MigrationTimesS, mres.TotalS)
-			r.metrics.DowntimesMS = append(r.metrics.DowntimesMS, mres.DowntimeMS)
+			r.modelMigration(d.From, d.Target)
 		}
 		for _, sh := range res.Shards {
 			st, ok := perShard[sh.Shard]
@@ -94,13 +161,13 @@ func (r *Runner) runSharded() (*Metrics, error) {
 			st.Migrations += sh.Merged
 			st.Proposals += sh.Proposed
 		}
-		r.metrics.Iterations = append(r.metrics.Iterations, IterationStats{
-			Index:      round,
-			Migrations: len(res.Applied),
-			VMs:        r.numVMs,
-			Ratio:      float64(len(res.Applied)) / float64(r.numVMs),
-		})
-		r.net.Recompute(r.eng.Traffic(), cl)
+		r.appendRoundStats(round, len(res.Applied))
+		r.metrics.StaleRejected += res.StaleRejected
+		// Fold the round into the link loads incrementally: any traffic
+		// changelog first (over round-start positions), then the applied
+		// moves replayed in order — no full-pair Recompute per round.
+		r.net.Sync(r.eng.Traffic(), cl)
+		r.shiftApplied(res.Applied)
 		r.metrics.Cost.Append(now, r.eng.TotalCost())
 
 		if len(res.Applied) == 0 || now >= r.cfg.DurationS {
@@ -117,10 +184,6 @@ func (r *Runner) runSharded() (*Metrics, error) {
 		}
 	}
 	r.metrics.FinalCost = r.eng.TotalCost()
-	r.metrics.UtilizationByLevel = map[int][]float64{
-		1: r.net.UtilizationAtLevel(1),
-		2: r.net.UtilizationAtLevel(2),
-		3: r.net.UtilizationAtLevel(3),
-	}
+	r.finishUtilization(cl)
 	return &r.metrics, nil
 }

@@ -58,6 +58,18 @@ type Config struct {
 	// racks; ShardWorkers bounds the worker pool (0 = GOMAXPROCS).
 	ShardGranularity shard.Granularity
 	ShardWorkers     int
+	// DistributedShards > 0 drives the run through the distributed dom0
+	// agent plane (internal/hypervisor) instead of the in-process
+	// engine: one agent per host over an in-memory transport, one token
+	// ring per topology-aligned shard coordinated by a reconciliation
+	// agent, and every committed move mirrored into the engine's
+	// cluster for cost sampling. 1 reproduces the global agent ring
+	// bit for bit; it is mutually exclusive with Shards > 1 and
+	// requires a deterministic token policy. ShardGranularity applies.
+	// Admission follows the paper's dom0 protocol — slots and RAM only:
+	// the engine's BandwidthThreshold is not enforced by the agents,
+	// and clusters with CPU admission (Host.CPUMilli > 0) are rejected.
+	DistributedShards int
 }
 
 // DefaultConfig covers a scaled-down Fig. 3 style run.
@@ -102,12 +114,16 @@ type Metrics struct {
 	// hierarchy level (Fig. 4a input).
 	UtilizationByLevel map[int][]float64
 	// PerShard rolls up each shard ring's activity across all rounds
-	// (sharded mode only; nil for single-token runs).
+	// (sharded modes only; nil for single-token runs).
 	PerShard []ShardStats
 	// CrossProposed / CrossApplied count cross-shard migration
 	// proposals raised by shard rings and the subset the deterministic
-	// reconciliation pass applied (sharded mode only).
+	// reconciliation pass applied; StaleRejected counts staged
+	// intra-shard moves dropped at merge time (sharded modes only).
 	CrossProposed, CrossApplied int
+	StaleRejected               int
+	// Rounds counts partition/rings/merge cycles (sharded modes only).
+	Rounds int
 }
 
 // ShardStats aggregates one shard ring's activity across a sharded run.
@@ -122,6 +138,10 @@ type ShardStats struct {
 	Hops       int
 	Migrations int
 	Proposals  int
+	// LatencyS accumulates the ring's wall-clock latency (token
+	// injection to completion report) across rounds — distributed agent
+	// plane only; zero in the in-process sharded mode.
+	LatencyS float64
 }
 
 // CostRatioSeries converts the cost series into ratios over a reference
@@ -188,6 +208,12 @@ func NewRunner(eng *core.Engine, pol token.Policy, cfg Config, rng *rand.Rand) (
 
 // Run executes the simulation and returns its metrics.
 func (r *Runner) Run() (*Metrics, error) {
+	if r.cfg.DistributedShards > 0 {
+		if r.cfg.Shards > 1 {
+			return nil, fmt.Errorf("sim: Shards and DistributedShards are mutually exclusive")
+		}
+		return r.runDistributed()
+	}
 	if r.cfg.Shards > 1 {
 		return r.runSharded()
 	}
@@ -210,10 +236,12 @@ func (r *Runner) Run() (*Metrics, error) {
 		r.hopsLeft = -1
 	}
 
-	// Cost sampling tick.
+	// Cost sampling tick. Link loads are maintained incrementally
+	// (ShiftPair per migration, Sync folding any traffic-matrix
+	// changelog), so the tick no longer pays a full-pair Recompute.
 	var sample func()
 	sample = func() {
-		r.net.Recompute(r.eng.Traffic(), cl)
+		r.net.Sync(r.eng.Traffic(), cl)
 		r.metrics.Cost.Append(r.des.Now(), r.eng.TotalCost())
 		if r.des.Now()+r.cfg.SampleIntervalS <= r.cfg.DurationS {
 			r.des.After(r.cfg.SampleIntervalS, sample)
@@ -228,12 +256,7 @@ func (r *Runner) Run() (*Metrics, error) {
 
 	r.finishIteration() // flush a partial final pass
 	r.metrics.FinalCost = r.eng.TotalCost()
-	r.net.Recompute(r.eng.Traffic(), cl)
-	r.metrics.UtilizationByLevel = map[int][]float64{
-		1: r.net.UtilizationAtLevel(1),
-		2: r.net.UtilizationAtLevel(2),
-		3: r.net.UtilizationAtLevel(3),
-	}
+	r.finishUtilization(cl)
 	return &r.metrics, nil
 }
 
@@ -306,6 +329,9 @@ func (r *Runner) holderView(u cluster.VMID) token.HolderView {
 // until its pre-copy would have finished.
 func (r *Runner) startMigration(dec core.Decision) {
 	cl := r.eng.Cluster()
+	// Drain any pending rate changes over the pre-move allocation before
+	// the move's ShiftPairs rewrite the affected paths.
+	r.net.Sync(r.eng.Traffic(), cl)
 	bg := r.net.HostLinkUtilization(dec.From)
 	if t := r.net.HostLinkUtilization(dec.Target); t > bg {
 		bg = t

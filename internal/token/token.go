@@ -65,6 +65,29 @@ func dedup(es []Entry) []Entry {
 	return out
 }
 
+// Rings builds one token per shard ring: lists[s] is shard s's VM
+// population and becomes its own independent ring, every entry preset to
+// level (NewAtLevel semantics — pass the topology depth for the
+// optimistic initialization). Empty lists yield empty tokens, which
+// Inject reports as having no injection point.
+func Rings(lists [][]cluster.VMID, level uint8) []*Token {
+	out := make([]*Token, len(lists))
+	for s, ids := range lists {
+		out[s] = NewAtLevel(ids, level)
+	}
+	return out
+}
+
+// Inject returns the ring's injection point under the paper's policy:
+// the token starts "from the VM with lowest ID" (Section V-A1). ok is
+// false for an empty token.
+func (t *Token) Inject() (cluster.VMID, bool) {
+	if len(t.entries) == 0 {
+		return 0, false
+	}
+	return t.entries[0].ID, true
+}
+
 // Len returns the number of entries.
 func (t *Token) Len() int { return len(t.entries) }
 

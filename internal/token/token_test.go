@@ -34,6 +34,35 @@ func TestNewSortsAndDedups(t *testing.T) {
 	}
 }
 
+func TestRingsAndInject(t *testing.T) {
+	lists := [][]cluster.VMID{
+		{9, 3, 7},
+		nil,
+		{12},
+	}
+	rings := Rings(lists, 3)
+	if len(rings) != 3 {
+		t.Fatalf("Rings built %d tokens, want 3", len(rings))
+	}
+	if first, ok := rings[0].Inject(); !ok || first != 3 {
+		t.Fatalf("ring 0 injection = %d,%v, want lowest ID 3", first, ok)
+	}
+	if rings[0].Level(9) != 3 || rings[0].Level(3) != 3 {
+		t.Fatal("ring levels not preset")
+	}
+	if _, ok := rings[1].Inject(); ok {
+		t.Fatal("empty ring reported an injection point")
+	}
+	if first, ok := rings[2].Inject(); !ok || first != 12 {
+		t.Fatalf("singleton ring injection = %d,%v", first, ok)
+	}
+	// Rings are independent: mutating one leaves the others untouched.
+	rings[0].SetLevel(3, 0)
+	if rings[2].Level(12) != 3 {
+		t.Fatal("mutating ring 0 leaked into ring 2")
+	}
+}
+
 func TestLevelUpdates(t *testing.T) {
 	tok := New(ids(1, 2, 3))
 	tok.SetLevel(2, 3)
