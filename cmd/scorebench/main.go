@@ -35,6 +35,7 @@ func run() error {
 	maxFlows := flag.Int("maxflows", 1000000, "flow-table sweep upper bound for fig5a")
 	maxShards := flag.Int("shards", 8, "largest shard count in the shard sweep (doubling from 2)")
 	distShards := flag.Int("distributed-shards", 0, "largest ring count in the distributed agent-plane sweep (>0 enables the dist section)")
+	distLoss := flag.Float64("dist-loss", 0, "distributed sweep: per-hop shard-token drop probability (exercises reconciler ring regeneration)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -236,7 +237,7 @@ func run() error {
 		for n := 2; n <= *distShards; n *= 2 {
 			counts = append(counts, n)
 		}
-		res, err := experiments.DistributedSweep(experiments.FatTree, experiments.Dense, scale, *seed, counts)
+		res, err := experiments.DistributedSweep(experiments.FatTree, experiments.Dense, scale, *seed, counts, *distLoss)
 		if err != nil {
 			return fmt.Errorf("dist: %w", err)
 		}
@@ -247,16 +248,20 @@ func run() error {
 			proposed := make([]float64, len(res.Counts))
 			applied := make([]float64, len(res.Counts))
 			lat := make([]float64, len(res.Counts))
+			regen := make([]float64, len(res.Counts))
+			recov := make([]float64, len(res.Counts))
 			for i, n := range res.Counts {
 				shardCol[i] = float64(n)
 				reds[i] = res.Reduction[i]
 				proposed[i] = float64(res.CrossProposed[i])
 				applied[i] = float64(res.CrossApplied[i])
 				lat[i] = res.RingLatencyMS[i]
+				regen[i] = float64(res.Regenerated[i])
+				recov[i] = float64(res.Recovered[i])
 			}
 			if err := writeCSV(*outDir, "distributed_sweep.csv",
-				[]string{"shards", "reduction", "cross_proposed", "cross_applied", "ring_latency_ms"},
-				shardCol, reds, proposed, applied, lat); err != nil {
+				[]string{"shards", "reduction", "cross_proposed", "cross_applied", "ring_latency_ms", "tokens_reinjected", "recovered_rings"},
+				shardCol, reds, proposed, applied, lat, regen, recov); err != nil {
 				return err
 			}
 		}

@@ -8,7 +8,7 @@
 //	         [-vms-per-host N] [-density 1|10|50] [-policy hlf|rr|llf|random]
 //	         [-cm COST] [-duration SEC] [-loss PROB] [-seed N]
 //	         [-shards N] [-shard-granularity pod|rack] [-shard-workers N]
-//	         [-distributed-shards N]
+//	         [-distributed-shards N] [-dist-deadline SEC]
 package main
 
 import (
@@ -47,6 +47,7 @@ func run() error {
 	shardGran := flag.String("shard-granularity", "pod", "shard alignment: pod or rack")
 	shardWorkers := flag.Int("shard-workers", 0, "worker pool size for sharded mode (0 = GOMAXPROCS)")
 	distShards := flag.Int("distributed-shards", 0, "run the distributed dom0 agent plane with this many token rings (>0; excludes -shards)")
+	distDeadline := flag.Float64("dist-deadline", 0.1, "distributed plane: per-shard progress deadline in real seconds before the reconciler regenerates a ring (used with -loss)")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -115,6 +116,13 @@ func run() error {
 		simCfg.ShardGranularity = g
 		if *distShards > 0 {
 			simCfg.DistributedShards = *distShards
+			// Only tighten the recovery deadline when loss is actually
+			// injected; a fault-free plane keeps the reconciler's
+			// generous default so slow hops are never mistaken for
+			// lost tokens.
+			if *loss > 0 {
+				simCfg.DistributedDeadlineS = *distDeadline
+			}
 		} else {
 			simCfg.Shards = *shards
 			simCfg.ShardWorkers = *shardWorkers
@@ -156,6 +164,9 @@ func run() error {
 				st.Shard, st.VMs, st.Hops, st.Migrations, st.Proposals)
 			if st.LatencyS > 0 {
 				line += fmt.Sprintf(", %.2f ms ring latency", 1000*st.LatencyS)
+			}
+			if st.Regenerated > 0 {
+				line += fmt.Sprintf(", %d tokens re-injected (%d recovered rings)", st.Regenerated, st.Recovered)
 			}
 			fmt.Println(line)
 		}

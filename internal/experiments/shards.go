@@ -140,17 +140,25 @@ type DistributedSweepResult struct {
 	ShardLatencyMS [][]float64
 	ShardHops      [][]int
 	ShardProposals [][]int
-	InitialCost    float64
-	TotalVMs       int
+	// Loss is the injected per-hop shard-token drop probability;
+	// Regenerated and Recovered count reconciler token re-injections
+	// and rings that completed despite needing one, per shard count.
+	Loss        float64
+	Regenerated []int
+	Recovered   []int
+	InitialCost float64
+	TotalVMs    int
 }
 
 // DistributedSweep runs the distributed agent plane across shard counts
-// on one topology family and density.
-func DistributedSweep(f Family, d Density, s Scale, seed int64, counts []int) (*DistributedSweepResult, error) {
+// on one topology family and density. loss > 0 additionally drops that
+// fraction of shard-token hops via a seeded fault plan, exercising the
+// reconciler's ring-regeneration path at every shard count.
+func DistributedSweep(f Family, d Density, s Scale, seed int64, counts []int, loss float64) (*DistributedSweepResult, error) {
 	if len(counts) == 0 || counts[0] != 1 {
 		counts = append([]int{1}, counts...)
 	}
-	res := &DistributedSweepResult{Family: f, Density: d, Counts: counts}
+	res := &DistributedSweepResult{Family: f, Density: d, Counts: counts, Loss: loss}
 	for _, n := range counts {
 		base, err := NewScenario(f, s, d, seed)
 		if err != nil {
@@ -164,6 +172,10 @@ func DistributedSweep(f Family, d Density, s Scale, seed int64, counts []int) (*
 		cfg.MaxIterations = 40
 		cfg.DurationS = cfg.HopLatencyS * float64(40*base.Cl.NumVMs())
 		cfg.SampleIntervalS = cfg.DurationS / 40
+		if loss > 0 {
+			cfg.TokenLossProb = loss
+			cfg.DistributedDeadlineS = 0.05
+		}
 		runner, err := sim.NewRunner(base.Eng, token.HighestLevelFirst{}, cfg, base.Rng)
 		if err != nil {
 			return nil, err
@@ -181,14 +193,19 @@ func DistributedSweep(f Family, d Density, s Scale, seed int64, counts []int) (*
 		var lat []float64
 		var hops, props []int
 		worst := 0.0
+		regen, recov := 0, 0
 		for _, st := range m.PerShard {
 			lat = append(lat, 1000*st.LatencyS)
 			hops = append(hops, st.Hops)
 			props = append(props, st.Proposals)
+			regen += st.Regenerated
+			recov += st.Recovered
 			if st.LatencyS > worst {
 				worst = st.LatencyS
 			}
 		}
+		res.Regenerated = append(res.Regenerated, regen)
+		res.Recovered = append(res.Recovered, recov)
 		mean := 0.0
 		if m.Rounds > 0 {
 			mean = 1000 * worst / float64(m.Rounds)
@@ -203,13 +220,18 @@ func DistributedSweep(f Family, d Density, s Scale, seed int64, counts []int) (*
 
 // Render prints the distributed sweep table plus a per-shard breakdown.
 func (r *DistributedSweepResult) Render(w io.Writer) {
-	fmt.Fprintf(w, "Distributed agent-plane sweep: %s / %s, %d VMs, initial cost %.0f\n",
+	fmt.Fprintf(w, "Distributed agent-plane sweep: %s / %s, %d VMs, initial cost %.0f",
 		r.Family, r.Density, r.TotalVMs, r.InitialCost)
-	fmt.Fprintln(w, "shards  final-cost  reduction  migrations  cross-proposed  cross-applied  rounds  ring-lat-ms")
+	if r.Loss > 0 {
+		fmt.Fprintf(w, ", %.1f%% shard-token loss", 100*r.Loss)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "shards  final-cost  reduction  migrations  cross-proposed  cross-applied  rounds  ring-lat-ms  regen  recovered")
 	for i, n := range r.Counts {
-		fmt.Fprintf(w, "%6d  %10.0f  %8.1f%%  %10d  %14d  %13d  %6d  %11.2f\n",
+		fmt.Fprintf(w, "%6d  %10.0f  %8.1f%%  %10d  %14d  %13d  %6d  %11.2f  %5d  %9d\n",
 			n, r.FinalCost[i], 100*r.Reduction[i], r.Migrations[i],
-			r.CrossProposed[i], r.CrossApplied[i], r.Rounds[i], r.RingLatencyMS[i])
+			r.CrossProposed[i], r.CrossApplied[i], r.Rounds[i], r.RingLatencyMS[i],
+			r.Regenerated[i], r.Recovered[i])
 	}
 	for i, n := range r.Counts {
 		if n == 1 {

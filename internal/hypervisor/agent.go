@@ -169,6 +169,7 @@ type Agent struct {
 	vms      map[cluster.VMID]*vmRecord
 	locCache map[cluster.VMID]locEntry
 	assign   *ShardAssignment // current round's shard table, nil outside sharded rounds
+	dedup    map[commitKey]*Message
 	closed   bool
 
 	// OnToken, when set, observes each token visit; returning false
@@ -221,7 +222,51 @@ func NewAgent(cfg AgentConfig, reg *Registry) (*Agent, error) {
 		reg:      reg,
 		vms:      make(map[cluster.VMID]*vmRecord),
 		locCache: make(map[cluster.VMID]locEntry),
+		dedup:    make(map[commitKey]*Message),
 	}, nil
+}
+
+// commitKey identifies one state-changing request exactly: requesters
+// stamp monotonically increasing ReqIDs, so (reply address, ReqID) never
+// legitimately repeats — a second sighting is a duplicated frame.
+type commitKey struct {
+	addr string
+	id   uint32
+}
+
+// maxDedup bounds the duplicate-suppression cache; duplicates arrive
+// close to their originals, so clearing a full cache is safe.
+const maxDedup = 4096
+
+// dedupClaim registers the first sighting of a state-changing request.
+// A duplicate returns dup=true with the recorded response (nil while the
+// original is still executing — the duplicate is simply dropped, since
+// the original's response answers the same ReqID).
+func (a *Agent) dedupClaim(key commitKey) (resp *Message, dup bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if r, ok := a.dedup[key]; ok {
+		return r, true
+	}
+	if len(a.dedup) >= maxDedup {
+		// Drop completed records only: a nil value is an in-flight
+		// claim, and wiping one would let a duplicate of a
+		// still-executing commit run the migration a second time.
+		for k, v := range a.dedup {
+			if v != nil {
+				delete(a.dedup, k)
+			}
+		}
+	}
+	a.dedup[key] = nil
+	return nil, false
+}
+
+// dedupStore records the response sent for key, for replay on duplicates.
+func (a *Agent) dedupStore(key commitKey, resp Message) {
+	a.mu.Lock()
+	a.dedup[key] = &resp
+	a.mu.Unlock()
 }
 
 // Start binds the agent to a transport created by mk (which receives the
@@ -325,12 +370,23 @@ func (a *Agent) handle(from string, m Message) {
 		if err != nil {
 			return
 		}
+		// A duplicated transfer frame must not re-adopt the VM — it may
+		// have moved on since; replay the recorded ack instead.
+		key := commitKey{addr: m.ReplyTo, id: m.ReqID}
+		if resp, dup := a.dedupClaim(key); dup {
+			if resp != nil {
+				_ = a.tr.Send(m.ReplyTo, *resp)
+			}
+			return
+		}
 		a.mu.Lock()
 		a.vms[m.VM] = &vmRecord{ramMB: int(m.RAMMB), rates: rates}
 		delete(a.locCache, m.VM) // observed migration: the VM is here now
 		a.mu.Unlock()
 		a.reg.Assign(m.VM, a.tr.Addr())
-		_ = a.tr.Send(m.ReplyTo, Message{Type: MsgMigrateAck, ReqID: m.ReqID, VM: m.VM, Host: a.cfg.HostID})
+		ack := Message{Type: MsgMigrateAck, ReqID: m.ReqID, VM: m.VM, Host: a.cfg.HostID}
+		a.dedupStore(key, ack)
+		_ = a.tr.Send(m.ReplyTo, ack)
 	case MsgLocationResp, MsgCapacityResp, MsgMigrateAck, MsgShardAssignAck, MsgReconcileResp:
 		a.rq.dispatch(m)
 	case MsgToken:

@@ -64,4 +64,69 @@
 // every agent's TTL location cache for the moved VMs (a cached entry is
 // served only while the registry still names the dom0 that answered the
 // probe), so rings in later rounds never act on pre-merge locations.
+//
+// # Failure model & recovery
+//
+// The sharded plane tolerates message loss, message duplication and
+// delay, and crashed (or partitioned) dom0 agents. The paper regenerates
+// a lost global token at the hypervisor level; the sharded plane's
+// equivalent is reconciler-driven ring regeneration:
+//
+//   - Progress acks. Every shard-token visit, after forwarding the
+//     token, reports the identical post-visit RingState to the
+//     reconciler with MsgRingAck, naming the next holder. The
+//     reconciler keeps, per shard, the furthest-advanced acked state —
+//     a copy of everything the ring has staged so far.
+//
+//   - Per-shard deadlines. A ring that produces no accepted progress
+//     (ack or completion) for ShardDeadline is presumed lost. The
+//     reconciler regenerates it from its copy: the attempt sequence
+//     number is incremented, the token re-injected at the holder it was
+//     last handed to, with all acked staged moves intact. Work after
+//     the last ack is simply re-decided; work before it survives.
+//
+//   - Attempt sequence numbers. RingState carries a per-round/per-shard
+//     Attempt; the reconciler accepts acks and MsgRingDone only for the
+//     current attempt. A presumed-lost token that was merely slow (or a
+//     fork created by a duplicated frame) keeps circulating harmlessly:
+//     nothing executes during a round, and its staged state is
+//     discarded at the reconciler, so a regenerated ring can never
+//     double-apply a move.
+//
+//   - Eviction. A holder that swallows EvictAttempts consecutive
+//     re-injections without advancing the ring is presumed crashed: all
+//     ring slots of its host's VMs are removed from the token and the
+//     token resumes at the ring successor. The hop limit is left alone
+//     — which evicted entries were already visited is unknowable, so
+//     surviving entries absorb the dead host's remaining slots as extra
+//     re-visits rather than risk ending the pass before every live VM
+//     was seen. A host that fails to ack a round's MsgShardAssign is
+//     evicted for that round up front. Evicted hosts' VMs keep their
+//     placement (dropped, not moved); staged moves whose VM sits on —
+//     or whose target is — an evicted host are discarded at merge time.
+//     If the copy already covers the full pass (only the MsgRingDone
+//     was lost) or eviction empties the ring, the shard is finalized
+//     directly from the reconciler's copy.
+//
+//   - Exactly-once commits. Ring-level dedup comes from the attempt
+//     number: exactly one RingState per shard per round is merged, and
+//     the merge executes each surviving move once, re-validated against
+//     live state (Theorem 1 holds for everything that lands, faults or
+//     not). Message-level dedup guards the execution path itself:
+//     agents record (reply address, ReqID) for MsgReconcileCommit and
+//     MsgMigrate and replay the recorded response on duplicates, while
+//     the senders re-send with the SAME ReqID on timeout — at-least-
+//     once delivery, exactly-once execution. If every ack of a landed
+//     transfer is lost anyway, the source consults the authoritative
+//     registry (updated by the target before it acks) before declaring
+//     failure, so a VM's record never splits across two dom0s. A move
+//     whose commit retries are exhausted against a genuinely dead dom0
+//     is rejected by the merge like any stale move; it never aborts the
+//     round.
+//
+// With fault injection disabled the recovery machinery is pure overhead
+// bookkeeping — no regeneration fires and the wrapped plane's output is
+// bit-identical to the unwrapped one. FaultPlan/FaultTransport provide
+// the deterministic, seeded chaos harness (drop/duplicate/delay
+// schedules, per-type filters, partitions) the suite tests this under.
 package hypervisor

@@ -59,6 +59,12 @@ const (
 	// cross-shard proposal for Message.VM was rejected at
 	// reconciliation, so it can drop stale cached state.
 	MsgReconcileAbort
+	// MsgRingAck is a per-visit progress report from a dom0 agent to the
+	// reconciler: the payload carries the post-visit RingState, VM the
+	// next token holder, Host the reporting server. It is the copy the
+	// reconciler regenerates a lost ring from — resuming at the last
+	// acked handoff with staged moves intact.
+	MsgRingAck
 )
 
 // Message is the fixed-header wire unit exchanged between dom0 agents.
@@ -85,23 +91,33 @@ const fixedHeaderBytes = 1 + 4 + 4 + 4 + 4 + 4 + 4 + 2 // through reply-to lengt
 // ErrShortMessage reports a truncated frame.
 var ErrShortMessage = errors.New("hypervisor: short message")
 
+// EncodedSize returns the exact length of the message's wire form.
+func (m *Message) EncodedSize() int {
+	return fixedHeaderBytes + len(m.ReplyTo) + 4 + len(m.Payload)
+}
+
+// AppendEncode serializes the message onto buf and returns the extended
+// slice — the frame-reuse form: a caller holding a scratch buffer (the
+// TCP transport's pooled frame, the agent's per-hop ring blob) encodes
+// without reallocating once the buffer has grown to the message size.
+func (m *Message) AppendEncode(buf []byte) []byte {
+	buf = append(buf, byte(m.Type))
+	buf = binary.BigEndian.AppendUint32(buf, m.ReqID)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.VM))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Host))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.FreeSlots))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.FreeRAMMB))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.RAMMB))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.ReplyTo)))
+	buf = append(buf, m.ReplyTo...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Payload)))
+	buf = append(buf, m.Payload...)
+	return buf
+}
+
 // Encode serializes the message.
 func (m *Message) Encode() []byte {
-	buf := make([]byte, fixedHeaderBytes+len(m.ReplyTo)+4+len(m.Payload))
-	buf[0] = byte(m.Type)
-	binary.BigEndian.PutUint32(buf[1:], m.ReqID)
-	binary.BigEndian.PutUint32(buf[5:], uint32(m.VM))
-	binary.BigEndian.PutUint32(buf[9:], uint32(m.Host))
-	binary.BigEndian.PutUint32(buf[13:], uint32(m.FreeSlots))
-	binary.BigEndian.PutUint32(buf[17:], uint32(m.FreeRAMMB))
-	binary.BigEndian.PutUint32(buf[21:], uint32(m.RAMMB))
-	binary.BigEndian.PutUint16(buf[25:], uint16(len(m.ReplyTo)))
-	off := fixedHeaderBytes
-	copy(buf[off:], m.ReplyTo)
-	off += len(m.ReplyTo)
-	binary.BigEndian.PutUint32(buf[off:], uint32(len(m.Payload)))
-	copy(buf[off+4:], m.Payload)
-	return buf
+	return m.AppendEncode(make([]byte, 0, m.EncodedSize()))
 }
 
 // DecodeMessage parses one frame.
@@ -143,13 +159,20 @@ func DecodeMessage(buf []byte) (Message, error) {
 // ΔC re-validation — without drifting from the floats the source dom0
 // decided on.
 func EncodeRateEdges(edges []traffic.Edge) []byte {
-	buf := make([]byte, 4+12*len(edges))
-	binary.BigEndian.PutUint32(buf, uint32(len(edges)))
-	off := 4
+	return AppendRateEdges(make([]byte, 0, rateEdgesSize(edges)), edges)
+}
+
+// rateEdgesSize is the wire length of an encoded adjacency slice.
+func rateEdgesSize(edges []traffic.Edge) int { return 4 + 12*len(edges) }
+
+// AppendRateEdges is the append-style form of EncodeRateEdges, used by
+// the ring-state encoder so a reused frame buffer absorbs the rate rows
+// without per-move temporaries.
+func AppendRateEdges(buf []byte, edges []traffic.Edge) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(edges)))
 	for _, e := range edges {
-		binary.BigEndian.PutUint32(buf[off:], uint32(e.Peer))
-		binary.BigEndian.PutUint64(buf[off+4:], math.Float64bits(e.Rate))
-		off += 12
+		buf = binary.BigEndian.AppendUint32(buf, uint32(e.Peer))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(e.Rate))
 	}
 	return buf
 }

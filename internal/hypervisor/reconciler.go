@@ -2,6 +2,8 @@ package hypervisor
 
 import (
 	"fmt"
+	"slices"
+	"sync"
 	"time"
 
 	"github.com/score-dc/score/internal/cluster"
@@ -28,9 +30,26 @@ type ReconcilerConfig struct {
 	Granularity shard.Granularity
 	// ProbeTimeout bounds each capacity/commit round trip; zero means
 	// 2s. RoundTimeout bounds the wait for all rings of a round; zero
-	// means 2 minutes.
+	// means 2 minutes. It is a backstop: a healthy recovery path never
+	// reaches it, because stalled rings regenerate on ShardDeadline.
 	ProbeTimeout time.Duration
 	RoundTimeout time.Duration
+	// ShardDeadline bounds how long a shard ring may go without
+	// progress (an accepted ack or its completion report) before the
+	// reconciler regenerates its token from the last acked state; zero
+	// means 5s. It must comfortably exceed one token visit's latency —
+	// a spurious regeneration is safe (the attempt sequence number
+	// discards the slow original) but wastes work.
+	ShardDeadline time.Duration
+	// EvictAttempts is how many consecutive regenerations may re-target
+	// the same stalled holder before its host is evicted from the ring
+	// (presumed crashed) and its ring slots re-homed to the successor;
+	// zero means 2. Under pure message loss a single lost re-injection
+	// therefore never evicts a live host.
+	EvictAttempts int
+	// MaxAttempts caps regenerations per shard per round; beyond it the
+	// ring is finalized from the reconciler's copy as-is. Zero means 32.
+	MaxAttempts int
 }
 
 // RingReport summarizes one shard ring's activity within a round.
@@ -45,6 +64,11 @@ type RingReport struct {
 	// Latency is the wall-clock time from token injection to the ring's
 	// completion report — the per-shard ring latency of the round.
 	Latency time.Duration
+	// Regenerated counts token re-injections after missed shard
+	// deadlines; Evicted counts hosts removed from the ring as
+	// unresponsive. A ring with Regenerated > 0 that still completed is
+	// a recovered ring.
+	Regenerated, Evicted int
 }
 
 // RoundReport summarizes one distributed partition → rings →
@@ -64,12 +88,22 @@ type RoundReport struct {
 	// RingHops is the longest ring's hop count (the round's critical
 	// path); TotalHops sums all rings.
 	RingHops, TotalHops int
+	// Regenerated sums token re-injections across rings; Recovered
+	// counts rings that completed after at least one regeneration.
+	// Evicted lists the hosts removed from rings as unresponsive this
+	// round (their VMs' staged moves were discarded at merge time).
+	Regenerated, Recovered int
+	Evicted                []cluster.HostID
 }
 
-// ringDone is one MsgRingDone arrival.
-type ringDone struct {
-	st *RingState
-	at time.Time
+// ringEvent is one MsgRingDone or MsgRingAck arrival.
+type ringEvent struct {
+	done bool
+	st   *RingState
+	// next is the handoff target reported by an ack — the holder the
+	// token is traveling to, and the resume point if it never arrives.
+	next cluster.VMID
+	at   time.Time
 }
 
 // Reconciler drives sharded rounds over the distributed agent plane: it
@@ -79,11 +113,11 @@ type ringDone struct {
 // same shard.MergeStaged / shard.ReconcileProposals pass the in-process
 // Coordinator uses. RunRound must not be called concurrently.
 type Reconciler struct {
-	cfg  ReconcilerConfig
-	reg  *Registry
-	tr   Transport
-	rq   requester
-	done chan ringDone
+	cfg    ReconcilerConfig
+	reg    *Registry
+	tr     Transport
+	rq     requester
+	events chan ringEvent
 
 	round uint32
 }
@@ -106,7 +140,16 @@ func NewReconciler(cfg ReconcilerConfig, reg *Registry) (*Reconciler, error) {
 	if cfg.RoundTimeout <= 0 {
 		cfg.RoundTimeout = 2 * time.Minute
 	}
-	return &Reconciler{cfg: cfg, reg: reg, done: make(chan ringDone, 1024)}, nil
+	if cfg.ShardDeadline <= 0 {
+		cfg.ShardDeadline = 5 * time.Second
+	}
+	if cfg.EvictAttempts <= 0 {
+		cfg.EvictAttempts = 2
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 32
+	}
+	return &Reconciler{cfg: cfg, reg: reg, events: make(chan ringEvent, 4096)}, nil
 }
 
 // Start binds the reconciler to a transport created by mk.
@@ -133,14 +176,14 @@ func (r *Reconciler) Close() error {
 
 func (r *Reconciler) handle(from string, m Message) {
 	switch m.Type {
-	case MsgRingDone:
+	case MsgRingDone, MsgRingAck:
 		st, err := DecodeRingState(m.Payload)
 		if err != nil {
 			return
 		}
 		select {
-		case r.done <- ringDone{st: st, at: time.Now()}:
-		default: // overflow: the round will time out and report the loss
+		case r.events <- ringEvent{done: m.Type == MsgRingDone, st: st, next: m.VM, at: time.Now()}:
+		default: // overflow: an ack is droppable, a completion regenerates
 		}
 	case MsgLocationResp, MsgCapacityResp, MsgMigrateAck, MsgShardAssignAck, MsgReconcileResp:
 		r.rq.dispatch(m)
@@ -210,9 +253,11 @@ func (e *reconcileEnv) Apply(d core.Decision) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("hypervisor: host %d has no registered dom0", d.Target)
 	}
-	resp, err := e.r.rq.request(srcAddr, Message{
+	// Same-ReqID retries ride the source dom0's dedup cache: a lost
+	// commit or response re-asks without re-executing.
+	resp, err := e.r.rq.requestRetry(srcAddr, Message{
 		Type: MsgReconcileCommit, VM: d.VM, Host: d.Target, Payload: []byte(tgtAddr),
-	})
+	}, commitAttempts)
 	if err != nil {
 		return 0, err
 	}
@@ -229,6 +274,26 @@ func decisionsOf(ms []StagedMove) []core.Decision {
 		out[i] = core.Decision{VM: m.VM, From: m.From, Target: m.To, Delta: m.Delta}
 	}
 	return out
+}
+
+// dropEvicted filters out moves that involve a host evicted this round —
+// the VM's current dom0 is unresponsive, or the move lands on one —
+// returning the survivors and the dropped count. Without the filter the
+// merge would stall one probe timeout per dead endpoint.
+func dropEvicted(env *reconcileEnv, evicted map[cluster.HostID]bool, ds []core.Decision) ([]core.Decision, int) {
+	if len(evicted) == 0 {
+		return ds, 0
+	}
+	keep := ds[:0]
+	dropped := 0
+	for _, d := range ds {
+		if evicted[d.Target] || evicted[env.HostOf(d.VM)] {
+			dropped++
+			continue
+		}
+		keep = append(keep, d)
+	}
+	return keep, dropped
 }
 
 // unmatched returns the commits that did not land (by VM/From/Target),
@@ -257,6 +322,188 @@ func (r *Reconciler) roundTimeoutCh() <-chan time.Time {
 	return time.After(r.cfg.RoundTimeout)
 }
 
+// shardTrack is the reconciler's live copy of one shard ring within a
+// round: the latest accepted RingState (injected, then advanced by every
+// accepted MsgRingAck), the holder the token was last handed to, and the
+// regeneration bookkeeping. This copy is what a lost ring is regenerated
+// from — the protocol's recovery invariant is that everything the
+// reconciler has acked survives a token loss, and everything after the
+// last ack is re-decided by the regenerated ring.
+type shardTrack struct {
+	st   *RingState
+	next cluster.VMID
+	// lastProgress is the arrival time of the newest accepted ack (or
+	// the injection); the shard deadline measures from it.
+	lastProgress time.Time
+	// attempt is the current regeneration sequence number; events
+	// carrying any other attempt are stragglers from a presumed-lost
+	// token and are discarded, so a regenerated ring can never
+	// double-apply a move.
+	attempt uint32
+	// regenHops is st.Hops at the last regeneration and stuck the count
+	// of consecutive regenerations that found it unchanged — the
+	// eviction trigger.
+	regenHops int32
+	stuck     int
+	done      bool
+}
+
+// roundState carries one RunRound's collection across helpers.
+type roundState struct {
+	roundID  uint32
+	states   []*RingState
+	reports  []RingReport
+	tracks   []*shardTrack
+	injected []time.Time
+	evicted  map[cluster.HostID]bool
+	pending  int
+}
+
+// finalize accepts st as shard s's final state.
+func (c *roundState) finalize(s int, st *RingState, at time.Time) {
+	c.states[s] = st
+	c.reports[s].Hops = int(st.Hops)
+	c.reports[s].Staged = len(st.Staged)
+	c.reports[s].Proposed = len(st.Proposals)
+	c.reports[s].Latency = at.Sub(c.injected[s])
+	c.tracks[s].done = true
+	c.pending--
+}
+
+// regenerate rebuilds shard s's ring from the reconciler's copy after a
+// missed deadline: the token resumes at the holder it was last handed to,
+// with the acked staged moves intact. A holder that has already swallowed
+// EvictAttempts consecutive re-injections is presumed crashed: its host's
+// VMs are evicted from the ring, their slots re-homed by resuming at the
+// ring successor, and the ring limit shrunk accordingly. If the copy
+// already covers the full pass (only the completion report was lost), or
+// eviction empties the ring, the shard is finalized from the copy.
+func (r *Reconciler) regenerate(c *roundState, s int) error {
+	tk := c.tracks[s]
+	st := tk.st
+	if int(tk.attempt) >= r.cfg.MaxAttempts {
+		c.finalize(s, st, time.Now())
+		return nil
+	}
+	tok, err := token.Decode(st.Token)
+	if err != nil {
+		return fmt.Errorf("hypervisor: shard %d ring copy corrupt: %w", s, err)
+	}
+	resume := tk.next
+	if tk.regenHops == st.Hops {
+		tk.stuck++
+	} else {
+		tk.stuck = 1
+		tk.regenHops = st.Hops
+	}
+	for {
+		if st.Hops >= st.Limit || tok.Len() == 0 {
+			// The pass completed but its report was lost, or nobody is
+			// left to visit: the copy is the ring's final state.
+			c.finalize(s, st, time.Now())
+			return nil
+		}
+		if tk.stuck > r.cfg.EvictAttempts {
+			// The resume holder ignored repeated re-injections: evict
+			// its host and re-home its ring slots to the successor. The
+			// ring limit stays put — we cannot tell which of the
+			// evicted entries were already visited (their hops are
+			// counted), so shrinking by all of them could finalize the
+			// ring early and silently skip live VMs' visits. Keeping
+			// the limit means the surviving entries absorb the dead
+			// hosts' remaining slots as extra (re-)visits, each one a
+			// valid staged-overlay decision.
+			if h, ok := r.reg.HostOfVM(resume); ok {
+				for _, e := range tok.Entries() {
+					if vh, ok := r.reg.HostOfVM(e.ID); ok && vh == h {
+						tok.Remove(e.ID)
+					}
+				}
+				c.evicted[h] = true
+				c.reports[s].Evicted++
+			} else {
+				tok.Remove(resume)
+			}
+			next, ok := tok.Successor(resume)
+			if !ok {
+				c.finalize(s, st, time.Now())
+				return nil
+			}
+			resume = next
+			tk.stuck = 1
+			continue
+		}
+		addr, ok := r.reg.Lookup(resume)
+		if !ok {
+			// Unroutable holder: treat as crashed immediately.
+			tk.stuck = r.cfg.EvictAttempts + 1
+			continue
+		}
+		tk.attempt++
+		st.Attempt = tk.attempt
+		st.Token = tok.Encode()
+		c.reports[s].Regenerated++
+		if err := r.tr.Send(addr, Message{Type: MsgShardToken, VM: resume, Payload: st.Encode()}); err != nil {
+			// The holder's transport is gone: evict and move on.
+			tk.stuck = r.cfg.EvictAttempts + 1
+			continue
+		}
+		tk.next = resume
+		tk.regenHops = st.Hops
+		tk.lastProgress = time.Now()
+		return nil
+	}
+}
+
+// collect waits for every injected ring to complete, regenerating rings
+// that miss the shard deadline. Acks advance each shard's copy
+// monotonically (a duplicated token forks the state; only the
+// furthest-advanced fork is kept, and only one completion is accepted).
+func (r *Reconciler) collect(c *roundState) error {
+	timeout := r.roundTimeoutCh()
+	tickEvery := r.cfg.ShardDeadline / 4
+	if tickEvery < time.Millisecond {
+		tickEvery = time.Millisecond
+	}
+	ticker := time.NewTicker(tickEvery)
+	defer ticker.Stop()
+	for c.pending > 0 {
+		select {
+		case ev := <-r.events:
+			if ev.st.Round != c.roundID {
+				continue // straggler from an earlier, aborted round
+			}
+			s := int(ev.st.Shard)
+			if s < 0 || s >= len(c.tracks) || c.tracks[s] == nil {
+				continue
+			}
+			tk := c.tracks[s]
+			if tk.done || ev.st.Attempt != tk.attempt {
+				continue // stale attempt: a regenerated ring superseded it
+			}
+			if ev.done {
+				c.finalize(s, ev.st, ev.at)
+			} else if ev.st.Hops > tk.st.Hops {
+				tk.st = ev.st
+				tk.next = ev.next
+				tk.lastProgress = ev.at
+			}
+		case now := <-ticker.C:
+			for s, tk := range c.tracks {
+				if tk == nil || tk.done || now.Sub(tk.lastProgress) < r.cfg.ShardDeadline {
+					continue
+				}
+				if err := r.regenerate(c, s); err != nil {
+					return err
+				}
+			}
+		case <-timeout:
+			return fmt.Errorf("hypervisor: round %d timed out waiting for ring completions", c.roundID)
+		}
+	}
+	return nil
+}
+
 // RunRound executes one full distributed cycle and blocks until its
 // migrations have been committed. See the package documentation for the
 // message flow.
@@ -282,32 +529,71 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 	}
 	n := part.Shards()
 
-	// 2. Push the round's shard assignment to every agent.
+	// 2. Push the round's shard assignment to every agent. A host that
+	// does not ack within the probe timeout is evicted for the round —
+	// its VMs keep their placement, stay out of every ring, and rejoin
+	// as soon as their dom0 acks a later round's assignment. Failing the
+	// round here would let one crashed agent wedge the plane forever.
 	table := make([]int32, hosts)
 	for h := 0; h < hosts; h++ {
 		table[h] = int32(part.ShardOfHost(cluster.HostID(h)))
 	}
 	asg := &ShardAssignment{Round: roundID, Shards: int32(n), ReconcilerAddr: r.tr.Addr(), HostShard: table}
 	payload := asg.Encode()
+	// Push concurrently: the requester correlates responses by ReqID,
+	// so setup costs ~1 RTT instead of O(hosts), and dead hosts overlap
+	// their probe-timeout stalls instead of serializing them.
+	dead := make(map[cluster.HostID]bool)
+	var (
+		deadMu sync.Mutex
+		wg     sync.WaitGroup
+	)
 	for _, h := range hostIDs {
-		addr, _ := r.reg.HostAddr(h)
-		if _, err := r.rq.request(addr, Message{Type: MsgShardAssign, Host: h, Payload: payload}); err != nil {
-			return nil, fmt.Errorf("hypervisor: shard assignment to host %d: %w", h, err)
-		}
+		wg.Add(1)
+		go func(h cluster.HostID) {
+			defer wg.Done()
+			addr, _ := r.reg.HostAddr(h)
+			if _, err := r.rq.request(addr, Message{Type: MsgShardAssign, Host: h, Payload: payload}); err != nil {
+				deadMu.Lock()
+				dead[h] = true
+				deadMu.Unlock()
+			}
+		}(h)
+	}
+	wg.Wait()
+	if len(dead) == len(hostIDs) {
+		return nil, fmt.Errorf("hypervisor: no agent acked the round %d shard assignment", roundID)
 	}
 
-	// 3. Inject one token per shard; the rings run concurrently.
+	// 3. Inject one token per shard; the rings run concurrently. The
+	// reconciler keeps a copy of each injected state and advances it
+	// from the per-visit acks — the material a lost ring is
+	// regenerated from.
 	depth := uint8(r.cfg.Topo.Depth())
 	lists := make([][]cluster.VMID, n)
 	for s := range lists {
 		lists[s] = part.VMs(s)
+		if len(dead) > 0 {
+			kept := lists[s][:0]
+			for _, vm := range lists[s] {
+				if h, ok := r.reg.HostOfVM(vm); ok && !dead[h] {
+					kept = append(kept, vm)
+				}
+			}
+			lists[s] = kept
+		}
 	}
 	rings := token.Rings(lists, depth)
-	reports := make([]RingReport, n)
-	injected := make([]time.Time, n)
-	expect := 0
+	c := &roundState{
+		roundID:  roundID,
+		states:   make([]*RingState, n),
+		reports:  make([]RingReport, n),
+		tracks:   make([]*shardTrack, n),
+		injected: make([]time.Time, n),
+		evicted:  dead,
+	}
 	for s := 0; s < n; s++ {
-		reports[s] = RingReport{Shard: s, VMs: len(lists[s])}
+		c.reports[s] = RingReport{Shard: s, VMs: len(lists[s])}
 		first, ok := rings[s].Inject()
 		if !ok {
 			continue // empty shard: no ring this round
@@ -317,36 +603,20 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 			return nil, fmt.Errorf("hypervisor: injection point VM %d has no registered dom0", first)
 		}
 		st := &RingState{Shard: int32(s), Round: roundID, Limit: int32(len(lists[s])), Token: rings[s].Encode()}
-		injected[s] = time.Now()
+		c.injected[s] = time.Now()
+		c.tracks[s] = &shardTrack{st: st, next: first, lastProgress: c.injected[s]}
 		if err := r.tr.Send(addr, Message{Type: MsgShardToken, VM: first, Payload: st.Encode()}); err != nil {
 			return nil, fmt.Errorf("hypervisor: injecting shard %d token: %w", s, err)
 		}
-		expect++
+		c.pending++
 	}
 
-	// 4. Collect ring completions.
-	states := make([]*RingState, n)
-	timeout := r.roundTimeoutCh()
-	for got := 0; got < expect; {
-		select {
-		case d := <-r.done:
-			if d.st.Round != roundID {
-				continue // straggler from an earlier, aborted round
-			}
-			s := int(d.st.Shard)
-			if s < 0 || s >= n || states[s] != nil {
-				continue
-			}
-			states[s] = d.st
-			reports[s].Hops = int(d.st.Hops)
-			reports[s].Staged = len(d.st.Staged)
-			reports[s].Proposed = len(d.st.Proposals)
-			reports[s].Latency = d.at.Sub(injected[s])
-			got++
-		case <-timeout:
-			return nil, fmt.Errorf("hypervisor: round %d timed out waiting for ring completions", roundID)
-		}
+	// 4. Collect ring completions, regenerating rings that miss the
+	// shard deadline.
+	if err := r.collect(c); err != nil {
+		return nil, err
 	}
+	states, reports := c.states, c.reports
 
 	// 5. Merge staged intra-shard moves in shard order, then reconcile
 	// cross-shard proposals in the canonical order — the shared pass.
@@ -369,6 +639,10 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 	}
 
 	rep := &RoundReport{Round: roundID, Rings: reports}
+	for h := range c.evicted {
+		rep.Evicted = append(rep.Evicted, h)
+	}
+	slices.Sort(rep.Evicted)
 	var proposals []core.Decision
 	var aborts []core.Decision
 	for s := 0; s < n; s++ {
@@ -376,11 +650,20 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 		if reports[s].Hops > rep.RingHops {
 			rep.RingHops = reports[s].Hops
 		}
+		rep.Regenerated += reports[s].Regenerated
+		if reports[s].Regenerated > 0 && states[s] != nil {
+			rep.Recovered++
+		}
 		st := states[s]
 		if st == nil {
 			continue
 		}
-		commits := decisionsOf(st.Staged)
+		// Moves by VMs stranded on evicted hosts cannot commit (their
+		// dom0 is unresponsive) and moves onto evicted hosts must not:
+		// drop both before the merge instead of stalling on their
+		// probes.
+		commits, dropped := dropEvicted(env, c.evicted, decisionsOf(st.Staged))
+		rep.StaleRejected += dropped
 		applied, stale, err := shard.MergeStaged(env, r.cfg.MigrationCost, commits)
 		if err != nil {
 			return nil, fmt.Errorf("hypervisor: shard %d merge: %w", s, err)
@@ -394,12 +677,14 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 		if stale > 0 {
 			aborts = append(aborts, unmatched(commits, applied)...)
 		}
-		proposals = append(proposals, decisionsOf(st.Proposals)...)
+		ps, droppedProps := dropEvicted(env, c.evicted, decisionsOf(st.Proposals))
+		rep.CrossRejected += droppedProps
+		proposals = append(proposals, ps...)
 	}
 
 	applied, rejected := shard.ReconcileProposals(env, r.cfg.MigrationCost, proposals)
 	rep.CrossApplied = len(applied)
-	rep.CrossRejected = len(rejected)
+	rep.CrossRejected += len(rejected)
 	rep.Applied = append(rep.Applied, applied...)
 	for _, d := range applied {
 		rep.RealizedDelta += d.Delta

@@ -52,6 +52,16 @@ func (r *requester) dispatch(m Message) bool {
 
 // request performs one correlated round trip.
 func (r *requester) request(to string, m Message) (Message, error) {
+	return r.requestRetry(to, m, 1)
+}
+
+// requestRetry performs one correlated round trip, re-sending the SAME
+// stamped request (identical ReqID) up to attempts times with one
+// timeout each. Retries make state-changing requests at-least-once over
+// a lossy wire; the receiver's (ReplyTo, ReqID) dedup cache suppresses
+// the duplicates and replays the recorded response, so the combination
+// is exactly-once.
+func (r *requester) requestRetry(to string, m Message, attempts int) (Message, error) {
 	id := r.seq.Add(1)
 	m.ReqID = id
 	m.ReplyTo = r.tr.Addr()
@@ -64,13 +74,18 @@ func (r *requester) request(to string, m Message) (Message, error) {
 		delete(r.pending, id)
 		r.mu.Unlock()
 	}()
-	if err := r.tr.Send(to, m); err != nil {
-		return Message{}, err
+	err := fmt.Errorf("hypervisor: no request attempt made")
+	for i := 0; i < attempts; i++ {
+		if sendErr := r.tr.Send(to, m); sendErr != nil {
+			err = sendErr
+			continue
+		}
+		select {
+		case resp := <-ch:
+			return resp, nil
+		case <-time.After(r.timeout):
+			err = fmt.Errorf("hypervisor: probe to %s timed out", to)
+		}
 	}
-	select {
-	case resp := <-ch:
-		return resp, nil
-	case <-time.After(r.timeout):
-		return Message{}, fmt.Errorf("hypervisor: probe to %s timed out", to)
-	}
+	return Message{}, err
 }

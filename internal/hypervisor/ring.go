@@ -35,6 +35,13 @@ type RingState struct {
 	// reconciler cycle so stragglers from aborted rounds are discarded.
 	Shard int32
 	Round uint32
+	// Attempt is the ring's per-round regeneration sequence number: 0
+	// for the initially injected token, incremented each time the
+	// reconciler regenerates the ring after a missed deadline. The
+	// reconciler accepts acks and completion reports only for the
+	// current attempt, so a presumed-lost token that is merely slow can
+	// never double-apply its staged moves.
+	Attempt uint32
 	// Hops counts processed visits; the ring completes at Limit (the
 	// shard population at round start — one pass, |V_s| visits).
 	Hops, Limit int32
@@ -55,9 +62,8 @@ func appendStagedMoves(buf []byte, ms []StagedMove) []byte {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(m.To))
 		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.Delta))
 		buf = binary.BigEndian.AppendUint32(buf, uint32(m.RAMMB))
-		rates := EncodeRateEdges(m.Rates)
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(rates)))
-		buf = append(buf, rates...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(rateEdgesSize(m.Rates)))
+		buf = AppendRateEdges(buf, m.Rates)
 	}
 	return buf
 }
@@ -104,13 +110,16 @@ func decodeStagedMoves(buf []byte) ([]StagedMove, []byte, error) {
 	return out, buf, nil
 }
 
-// Encode serializes the ring state for a MsgShardToken / MsgRingDone
-// payload. Delta travels as raw float64 bits, so staged ΔC values
-// survive the wire exactly — the reconciliation order depends on them.
-func (s *RingState) Encode() []byte {
-	buf := make([]byte, 0, 20+len(s.Token)+40*(len(s.Staged)+len(s.Proposals)))
+// AppendEncode serializes the ring state onto buf for a MsgShardToken /
+// MsgRingDone / MsgRingAck payload and returns the extended slice. Delta
+// travels as raw float64 bits, so staged ΔC values survive the wire
+// exactly — the reconciliation order depends on them. Appending lets a
+// per-hop scratch buffer absorb the blob's growth as staged moves
+// accumulate, instead of reallocating every visit.
+func (s *RingState) AppendEncode(buf []byte) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(s.Shard))
 	buf = binary.BigEndian.AppendUint32(buf, s.Round)
+	buf = binary.BigEndian.AppendUint32(buf, s.Attempt)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(s.Hops))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(s.Limit))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Token)))
@@ -120,19 +129,39 @@ func (s *RingState) Encode() []byte {
 	return buf
 }
 
+// stagedMovesSize is the wire length of an encoded staged-move list.
+func stagedMovesSize(ms []StagedMove) int {
+	n := 4
+	for i := range ms {
+		n += 28 + rateEdgesSize(ms[i].Rates)
+	}
+	return n
+}
+
+// EncodedSize returns the exact length of the state's wire form.
+func (s *RingState) EncodedSize() int {
+	return 24 + len(s.Token) + stagedMovesSize(s.Staged) + stagedMovesSize(s.Proposals)
+}
+
+// Encode serializes the ring state into a fresh, exactly sized buffer.
+func (s *RingState) Encode() []byte {
+	return s.AppendEncode(make([]byte, 0, s.EncodedSize()))
+}
+
 // DecodeRingState parses an Encode payload.
 func DecodeRingState(buf []byte) (*RingState, error) {
-	if len(buf) < 20 {
+	if len(buf) < 24 {
 		return nil, ErrShortMessage
 	}
 	s := &RingState{
-		Shard: int32(binary.BigEndian.Uint32(buf)),
-		Round: binary.BigEndian.Uint32(buf[4:]),
-		Hops:  int32(binary.BigEndian.Uint32(buf[8:])),
-		Limit: int32(binary.BigEndian.Uint32(buf[12:])),
+		Shard:   int32(binary.BigEndian.Uint32(buf)),
+		Round:   binary.BigEndian.Uint32(buf[4:]),
+		Attempt: binary.BigEndian.Uint32(buf[8:]),
+		Hops:    int32(binary.BigEndian.Uint32(buf[12:])),
+		Limit:   int32(binary.BigEndian.Uint32(buf[16:])),
 	}
-	tl := int(binary.BigEndian.Uint32(buf[16:]))
-	buf = buf[20:]
+	tl := int(binary.BigEndian.Uint32(buf[20:]))
+	buf = buf[24:]
 	if len(buf) < tl {
 		return nil, ErrShortMessage
 	}

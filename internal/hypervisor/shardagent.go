@@ -13,6 +13,12 @@ import (
 // reconciler-validated commits. The reconciler side lives in
 // reconciler.go; see doc.go for the protocol.
 
+// commitAttempts is how many times a commit-path round trip
+// (MsgReconcileCommit, MsgMigrate) is re-sent before giving up — each
+// re-send carries the same ReqID, so receivers execute once and replay
+// the recorded response to the duplicates.
+const commitAttempts = 3
+
 // ringOverlay is a visit-scoped index of a ring's staged moves: VM
 // locations (last staged move wins) and per-host capacity deltas. It is
 // built once per token visit, so peer resolution and capacity
@@ -193,7 +199,15 @@ func (a *Agent) processShardToken(m Message) {
 	st.Token = tok.Encode()
 	if !done {
 		if addr, ok := a.reg.Lookup(next); ok {
-			if a.tr.Send(addr, Message{Type: MsgShardToken, VM: next, Payload: st.Encode()}) == nil {
+			// One encode serves both sends: the forwarded token and the
+			// progress ack carry the identical post-visit state, and
+			// neither recipient mutates the payload bytes.
+			blob := st.Encode()
+			if a.tr.Send(addr, Message{Type: MsgShardToken, VM: next, Payload: blob}) == nil {
+				// Ack the visit so the reconciler's ring copy advances:
+				// if the forwarded token is lost, the ring regenerates
+				// from exactly this state, resuming at next.
+				_ = a.tr.Send(asg.ReconcilerAddr, Message{Type: MsgRingAck, VM: next, Host: a.cfg.HostID, Payload: blob})
 				return
 			}
 		}
@@ -208,8 +222,22 @@ func (a *Agent) processShardToken(m Message) {
 // report the outcome. It mirrors the global ring's execution tail in
 // decide.
 func (a *Agent) processReconcileCommit(m Message) {
+	// A duplicated commit frame must not migrate the VM twice: replay
+	// the recorded outcome (or drop the duplicate while the original is
+	// still executing — its response answers the same ReqID).
+	key := commitKey{addr: m.ReplyTo, id: m.ReqID}
+	if resp, dup := a.dedupClaim(key); dup {
+		if resp != nil {
+			_ = a.tr.Send(m.ReplyTo, *resp)
+		}
+		return
+	}
+	respond := func(resp Message) {
+		a.dedupStore(key, resp)
+		_ = a.tr.Send(m.ReplyTo, resp)
+	}
 	fail := func() {
-		_ = a.tr.Send(m.ReplyTo, Message{Type: MsgReconcileResp, ReqID: m.ReqID, VM: m.VM, Host: cluster.NoHost})
+		respond(Message{Type: MsgReconcileResp, ReqID: m.ReqID, VM: m.VM, Host: cluster.NoHost})
 	}
 	targetAddr := string(m.Payload)
 	a.mu.Lock()
@@ -225,17 +253,27 @@ func (a *Agent) processReconcileCommit(m Message) {
 		fail()
 		return
 	}
-	resp, err := a.request(targetAddr, Message{
+	// The transfer retries with the same ReqID (the target's dedup
+	// cache replays the ack rather than re-adopting the VM), so a lost
+	// MsgMigrate or MsgMigrateAck does not fail the commit.
+	resp, err := a.rq.requestRetry(targetAddr, Message{
 		Type: MsgMigrate, VM: m.VM, RAMMB: int32(ramMB), Payload: EncodeRateEdges(rates),
-	})
+	}, commitAttempts)
 	if err != nil || resp.Type != MsgMigrateAck {
-		fail()
-		return
+		// Every ack may have been lost after the transfer landed. The
+		// registry is authoritative and updated by the target before it
+		// acks: if it now names the target dom0, the migration
+		// happened — report success instead of splitting the VM's
+		// record across two hosts.
+		if addr, there := a.reg.Lookup(m.VM); !there || addr != targetAddr {
+			fail()
+			return
+		}
 	}
 	a.mu.Lock()
 	delete(a.vms, m.VM)
 	a.mu.Unlock()
 	// First-hand observation of the migration, as in decide.
 	a.cacheLocation(m.VM, m.Host, targetAddr)
-	_ = a.tr.Send(m.ReplyTo, Message{Type: MsgReconcileResp, ReqID: m.ReqID, VM: m.VM, Host: m.Host, FreeSlots: 1})
+	respond(Message{Type: MsgReconcileResp, ReqID: m.ReqID, VM: m.VM, Host: m.Host, FreeSlots: 1})
 }

@@ -19,7 +19,7 @@ import (
 
 func TestRingStateRoundTrip(t *testing.T) {
 	st := &RingState{
-		Shard: 3, Round: 7, Hops: 12, Limit: 40,
+		Shard: 3, Round: 7, Attempt: 2, Hops: 12, Limit: 40,
 		Token: token.NewAtLevel([]cluster.VMID{1, 5, 9}, 3).Encode(),
 		Staged: []StagedMove{
 			{VM: 5, From: 2, To: 4, Delta: 123.456789, RAMMB: 1024,
@@ -35,7 +35,8 @@ func TestRingStateRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("DecodeRingState: %v", err)
 	}
-	if got.Shard != st.Shard || got.Round != st.Round || got.Hops != st.Hops || got.Limit != st.Limit {
+	if got.Shard != st.Shard || got.Round != st.Round || got.Attempt != st.Attempt ||
+		got.Hops != st.Hops || got.Limit != st.Limit {
 		t.Fatalf("header mismatch: %+v vs %+v", got, st)
 	}
 	if string(got.Token) != string(st.Token) {
@@ -114,10 +115,29 @@ func (p *shardPlane) finalPlacement() map[cluster.VMID]cluster.HostID {
 	return out
 }
 
+// planeOpts tunes a test plane beyond the healthy defaults: a shared
+// fault plan wrapping every endpoint's transport, and the short timeouts
+// chaos tests need so recovery happens in test time.
+type planeOpts struct {
+	faults        *FaultPlan
+	probeTimeout  time.Duration
+	shardDeadline time.Duration
+	evictAttempts int
+	// tcp runs every endpoint on a real loopback TCPTransport instead
+	// of the in-memory hub.
+	tcp bool
+}
+
 // buildShardPlane assembles a fat-tree instance with hotspot traffic and
 // one dom0 agent per host; shards <= 0 skips the reconciler (global-ring
 // reference planes).
 func buildShardPlane(t testing.TB, k int, seed int64, scale float64, shards int, pol token.Policy) *shardPlane {
+	t.Helper()
+	return buildShardPlaneOpts(t, k, seed, scale, shards, pol, planeOpts{})
+}
+
+// buildShardPlaneOpts is buildShardPlane with chaos knobs.
+func buildShardPlaneOpts(t testing.TB, k int, seed int64, scale float64, shards int, pol token.Policy, o planeOpts) *shardPlane {
 	t.Helper()
 	topo, err := topology.NewFatTree(k, 1000)
 	if err != nil {
@@ -156,12 +176,25 @@ func buildShardPlane(t testing.TB, k int, seed int64, scale float64, shards int,
 	p := &shardPlane{topo: topo, reg: NewRegistry(), eng: eng}
 	hub := NewMemHub()
 	mk := func(addr string) func(Handler) (Transport, error) {
-		return func(h Handler) (Transport, error) { return hub.NewEndpoint(addr, h) }
+		return func(h Handler) (Transport, error) {
+			var tr Transport
+			var err error
+			if o.tcp {
+				tr, err = NewTCPTransport("127.0.0.1:0", h)
+			} else {
+				tr, err = hub.NewEndpoint(addr, h)
+			}
+			if err != nil || o.faults == nil {
+				return tr, err
+			}
+			return o.faults.Wrap(tr), nil
+		}
 	}
 	for h := 0; h < topo.Hosts(); h++ {
 		ag, err := NewAgent(AgentConfig{
 			HostID: cluster.HostID(h), Slots: 8, RAMMB: 32768,
 			Topo: topo, Cost: cm, Policy: pol,
+			ProbeTimeout: o.probeTimeout,
 		}, p.reg)
 		if err != nil {
 			t.Fatal(err)
@@ -184,6 +217,9 @@ func buildShardPlane(t testing.TB, k int, seed int64, scale float64, shards int,
 	if shards > 0 {
 		rec, err := NewReconciler(ReconcilerConfig{
 			Topo: topo, Cost: cm, Shards: shards, Granularity: shard.ByPod,
+			ProbeTimeout:  o.probeTimeout,
+			ShardDeadline: o.shardDeadline,
+			EvictAttempts: o.evictAttempts,
 		}, p.reg)
 		if err != nil {
 			t.Fatal(err)

@@ -181,6 +181,13 @@ func (t *TCPTransport) serve(conn net.Conn) {
 // Addr implements Transport.
 func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
 
+// frameBufs pools TCP frame buffers. A socket write completes before
+// Send returns, so the buffer can be recycled immediately — unlike the
+// in-memory hub, whose queued messages alias their payloads. The pooled
+// buffer grows to the largest frame it has carried, so the per-hop
+// RingState blob stops reallocating as staged moves accumulate.
+var frameBufs = sync.Pool{New: func() any { return new([]byte) }}
+
 // Send implements Transport. Each call dials the peer, writes one
 // length-prefixed frame and closes — the simple, stateless pattern the
 // paper's dom0-to-dom0 messages use.
@@ -190,7 +197,14 @@ func (t *TCPTransport) Send(to string, m Message) error {
 		return fmt.Errorf("hypervisor: dial %s: %w", to, err)
 	}
 	defer conn.Close()
-	return writeFrame(conn, m)
+	bp := frameBufs.Get().(*[]byte)
+	defer frameBufs.Put(bp)
+	buf := (*bp)[:0]
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.EncodedSize()))
+	buf = m.AppendEncode(buf)
+	*bp = buf
+	_, err = conn.Write(buf)
+	return err
 }
 
 // Close implements Transport.
@@ -204,17 +218,6 @@ func (t *TCPTransport) Close() error {
 	t.mu.Unlock()
 	err := t.ln.Close()
 	t.wg.Wait()
-	return err
-}
-
-func writeFrame(w io.Writer, m Message) error {
-	body := m.Encode()
-	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(body)))
-	if _, err := w.Write(lenBuf[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(body)
 	return err
 }
 

@@ -73,7 +73,12 @@ func OrderProposals(ps []core.Decision) {
 // peer since. Each move is therefore re-validated against the merged
 // state so Theorem 1 holds for everything that lands; with a single
 // shard the re-check is exact and never fires. stale counts the moves
-// dropped by re-validation. A failing Apply aborts the merge.
+// dropped by re-validation or by a failing Apply — in the distributed
+// env an Apply failure means commit retries were exhausted against an
+// unresponsive dom0, and rejecting that one move (exactly as
+// ReconcileProposals does) must not discard the round's remaining work.
+// The error return is reserved for future envs with aborting failures;
+// the current implementations never set it.
 func MergeStaged(env Env, cm float64, commits []core.Decision) (applied []core.Decision, stale int, err error) {
 	for _, d := range commits {
 		if env.Delta(d.VM, d.Target) <= cm || !env.Admissible(d.VM, d.Target) {
@@ -82,7 +87,8 @@ func MergeStaged(env Env, cm float64, commits []core.Decision) (applied []core.D
 		}
 		realized, err := env.Apply(d)
 		if err != nil {
-			return applied, stale, err
+			stale++
+			continue
 		}
 		applied = append(applied, core.Decision{VM: d.VM, From: d.From, Target: d.Target, Delta: realized})
 	}

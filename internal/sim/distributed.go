@@ -11,6 +11,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/score-dc/score/internal/cluster"
 	"github.com/score-dc/score/internal/hypervisor"
@@ -24,6 +25,7 @@ type agentPlane struct {
 	reg    *hypervisor.Registry
 	agents []*hypervisor.Agent
 	rec    *hypervisor.Reconciler
+	faults *hypervisor.FaultPlan
 }
 
 func (p *agentPlane) close() {
@@ -42,9 +44,24 @@ func (r *Runner) buildAgentPlane() (*agentPlane, error) {
 	eng := r.eng
 	cl := eng.Cluster()
 	p := &agentPlane{hub: hypervisor.NewMemHub(), reg: hypervisor.NewRegistry()}
+	// Token-loss injection: a seeded fault plan drops MsgShardToken
+	// hops on the wire; the reconciler's per-shard deadline regenerates
+	// the affected ring from its acked copy. The plan's seed comes from
+	// the runner's rng, so equal-seed runs inject the same schedule.
+	if r.cfg.TokenLossProb > 0 {
+		p.faults = hypervisor.NewFaultPlan(hypervisor.FaultConfig{
+			Seed:     r.rng.Int63(),
+			DropProb: r.cfg.TokenLossProb,
+			Types:    []hypervisor.MsgType{hypervisor.MsgShardToken},
+		})
+	}
 	mk := func(addr string) func(hypervisor.Handler) (hypervisor.Transport, error) {
 		return func(h hypervisor.Handler) (hypervisor.Transport, error) {
-			return p.hub.NewEndpoint(addr, h)
+			tr, err := p.hub.NewEndpoint(addr, h)
+			if err != nil || p.faults == nil {
+				return tr, err
+			}
+			return p.faults.Wrap(tr), nil
 		}
 	}
 	for h := 0; h < cl.NumHosts(); h++ {
@@ -106,6 +123,7 @@ func (r *Runner) buildAgentPlane() (*agentPlane, error) {
 		MigrationCost: eng.Config().MigrationCost,
 		Shards:        r.cfg.DistributedShards,
 		Granularity:   r.cfg.ShardGranularity,
+		ShardDeadline: time.Duration(r.cfg.DistributedDeadlineS * float64(time.Second)),
 	}, p.reg)
 	if err != nil {
 		p.close()
@@ -158,6 +176,7 @@ func (r *Runner) runDistributed() (*Metrics, error) {
 		r.metrics.CrossApplied += rep.CrossApplied
 		r.metrics.CrossProposed += rep.CrossApplied + rep.CrossRejected
 		r.metrics.StaleRejected += rep.StaleRejected
+		r.metrics.TokensRegenerated += rep.Regenerated
 
 		// Mirror each committed move: model its transfer under the link
 		// load as it stands, shift its flows, and apply it to the
@@ -186,6 +205,10 @@ func (r *Runner) runDistributed() (*Metrics, error) {
 			st.Migrations += ring.Merged
 			st.Proposals += ring.Proposed
 			st.LatencyS += ring.Latency.Seconds()
+			st.Regenerated += ring.Regenerated
+			if ring.Regenerated > 0 {
+				st.Recovered++
+			}
 		}
 		r.appendRoundStats(round, len(rep.Applied))
 		r.metrics.Cost.Append(now, r.eng.TotalCost())

@@ -83,6 +83,45 @@ func TestDistributedRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestDistributedRunTokenLossRecovers: with per-hop shard-token loss
+// injected on the wire, the distributed run must still converge — every
+// lost token recovered by reconciler-driven ring regeneration, never a
+// round-level timeout — and the recovery must be visible in the metrics:
+// TokensRegenerated counts the re-injections and the per-shard rollup
+// carries the regenerated/recovered counters.
+func TestDistributedRunTokenLossRecovers(t *testing.T) {
+	eng, rng := buildEngine(t, 9)
+	cfg := smallConfig()
+	cfg.DistributedShards = 2
+	cfg.TokenLossProb = 0.1
+	cfg.DistributedDeadlineS = 0.04
+	r, err := NewRunner(eng, token.HighestLevelFirst{}, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Run()
+	if err != nil {
+		t.Fatalf("lossy distributed run failed: %v", err)
+	}
+	if m.FinalCost >= m.InitialCost {
+		t.Fatalf("lossy run did not reduce cost: %v -> %v", m.InitialCost, m.FinalCost)
+	}
+	if m.TokensRegenerated == 0 {
+		t.Fatal("10% token loss produced no regenerations")
+	}
+	regen, recovered := 0, 0
+	for _, st := range m.PerShard {
+		regen += st.Regenerated
+		recovered += st.Recovered
+	}
+	if regen != m.TokensRegenerated {
+		t.Fatalf("per-shard regeneration rollup %d != total %d", regen, m.TokensRegenerated)
+	}
+	if recovered == 0 {
+		t.Fatal("no ring recorded as recovered despite regenerations")
+	}
+}
+
 // TestDistributedRunRejectsBadConfigs: the stochastic Random policy and
 // mixed sharded modes must be refused up front.
 func TestDistributedRunRejectsBadConfigs(t *testing.T) {

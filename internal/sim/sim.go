@@ -41,12 +41,24 @@ type Config struct {
 	// bytes.
 	Model     migration.Model
 	Workloads migration.WorkloadDist
-	// TokenLossProb injects token loss per hop; a lost token is
-	// regenerated (with reset level state) at the lowest-ID VM after
-	// RegenTimeoutS. This exercises the recovery path a deployment
-	// needs even though the paper assumes a reliable token.
+	// TokenLossProb injects token loss per hop. In the single-token
+	// discrete-event run a lost token is regenerated (with reset level
+	// state) at the lowest-ID VM after RegenTimeoutS. In the
+	// distributed agent plane (DistributedShards > 0) the loss is
+	// injected by a seeded hypervisor.FaultPlan dropping MsgShardToken
+	// hops on the wire, and recovery is the reconciler's own: the
+	// affected ring regenerates from the reconciler's acked copy on the
+	// per-shard deadline, with staged moves intact. This exercises the
+	// recovery path a deployment needs even though the paper assumes a
+	// reliable token. In-process sharded rounds (Shards > 1) have no
+	// wire to lose tokens on and ignore it.
 	TokenLossProb float64
 	RegenTimeoutS float64
+	// DistributedDeadlineS overrides the reconciler's per-shard
+	// progress deadline (real seconds — the agent plane runs in wall
+	// clock, not simulated time); 0 keeps the reconciler default.
+	// Only meaningful with DistributedShards > 0.
+	DistributedDeadlineS float64
 	// Shards > 1 selects the sharded concurrent mode (internal/shard):
 	// instead of one circulating token, each round runs an independent
 	// token ring per topology-aligned shard concurrently and merges the
@@ -142,6 +154,12 @@ type ShardStats struct {
 	// injection to completion report) across rounds — distributed agent
 	// plane only; zero in the in-process sharded mode.
 	LatencyS float64
+	// Regenerated counts the ring's token re-injections after missed
+	// shard deadlines, Recovered the rounds this ring completed despite
+	// needing at least one regeneration — distributed agent plane under
+	// fault injection only.
+	Regenerated int
+	Recovered   int
 }
 
 // CostRatioSeries converts the cost series into ratios over a reference

@@ -1,0 +1,32 @@
+package token
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/score-dc/score/internal/cluster"
+)
+
+// FuzzDecode: the token rides inside every shard-ring frame, including
+// regenerated ones the reconciler rebuilds from acked copies — arbitrary
+// bytes must never panic the decoder, and any accepted token must
+// round-trip to identical wire bytes.
+func FuzzDecode(f *testing.F) {
+	f.Add(New([]cluster.VMID{1, 2, 3}).Encode())
+	f.Add(NewAtLevel([]cluster.VMID{7, 9, 4000000000}, 5).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0x53, 0x43, 0x54, 0x52, 1, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tok, err := Decode(data)
+		if err != nil {
+			return
+		}
+		again, err := Decode(tok.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of accepted token failed: %v", err)
+		}
+		if !bytes.Equal(again.Encode(), tok.Encode()) {
+			t.Fatal("token round trip not identity")
+		}
+	})
+}
