@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/score-dc/score"
+	"github.com/score-dc/score/internal/control"
 	"github.com/score-dc/score/internal/experiments"
 	"github.com/score-dc/score/internal/flowtable"
 	"github.com/score-dc/score/internal/ga"
@@ -515,6 +516,79 @@ func BenchmarkShardedAgentRound(b *testing.B) {
 				b.StartTimer()
 			}
 		})
+	}
+}
+
+// BenchmarkControllerUpdate measures the adaptive control plane's
+// steady-state cost: fold a handful of traffic-rate mutations through
+// the changelog into the ToR-level hotspot summary and re-derive the
+// shard recommendation — the work one auto-tuned round adds on top of
+// the scheduler itself.
+func BenchmarkControllerUpdate(b *testing.B) {
+	eng, rng := benchEngineDense(b)
+	ctrl := control.New(eng.Topology(), control.Config{})
+	detach := ctrl.Bind(eng.Traffic(), eng.Cluster())
+	defer detach()
+	ctrl.Recommendation() // initial build outside the loop
+	tm := eng.Traffic()
+	pairs, rates := tm.Pairs()
+	if len(pairs) < 8 {
+		b.Fatal("fixture too sparse")
+	}
+	// Snapshot the mutation targets up front: re-reading Pairs() in the
+	// loop would time the matrix's own pair-cache rebuild, not the
+	// controller.
+	type mut struct {
+		a, b score.VMID
+		base float64
+	}
+	muts := make([]mut, len(pairs))
+	for i, p := range pairs {
+		muts[i] = mut{a: p.A, b: p.B, base: rates[i]}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 8; j++ {
+			m := muts[(i*8+j)%len(muts)]
+			tm.Set(m.a, m.b, m.base*(1+0.1*rng.Float64()))
+		}
+		ctrl.Recommendation()
+	}
+}
+
+// BenchmarkAutoTunedRound measures one full sharded round with the
+// controller in the loop (summary sync, plan, possible re-partition)
+// against the same dense instance as BenchmarkShardedTokenPass — the
+// auto-tuning overhead per round is the delta between them.
+func BenchmarkAutoTunedRound(b *testing.B) {
+	eng, _ := benchEngineDense(b)
+	snap := eng.Cluster().Snapshot()
+	ctrl := control.New(eng.Topology(), control.Config{})
+	detach := ctrl.Bind(eng.Traffic(), eng.Cluster())
+	defer detach()
+	coord, err := score.NewShardCoordinator(eng, score.ShardConfig{
+		Tuner:     ctrl,
+		NewPolicy: func(int) score.TokenPolicy { return score.RoundRobin{} },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := eng.Cluster().Restore(snap); err != nil {
+			b.Fatal(err)
+		}
+		// Restore is a bulk rewrite, which marks the controller's
+		// summary for a full rebuild; absorb it untimed so the timed
+		// round measures the steady-state overhead (incremental sync +
+		// plan + ring round), not the worst-case rebuild a real
+		// multi-round run pays only after changelog overflow.
+		ctrl.Recommendation()
+		b.StartTimer()
+		if _, err := coord.RunRound(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -31,7 +31,7 @@ func run() error {
 	scaleFlag := flag.String("scale", "medium", "instance scale: small, medium, or paper")
 	seed := flag.Int64("seed", 20140630, "deterministic seed")
 	outDir := flag.String("out", "results", "directory for CSV output (empty disables)")
-	only := flag.String("only", "", "comma-separated subset: fig2,fig3tm,fig3,fig4,fig5a,fig5b,fig5cd,ablations,shards,dist")
+	only := flag.String("only", "", "comma-separated subset: fig2,fig3tm,fig3,fig4,fig5a,fig5b,fig5cd,ablations,shards,dist,autotune")
 	maxFlows := flag.Int("maxflows", 1000000, "flow-table sweep upper bound for fig5a")
 	maxShards := flag.Int("shards", 8, "largest shard count in the shard sweep (doubling from 2)")
 	distShards := flag.Int("distributed-shards", 0, "largest ring count in the distributed agent-plane sweep (>0 enables the dist section)")
@@ -262,6 +262,55 @@ func run() error {
 			if err := writeCSV(*outDir, "distributed_sweep.csv",
 				[]string{"shards", "reduction", "cross_proposed", "cross_applied", "ring_latency_ms", "tokens_reinjected", "recovered_rings"},
 				shardCol, reds, proposed, applied, lat, regen, recov); err != nil {
+				return err
+			}
+		}
+	}
+
+	if enabled("autotune") {
+		fmt.Fprintf(w, "\n== Auto-tuning sweep: adaptive control plane vs fixed shard counts ==\n")
+		counts := []int{1}
+		for n := 2; n <= *maxShards; n *= 2 {
+			counts = append(counts, n)
+		}
+		res, err := experiments.AutoTuneSweep(experiments.FatTree, scale, *seed, counts)
+		if err != nil {
+			return fmt.Errorf("autotune: %w", err)
+		}
+		res.Render(w)
+		if *outDir != "" {
+			var workload, mode, chosen, reduction, rounds, cross []float64
+			for _, run := range res.Runs {
+				wl := 0.0
+				if run.Workload == experiments.CrossPod {
+					wl = 1
+				}
+				m := float64(run.Shards)
+				if run.Auto {
+					m = 0 // auto rows carry 0 in the mode column
+				}
+				workload = append(workload, wl)
+				mode = append(mode, m)
+				chosen = append(chosen, float64(run.FinalShards()))
+				reduction = append(reduction, run.Reduction)
+				rounds = append(rounds, float64(run.Rounds))
+				cross = append(cross, float64(run.CrossProposed))
+			}
+			if err := writeCSV(*outDir, "autotune_sweep.csv",
+				[]string{"workload_crosspod", "fixed_shards_0_auto", "chosen_shards", "reduction", "rounds", "cross_proposed"},
+				workload, mode, chosen, reduction, rounds, cross); err != nil {
+				return err
+			}
+			if err := writeCSV(*outDir, "autotune_deadline.csv",
+				[]string{"adaptive", "regenerations", "spurious", "false_pos_rate", "reduction"},
+				[]float64{0, 1},
+				[]float64{float64(res.FixedRegens), float64(res.AdaptiveRegens)},
+				[]float64{float64(res.FixedSpurious), float64(res.AdaptiveSpurious)},
+				[]float64{
+					experiments.FalsePositiveRate(res.FixedSpurious, res.FixedRegens),
+					experiments.FalsePositiveRate(res.AdaptiveSpurious, res.AdaptiveRegens),
+				},
+				[]float64{res.FixedReduction, res.AdaptiveReduction}); err != nil {
 				return err
 			}
 		}

@@ -48,6 +48,10 @@ func run() error {
 	shardWorkers := flag.Int("shard-workers", 0, "worker pool size for sharded mode (0 = GOMAXPROCS)")
 	distShards := flag.Int("distributed-shards", 0, "run the distributed dom0 agent plane with this many token rings (>0; excludes -shards)")
 	distDeadline := flag.Float64("dist-deadline", 0.1, "distributed plane: per-shard progress deadline in real seconds before the reconciler regenerates a ring (used with -loss)")
+	autoTune := flag.Bool("autotune", false, "derive shard count and granularity from the live traffic summary (supersedes -shards; with -distributed-shards > 0 it auto-tunes the agent plane)")
+	adaptiveDeadline := flag.Bool("adaptive-deadline", false, "distributed plane: derive per-shard recovery deadlines from observed ack latency (EWMA + k·stddev) instead of -dist-deadline")
+	delayProb := flag.Float64("delay", 0, "distributed plane: probability a shard-token hop is delayed on the wire")
+	delayS := flag.Float64("delay-s", 0.02, "distributed plane: injected hop delay in real seconds (with -delay)")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -108,31 +112,40 @@ func run() error {
 	simCfg.HopLatencyS = *hop
 	simCfg.SampleIntervalS = *duration / 100
 	simCfg.TokenLossProb = *loss
-	if *shards > 1 || *distShards > 0 {
+	if *shards > 1 || *distShards > 0 || *autoTune {
 		g, err := score.ParseShardGranularity(*shardGran)
 		if err != nil {
 			return err
 		}
 		simCfg.ShardGranularity = g
+		simCfg.AutoTune = *autoTune
 		if *distShards > 0 {
 			simCfg.DistributedShards = *distShards
-			// Only tighten the recovery deadline when loss is actually
-			// injected; a fault-free plane keeps the reconciler's
-			// generous default so slow hops are never mistaken for
-			// lost tokens.
-			if *loss > 0 {
+			simCfg.AdaptiveDeadline = *adaptiveDeadline
+			simCfg.TokenDelayProb = *delayProb
+			simCfg.TokenDelayS = *delayS
+			// Only tighten the recovery deadline when faults are
+			// actually injected; a fault-free plane keeps the
+			// reconciler's generous default so slow hops are never
+			// mistaken for lost tokens.
+			if *loss > 0 || *delayProb > 0 {
 				simCfg.DistributedDeadlineS = *distDeadline
 			}
-		} else {
+		} else if !*autoTune {
 			simCfg.Shards = *shards
 			simCfg.ShardWorkers = *shardWorkers
 		}
 	}
 
 	mode := "single-token"
-	if *distShards > 0 {
+	switch {
+	case *distShards > 0 && *autoTune:
+		mode = "distributed agent plane, auto-tuned rings"
+	case *distShards > 0:
 		mode = fmt.Sprintf("distributed agent plane, %d rings by %s", *distShards, *shardGran)
-	} else if *shards > 1 {
+	case *autoTune:
+		mode = "auto-tuned shards"
+	case *shards > 1:
 		mode = fmt.Sprintf("%d shards by %s", *shards, *shardGran)
 	}
 	fmt.Printf("%s: %d hosts, %d racks, %d VMs, %d pairs, policy=%s, cm=%g, %s\n",
@@ -155,6 +168,12 @@ func run() error {
 		m.InitialCost, m.FinalCost, 100*m.Reduction())
 	fmt.Printf("migrations: %d (aborted %d), hops: %d, tokens regenerated: %d\n",
 		m.TotalMigrations, m.AbortedMigrations, m.TokenHops, m.TokensRegenerated)
+	if m.SpuriousRegens > 0 {
+		fmt.Printf("spurious regenerations (presumed-lost token witnessed alive): %d\n", m.SpuriousRegens)
+	}
+	if *autoTune && len(m.ShardsChosen) > 0 {
+		fmt.Printf("auto-tuned ring count per round: %v\n", m.ShardsChosen)
+	}
 	fmt.Printf("migrated: %.0f MB total\n", m.TotalMigratedMB)
 	if len(m.PerShard) > 0 {
 		fmt.Printf("cross-shard: %d proposed, %d applied after reconciliation, %d staged moves stale-rejected\n",

@@ -1,0 +1,323 @@
+package control
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/shard"
+	"github.com/score-dc/score/internal/topology"
+	"github.com/score-dc/score/internal/traffic"
+)
+
+// churnFixture builds a fat-tree plane with a placed population and an
+// empty matrix, plus a bound controller.
+func churnFixture(t testing.TB, k int, seed int64) (topology.Topology, *cluster.Cluster, *traffic.Matrix, *Controller, *rand.Rand) {
+	t.Helper()
+	topo, err := topology.NewFatTree(k, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.UniformHosts(topo.Hosts(), 8, 32768, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pm := cluster.NewPlacementManager(cl, 1)
+	for i := 0; i < topo.Hosts()*4; i++ {
+		if _, err := pm.CreateVM(1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pm.PlaceRandom(rng); err != nil {
+		t.Fatal(err)
+	}
+	tm := traffic.NewMatrix()
+	ctrl := New(topo, Config{})
+	detach := ctrl.Bind(tm, cl)
+	t.Cleanup(detach)
+	return topo, cl, tm, ctrl, rng
+}
+
+// bruteSummary recomputes the rack-pair aggregates from scratch.
+func bruteSummary(topo topology.Topology, cl *cluster.Cluster, tm *traffic.Matrix) *Summary {
+	s := NewSummary(topo)
+	pairs, rates := tm.Pairs()
+	for i, p := range pairs {
+		ha, hb := cl.HostOf(p.A), cl.HostOf(p.B)
+		if ha == cluster.NoHost || hb == cluster.NoHost {
+			continue
+		}
+		s.AddEdge(topo.RackOf(ha), topo.RackOf(hb), rates[i])
+	}
+	return s
+}
+
+func compareSummaries(t *testing.T, step int, got, want *Summary) {
+	t.Helper()
+	close := func(a, b float64) bool {
+		scale := math.Max(math.Abs(a), math.Abs(b))
+		return math.Abs(a-b) <= 1e-6*math.Max(scale, 1)
+	}
+	if !close(got.Total(), want.Total()) {
+		t.Fatalf("step %d: total %v vs brute force %v", step, got.Total(), want.Total())
+	}
+	gi, gp, gc := got.LocalityShares()
+	wi, wp, wc := want.LocalityShares()
+	if !close(gi, wi) || !close(gp, wp) || !close(gc, wc) {
+		t.Fatalf("step %d: shares (%v %v %v) vs brute force (%v %v %v)", step, gi, gp, gc, wi, wp, wc)
+	}
+	wCells := want.Cells()
+	gCells := got.Cells()
+	wIdx := map[[2]int]float64{}
+	for _, c := range wCells {
+		wIdx[[2]int{c.RackA, c.RackB}] = c.Rate
+	}
+	for _, c := range gCells {
+		if !close(c.Rate, wIdx[[2]int{c.RackA, c.RackB}]) {
+			t.Fatalf("step %d: cell (%d,%d) %v vs brute force %v",
+				step, c.RackA, c.RackB, c.Rate, wIdx[[2]int{c.RackA, c.RackB}])
+		}
+		delete(wIdx, [2]int{c.RackA, c.RackB})
+	}
+	for k, v := range wIdx {
+		if math.Abs(v) > 1e-6 {
+			t.Fatalf("step %d: missing cell %v rate %v", step, k, v)
+		}
+	}
+}
+
+// TestSummaryEquivalenceUnderChurn is the hotspot-summary correctness
+// test: under interleaved rate mutations (set, add, remove) and
+// placement moves, the incrementally folded summary must stay
+// equivalent to a brute-force recompute from the full pair list — with
+// queries (which drain the changelog) landing at arbitrary points of
+// the interleaving, including none for long stretches (changelog
+// overflow → rebuild fallback).
+func TestSummaryEquivalenceUnderChurn(t *testing.T) {
+	topo, cl, tm, ctrl, rng := churnFixture(t, 4, 99)
+	vms := cl.VMs()
+	randVM := func() cluster.VMID { return vms[rng.Intn(len(vms))] }
+	for step := 1; step <= 4000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // set a rate (creates, updates)
+			tm.Set(randVM(), randVM(), 0.1+rng.Float64()*50)
+		case op < 7: // add onto a rate
+			tm.Add(randVM(), randVM(), rng.Float64()*10)
+		case op < 8: // remove a pair
+			tm.Set(randVM(), randVM(), 0)
+		default: // placement move (may fail on capacity; that's fine)
+			_ = cl.Move(randVM(), cluster.HostID(rng.Intn(topo.Hosts())))
+		}
+		// Query at irregular intervals so folds happen mid-churn; the
+		// long gaps between checks let the changelog overflow and
+		// exercise the rebuild fallback too.
+		if step%7 == 0 {
+			_ = ctrl.Recommendation()
+		}
+		if step%500 == 0 {
+			compareSummaries(t, step, ctrl.SummaryForTest(), bruteSummary(topo, cl, tm))
+		}
+	}
+	compareSummaries(t, -1, ctrl.SummaryForTest(), bruteSummary(topo, cl, tm))
+}
+
+// TestPlannerShapes: synthetic rack-level shapes must map to the
+// documented recommendations — pod-local traffic fans out to one ring
+// per pod, cross-pod-heavy traffic collapses to the serial token, and a
+// rack-dominated matrix flips the granularity to racks.
+func TestPlannerShapes(t *testing.T) {
+	topo, err := topology.NewFatTree(4, 1000) // 4 pods, 8 racks
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := PlannerConfig{}
+
+	podLocal := NewSummary(topo)
+	for rack := 0; rack < podLocal.Racks(); rack += 2 {
+		podLocal.AddEdge(rack, rack+1, 100) // rack pairs inside each pod
+	}
+	if rec := Plan(cfg, podLocal); rec.Shards != podLocal.Pods() || rec.Granularity != shard.ByPod {
+		t.Fatalf("pod-local: got %+v, want %d pod-aligned shards", rec, podLocal.Pods())
+	}
+
+	crossPod := NewSummary(topo)
+	crossPod.AddEdge(0, 7, 100) // pods 0↔3
+	crossPod.AddEdge(2, 5, 100) // pods 1↔2
+	crossPod.AddEdge(1, 4, 100) // pods 0↔2
+	if rec := Plan(cfg, crossPod); rec.Shards != 1 {
+		t.Fatalf("cross-pod-heavy: got %+v, want 1 shard", rec)
+	}
+
+	rackLocal := NewSummary(topo)
+	for rack := 0; rack < rackLocal.Racks(); rack++ {
+		rackLocal.AddEdge(rack, rack, 100) // pure diagonal
+	}
+	if rec := Plan(cfg, rackLocal); rec.Granularity != shard.ByRack || rec.Shards != rackLocal.Racks() {
+		t.Fatalf("rack-local: got %+v, want %d rack-aligned shards", rec, rackLocal.Racks())
+	}
+
+	empty := NewSummary(topo)
+	if rec := Plan(cfg, empty); rec.Shards != 1 || rec.Granularity != shard.ByPod {
+		t.Fatalf("empty matrix: got %+v, want the serial default", rec)
+	}
+}
+
+// TestPlannerHotspotSplit: the shard count must respect the hotspot
+// structure, not just aggregate shares — a hot pod pair that a finer
+// partition would split caps the fan-out at the coarser count that
+// keeps it intra-shard.
+func TestPlannerHotspotSplit(t *testing.T) {
+	topo, err := topology.NewFatTree(4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSummary(topo)
+	// Pods 0 and 1 exchange heavy traffic (racks 0..3 are pods 0-1);
+	// pods 2 and 3 likewise. n=2 keeps both hot pairs intra-shard, n=4
+	// would split them.
+	s.AddEdge(0, 2, 100) // pod 0 ↔ pod 1
+	s.AddEdge(4, 6, 100) // pod 2 ↔ pod 3
+	s.AddEdge(1, 1, 30)  // some local rate too
+	s.AddEdge(5, 5, 30)
+	rec := Plan(PlannerConfig{}, s)
+	if rec.Shards != 2 {
+		t.Fatalf("paired-pod hotspots: got %+v, want 2 shards", rec)
+	}
+}
+
+// TestEstimatorDeadline covers the estimator's arithmetic: warm-up
+// fallback, EWMA+k·stddev deadlines, clamping, and the penalty/decay
+// path.
+func TestEstimatorDeadline(t *testing.T) {
+	e := NewLatencyEstimator(EstimatorConfig{
+		Alpha: 0.5, K: 2, HopBudget: 4, Warmup: 3,
+		Min: time.Millisecond, Max: time.Second,
+	})
+	fallback := 50 * time.Millisecond
+	if d := e.Deadline(0, fallback); d != fallback {
+		t.Fatalf("cold estimator returned %v, want fallback %v", d, fallback)
+	}
+	// Constant observations: variance 0, deadline = HopBudget × mean.
+	for i := 0; i < 3; i++ {
+		e.Observe(0, 10*time.Millisecond)
+	}
+	if d := e.Deadline(0, fallback); d != 40*time.Millisecond {
+		t.Fatalf("constant 10ms hops: deadline %v, want 40ms", d)
+	}
+	// Penalize doubles (pre- and post-warmup), Relax decays back.
+	e.Penalize(0)
+	if d := e.Deadline(0, fallback); d != 80*time.Millisecond {
+		t.Fatalf("penalized deadline %v, want 80ms", d)
+	}
+	e.Relax(0)
+	if d := e.Deadline(0, fallback); d != 40*time.Millisecond {
+		t.Fatalf("relaxed deadline %v, want 40ms", d)
+	}
+	// Variance raises the margin above the mean-only deadline.
+	e.Observe(0, 30*time.Millisecond)
+	if d := e.Deadline(0, fallback); d <= 4*e2mean(e, 0) {
+		t.Fatalf("jittery hops: deadline %v did not include a stddev margin", d)
+	}
+	// Clamps.
+	tiny := NewLatencyEstimator(EstimatorConfig{Warmup: 1, Min: 20 * time.Millisecond, Max: 30 * time.Millisecond})
+	tiny.Observe(1, time.Microsecond)
+	if d := tiny.Deadline(1, time.Second); d != 20*time.Millisecond {
+		t.Fatalf("quiet fabric: deadline %v, want the 20ms floor", d)
+	}
+	tiny.Observe(2, time.Hour)
+	if d := tiny.Deadline(2, time.Second); d != 30*time.Millisecond {
+		t.Fatalf("slow fabric: deadline %v, want the 30ms cap", d)
+	}
+	// A cold shard's penalties still act on the fallback — the escape
+	// hatch when accepted samples never arrive.
+	cold := NewLatencyEstimator(EstimatorConfig{Warmup: 3, Max: time.Second})
+	cold.Penalize(7)
+	cold.Penalize(7)
+	if d := cold.Deadline(7, 10*time.Millisecond); d != 40*time.Millisecond {
+		t.Fatalf("cold penalized deadline %v, want 40ms", d)
+	}
+	// Reset forgets everything.
+	e.Reset()
+	if d := e.Deadline(0, fallback); d != fallback {
+		t.Fatalf("reset estimator returned %v, want fallback", d)
+	}
+}
+
+// e2mean reads a shard's EWMA mean as a duration-scaled value.
+func e2mean(e *LatencyEstimator, shard int) time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.shards[shard]
+	if st == nil {
+		return 0
+	}
+	return time.Duration(st.mean * float64(time.Second))
+}
+
+// TestControllerHysteresis: a flipped recommendation must persist for
+// StableRounds consecutive evaluations before it is adopted.
+func TestControllerHysteresis(t *testing.T) {
+	topo, err := topology.NewFatTree(4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.UniformHosts(topo.Hosts(), 8, 32768, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := cluster.NewPlacementManager(cl, 1)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < topo.Hosts(); i++ {
+		if _, err := pm.CreateVM(1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pm.PlaceRandom(rng); err != nil {
+		t.Fatal(err)
+	}
+	tm := traffic.NewMatrix()
+	vmOnPod := func(pod int) cluster.VMID {
+		for _, vm := range cl.VMs() {
+			if topo.PodOf(cl.HostOf(vm)) == pod {
+				return vm
+			}
+		}
+		t.Fatalf("no VM on pod %d", pod)
+		return 0
+	}
+	// Baseline: a heavy pod-0 ↔ pod-3 pair crosses every contiguous
+	// block split, so the first evaluation adopts the serial token.
+	a0, b0 := vmOnPod(0), vmOnPod(3)
+	ctrl := New(topo, Config{Planner: PlannerConfig{StableRounds: 2}})
+	detach := ctrl.Bind(tm, cl)
+	defer detach()
+	tm.Set(a0, b0, 100)
+	first := ctrl.Recommendation()
+	if first.Shards != 1 {
+		t.Fatalf("cross-pod baseline adopted %+v, want 1 shard", first)
+	}
+	// Flip the workload to pod-local: the new recommendation must
+	// survive hysteresis before adoption.
+	tm.Set(a0, b0, 0)
+	var u, v cluster.VMID
+	for _, vm := range cl.VMs() {
+		if topo.PodOf(cl.HostOf(vm)) == 0 && vm != a0 {
+			u, v = a0, vm
+			break
+		}
+	}
+	if u == v {
+		t.Skip("pod 0 holds one VM this seed")
+	}
+	tm.Set(u, v, 100)
+	if rec := ctrl.Recommendation(); rec.Shards != 1 {
+		t.Fatalf("hysteresis: first differing evaluation adopted %+v", rec)
+	}
+	rec := ctrl.Recommendation()
+	if rec.Shards == 1 {
+		t.Fatalf("hysteresis: second consecutive evaluation still at %+v", rec)
+	}
+}

@@ -1,0 +1,245 @@
+package control
+
+import (
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/shard"
+	"github.com/score-dc/score/internal/topology"
+	"github.com/score-dc/score/internal/traffic"
+)
+
+// Config bundles the controller's knobs.
+type Config struct {
+	Planner PlannerConfig
+	// Estimator tunes the adaptive-deadline component; see
+	// EstimatorConfig.
+	Estimator EstimatorConfig
+	// TopK sizes the hot-pair report in Snapshot. Default 8.
+	TopK int
+}
+
+// Snapshot is the controller's observable state for CLIs and sweeps.
+type Snapshot struct {
+	// Locality decomposition of the current rack-level matrix.
+	IntraRackShare, IntraPodShare, CrossPodShare float64
+	TotalRate                                    float64
+	// HotPairs are the top-k rack pairs by rate.
+	HotPairs []HotPair
+	// Current is the adopted recommendation.
+	Current Recommendation
+}
+
+// Controller is the adaptive control plane's facade: it keeps a live
+// hotspot Summary of a bound traffic matrix + cluster, plans shard
+// count/granularity with hysteresis, and owns the shared per-shard
+// LatencyEstimator. One controller serves one decision plane (either
+// the in-process Coordinator or the distributed Reconciler) — both
+// consume it through the shard.Tuner interface.
+//
+// Synchronization contract: the controller folds traffic mutations
+// lazily (on Plan/Recommendation/Snapshot) through the matrix changelog
+// and placement mutations eagerly through cluster observation hooks.
+// Callers must therefore query the controller — which folds any pending
+// rate changes — before applying placement moves that follow traffic
+// mutations; both schedulers do, because they plan at round start and
+// freeze traffic for the round.
+type Controller struct {
+	topo topology.Topology
+	cfg  Config
+	sum  *Summary
+	est  *LatencyEstimator
+
+	tm *traffic.Matrix
+	cl *cluster.Cluster
+	// gen is the traffic generation the summary has folded; dirty forces
+	// a full rebuild (changelog overflow or bulk allocation rewrite).
+	gen   uint64
+	dirty bool
+
+	cur     Recommendation
+	curSet  bool
+	pending Recommendation
+	streak  int
+}
+
+// New returns a controller for topo. Bind attaches the measured state.
+func New(topo topology.Topology, cfg Config) *Controller {
+	if cfg.TopK <= 0 {
+		cfg.TopK = 8
+	}
+	cfg.Planner = withPlannerDefaults(cfg.Planner)
+	return &Controller{
+		topo: topo,
+		cfg:  cfg,
+		sum:  NewSummary(topo),
+		est:  NewLatencyEstimator(cfg.Estimator),
+	}
+}
+
+// Latency exposes the controller's per-shard deadline estimator.
+func (c *Controller) Latency() *LatencyEstimator { return c.est }
+
+// Bind attaches the traffic matrix and cluster the controller measures,
+// builds the initial summary, and registers the allocation observer.
+// The returned detach unregisters it. The controller is not safe for
+// use from multiple goroutines; both schedulers drive it from their
+// round loop, which also serializes the observer callbacks (cluster
+// mutations happen inside rounds).
+func (c *Controller) Bind(tm *traffic.Matrix, cl *cluster.Cluster) (detach func()) {
+	c.tm, c.cl = tm, cl
+	c.rebuild()
+	return cl.Observe(c.onAllocChange, c.onAllocReset)
+}
+
+// rackOfHost buckets a host, NoHost mapping to -1 (skipped by AddEdge).
+func (c *Controller) rackOfHost(h cluster.HostID) int {
+	if h == cluster.NoHost {
+		return -1
+	}
+	return c.topo.RackOf(h)
+}
+
+// rebuild refolds the whole matrix — the fallback when the changelog
+// window was outrun or the allocation was bulk-rewritten.
+func (c *Controller) rebuild() {
+	c.sum.Reset()
+	pairs, rates := c.tm.Pairs()
+	for i, p := range pairs {
+		ra, rb := c.rackOfHost(c.cl.HostOf(p.A)), c.rackOfHost(c.cl.HostOf(p.B))
+		if ra < 0 || rb < 0 {
+			continue
+		}
+		c.sum.AddEdge(ra, rb, rates[i])
+	}
+	c.gen = c.tm.Generation()
+	c.dirty = false
+}
+
+// sync folds pending traffic mutations. Placement moves are folded
+// eagerly by the observer (which drains the changelog first, with the
+// moving VM pinned to its pre-move host), so whenever the controller is
+// queried the summary matches the live (matrix, placement) pair. It
+// reports whether a full rebuild ran instead of an incremental fold.
+//
+// overrideVM/overrideHost pin one VM to a past position while folding —
+// the observer fires after the cluster has applied a move, but any
+// still-unfolded rate change to that VM's pairs predates the move and
+// belongs at the old rack.
+func (c *Controller) sync() { c.syncOverride(cluster.VMID(0), false, cluster.NoHost) }
+
+func (c *Controller) syncOverride(overrideVM cluster.VMID, hasOverride bool, overrideHost cluster.HostID) (rebuilt bool) {
+	if c.tm == nil {
+		return false
+	}
+	if c.dirty {
+		c.rebuild()
+		return true
+	}
+	changes, ok := c.tm.ChangesSince(c.gen)
+	if !ok {
+		c.rebuild()
+		return true
+	}
+	locate := func(vm cluster.VMID) int {
+		if hasOverride && vm == overrideVM {
+			return c.rackOfHost(overrideHost)
+		}
+		return c.rackOfHost(c.cl.HostOf(vm))
+	}
+	for _, ch := range changes {
+		ra, rb := locate(ch.A), locate(ch.B)
+		if ra < 0 || rb < 0 {
+			continue
+		}
+		c.sum.AddEdge(ra, rb, ch.New-ch.Old)
+	}
+	c.gen = c.tm.Generation()
+	return false
+}
+
+// onAllocChange re-buckets one VM's adjacency row for a placement
+// mutation — O(pending changes + degree), never a rescan. Pending rate
+// changes are folded first with the VM pinned to its pre-move host, so
+// interleaved rate/move churn stays exact; if that fold fell back to a
+// full rebuild the rebuild already saw the post-move placement and the
+// row shift is skipped.
+func (c *Controller) onAllocChange(vm cluster.VMID, from, to cluster.HostID) {
+	if c.dirty {
+		return // a bulk rewrite is pending; the next query rebuilds
+	}
+	if c.syncOverride(vm, true, from) {
+		return
+	}
+	rf, rt := c.rackOfHost(from), c.rackOfHost(to)
+	if rf == rt {
+		return
+	}
+	for _, e := range c.tm.NeighborEdges(vm) {
+		rp := c.rackOfHost(c.cl.HostOf(e.Peer))
+		if rp < 0 {
+			continue
+		}
+		if rf >= 0 {
+			c.sum.AddEdge(rf, rp, -e.Rate)
+		}
+		if rt >= 0 {
+			c.sum.AddEdge(rt, rp, e.Rate)
+		}
+	}
+}
+
+// onAllocReset marks the summary for a full rebuild after a bulk
+// allocation rewrite (Restore).
+func (c *Controller) onAllocReset() { c.dirty = true }
+
+// Recommendation syncs pending traffic changes and returns the adopted
+// recommendation, applying StableRounds hysteresis: the first
+// evaluation adopts immediately; afterwards a differing plan must
+// repeat on StableRounds consecutive evaluations before it replaces
+// the current one.
+func (c *Controller) Recommendation() Recommendation {
+	c.sync()
+	rec := Plan(c.cfg.Planner, c.sum)
+	if !c.curSet {
+		c.cur, c.curSet = rec, true
+		return c.cur
+	}
+	if rec == c.cur {
+		c.streak = 0
+		return c.cur
+	}
+	if rec == c.pending {
+		c.streak++
+	} else {
+		c.pending, c.streak = rec, 1
+	}
+	if c.streak >= c.cfg.Planner.StableRounds {
+		c.cur, c.streak = rec, 0
+	}
+	return c.cur
+}
+
+// Plan implements shard.Tuner.
+func (c *Controller) Plan() (int, shard.Granularity) {
+	rec := c.Recommendation()
+	return rec.Shards, rec.Granularity
+}
+
+// Snapshot syncs and reports the controller's observable state.
+func (c *Controller) Snapshot() Snapshot {
+	rec := c.Recommendation()
+	ir, ip, cp := c.sum.LocalityShares()
+	return Snapshot{
+		IntraRackShare: ir,
+		IntraPodShare:  ip,
+		CrossPodShare:  cp,
+		TotalRate:      c.sum.Total(),
+		HotPairs:       c.sum.HotPairs(c.cfg.TopK),
+		Current:        rec,
+	}
+}
+
+// SummaryForTest exposes the live summary to equivalence tests.
+func (c *Controller) SummaryForTest() *Summary {
+	c.sync()
+	return c.sum
+}

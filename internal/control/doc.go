@@ -1,0 +1,44 @@
+// Package control is the adaptive control plane: a deterministic
+// feedback controller that derives the sharded schedulers' structural
+// knobs — shard count, shard granularity, and per-shard recovery
+// deadlines — from live measurements instead of fixed flags.
+//
+// It closes two loops the paper leaves open when S-CORE is deployed at
+// scale:
+//
+//   - Traffic → partition. A Summary aggregates the pairwise VM traffic
+//     matrix into its ToR-level hotspot structure (the sparse rack-pair
+//     matrix of Fig. 3a): communication-locality shares (intra-rack /
+//     intra-pod / cross-pod), per-unit activity, and the top-k hot ToR
+//     pairs. The summary is folded incrementally — rate mutations arrive
+//     through traffic.Matrix.ChangesSince and placement mutations
+//     through cluster observation hooks, so keeping it current costs
+//     O(changes · degree), never an O(|V|²) rescan. A Planner turns the
+//     summary into a shard-count + granularity Recommendation by
+//     replaying the partitioner's own contiguous-block unit mapping
+//     against the rack-pair rates: it picks the largest shard count
+//     whose cross-shard rate share stays under a threshold, so pod-local
+//     workloads fan out to one ring per pod while cross-pod-heavy
+//     workloads collapse toward the serial token (whose reconciliation
+//     queue they would otherwise flood).
+//
+//   - Latency → deadlines. A LatencyEstimator maintains per-shard
+//     EWMA + k·stddev estimates of per-hop progress latency, fed from
+//     the reconciler's MsgRingAck arrival timestamps. Its Deadline
+//     replaces the fixed ShardDeadline: slow-but-alive rings on loaded
+//     hosts stop being spuriously regenerated (a stale-attempt report
+//     that proves a presumed-lost token was alive additionally applies a
+//     multiplicative penalty, the TCP-RTO-style escape hatch for rings
+//     slower than the current estimate), while on a healthy fabric the
+//     estimate collapses toward EstimatorConfig.Min and genuinely dead
+//     rings are caught orders of magnitude faster than the conservative
+//     fixed default.
+//
+// A Controller bundles the three pieces behind the shard.Tuner interface
+// consumed by both decision planes: the in-process shard.Coordinator
+// re-partitions between rounds when the recommendation changes, and the
+// distributed hypervisor.Reconciler uses the same controller for shard
+// assignment and adaptive per-shard deadlines. All state transitions are
+// deterministic functions of the observation sequence, so auto-tuned
+// runs stay byte-identical across GOMAXPROCS settings.
+package control

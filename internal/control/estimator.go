@@ -1,0 +1,220 @@
+package control
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// EstimatorConfig tunes the per-shard progress-latency estimator.
+type EstimatorConfig struct {
+	// Alpha is the EWMA smoothing factor applied to per-hop latency
+	// observations (and, Welford-style, to their exponentially weighted
+	// variance). Default 0.25.
+	Alpha float64
+	// K is the stddev multiplier of the deadline margin: deadline ∝
+	// mean + K·stddev. Default 4.
+	K float64
+	// HopBudget is how many per-hop intervals a ring may go dark before
+	// it is presumed lost — the deadline is the per-hop estimate times
+	// this budget. Default 4.
+	HopBudget int
+	// Warmup is the observation count below which the estimate is not
+	// trusted and the caller's fallback deadline is used. Default 3.
+	Warmup int
+	// Min and Max clamp every emitted deadline. Min keeps a quiet
+	// in-memory fabric (sub-µs hops) from regenerating on scheduler
+	// jitter; Max keeps a penalized deadline under the round timeout.
+	// Defaults 10ms and 1m.
+	Min, Max time.Duration
+	// MaxBoost caps the multiplicative penalty applied when a
+	// regeneration is witnessed spurious (a stale-attempt report proves
+	// the presumed-lost token was alive). Default 64.
+	MaxBoost float64
+}
+
+// withEstimatorDefaults fills zero fields.
+func withEstimatorDefaults(c EstimatorConfig) EstimatorConfig {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.25
+	}
+	if c.K <= 0 {
+		c.K = 4
+	}
+	if c.HopBudget <= 0 {
+		c.HopBudget = 4
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 3
+	}
+	if c.Min <= 0 {
+		c.Min = 10 * time.Millisecond
+	}
+	if c.Max <= 0 {
+		c.Max = time.Minute
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.MaxBoost < 1 {
+		c.MaxBoost = 64
+	}
+	return c
+}
+
+// latState is one shard's estimate: EWMA mean and exponentially
+// weighted variance of per-hop latency (seconds), the observation
+// count, and the current spurious-regeneration penalty multiplier.
+type latState struct {
+	mean, variance float64
+	n              int
+	boost          float64
+}
+
+// LatencyEstimator maintains per-shard EWMA + k·stddev estimates of
+// per-hop progress latency and emits adaptive shard deadlines. All
+// methods are safe for concurrent use; given one deterministic
+// observation sequence the emitted deadlines are deterministic.
+type LatencyEstimator struct {
+	cfg EstimatorConfig
+
+	mu     sync.Mutex
+	shards map[int]*latState
+}
+
+// NewLatencyEstimator returns an estimator with cfg's zero fields
+// defaulted.
+func NewLatencyEstimator(cfg EstimatorConfig) *LatencyEstimator {
+	return &LatencyEstimator{cfg: withEstimatorDefaults(cfg), shards: make(map[int]*latState)}
+}
+
+// Config returns the estimator's effective (defaulted) configuration.
+func (e *LatencyEstimator) Config() EstimatorConfig { return e.cfg }
+
+// Reset drops every shard's state — called when the shard count changes
+// and shard indices no longer mean what they did.
+func (e *LatencyEstimator) Reset() {
+	e.mu.Lock()
+	e.shards = make(map[int]*latState)
+	e.mu.Unlock()
+}
+
+func (e *LatencyEstimator) state(shard int) *latState {
+	st := e.shards[shard]
+	if st == nil {
+		st = &latState{boost: 1}
+		e.shards[shard] = st
+	}
+	return st
+}
+
+// Observe folds one per-hop progress-latency sample for a shard: the
+// interval between two accepted progress reports divided by the hops
+// they span.
+func (e *LatencyEstimator) Observe(shard int, perHop time.Duration) {
+	if perHop < 0 {
+		return
+	}
+	x := perHop.Seconds()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.state(shard)
+	if st.n == 0 {
+		st.mean = x
+	} else {
+		diff := x - st.mean
+		incr := e.cfg.Alpha * diff
+		st.mean += incr
+		st.variance = (1 - e.cfg.Alpha) * (st.variance + diff*incr)
+	}
+	st.n++
+}
+
+// Penalize doubles a shard's deadline (up to MaxBoost×) after a
+// regeneration was witnessed spurious: the estimate is evidently below
+// the ring's true progress latency, so back off multiplicatively even
+// before enough accepted samples arrive to raise the EWMA.
+func (e *LatencyEstimator) Penalize(shard int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.state(shard)
+	st.boost *= 2
+	if st.boost > e.cfg.MaxBoost {
+		st.boost = e.cfg.MaxBoost
+	}
+}
+
+// Relax halves a shard's penalty after a round it completed without any
+// regeneration — the decay that lets a transient overload stop inflating
+// deadlines once it passes.
+func (e *LatencyEstimator) Relax(shard int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.shards[shard]
+	if st == nil {
+		return
+	}
+	st.boost /= 2
+	if st.boost < 1 {
+		st.boost = 1
+	}
+}
+
+// Deadline returns the shard's adaptive progress deadline: HopBudget
+// per-hop intervals of mean + K·stddev, times the spurious-regeneration
+// boost, clamped to [Min, Max]. Before Warmup observations the fallback
+// (times the boost) is used instead, clamped to Max only — the fallback
+// is the operator's configured fixed deadline and may legitimately sit
+// below Min.
+func (e *LatencyEstimator) Deadline(shard int, fallback time.Duration) time.Duration {
+	e.mu.Lock()
+	st := e.shards[shard]
+	var (
+		boost          = 1.0
+		n              int
+		mean, variance float64
+	)
+	if st != nil {
+		boost, n, mean, variance = st.boost, st.n, st.mean, st.variance
+	}
+	e.mu.Unlock()
+	if n < e.cfg.Warmup {
+		d := time.Duration(float64(fallback) * boost)
+		if d > e.cfg.Max {
+			d = e.cfg.Max
+		}
+		if d <= 0 {
+			d = e.cfg.Min
+		}
+		return d
+	}
+	// HopBudget multiplies the expected per-hop latency; the K·stddev
+	// jitter margin is added once on top, NOT per hop — multiplying the
+	// variance term too would compound two safety factors and inflate
+	// deadlines ~K-fold on jittery fabrics.
+	perRing := float64(e.cfg.HopBudget)*mean + e.cfg.K*math.Sqrt(variance)
+	d := time.Duration(perRing * float64(time.Second))
+	if d < e.cfg.Min {
+		d = e.cfg.Min
+	}
+	// The spurious-regeneration penalty multiplies the clamped estimate:
+	// on a quiet fabric the EWMA term sits far below Min, and a boost
+	// folded in before the floor would be swallowed by it — leaving the
+	// penalty inert exactly when it is the only feedback available.
+	d = time.Duration(float64(d) * boost)
+	if d > e.cfg.Max {
+		d = e.cfg.Max
+	}
+	return d
+}
+
+// Samples returns how many observations shard has folded (telemetry and
+// tests).
+func (e *LatencyEstimator) Samples(shard int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st := e.shards[shard]; st != nil {
+		return st.n
+	}
+	return 0
+}

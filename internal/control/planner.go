@@ -1,0 +1,98 @@
+package control
+
+import (
+	"github.com/score-dc/score/internal/shard"
+)
+
+// Recommendation is the planner's structural advice for the sharded
+// schedulers: how many concurrent token rings to run and which topology
+// unit their boundaries should follow. Shards is pre-clamped to the unit
+// count, matching shard.NewHostPartition's own clamp.
+type Recommendation struct {
+	Shards      int
+	Granularity shard.Granularity
+}
+
+// PlannerConfig tunes the summary → recommendation policy.
+type PlannerConfig struct {
+	// RackLocalShare is the intra-rack rate share above which shard
+	// boundaries align to racks instead of pods: when nearly all traffic
+	// already stays inside single racks, pod-level moves are rare and
+	// the finer partition buys more parallel rings for free. Default
+	// 0.8.
+	RackLocalShare float64
+	// MaxCrossShare caps the rate share a candidate partition may place
+	// across shard boundaries. The planner picks the largest shard count
+	// whose cross-shard share stays under the cap, so the parallelism
+	// gained never floods the reconciliation queue: pod-local traffic
+	// yields one ring per pod, cross-pod-heavy traffic degrades toward
+	// the serial token. Default 0.3.
+	MaxCrossShare float64
+	// StableRounds is how many consecutive evaluations must agree on a
+	// recommendation that differs from the adopted one before the
+	// controller switches — hysteresis against re-partitioning on every
+	// traffic-window wobble. Default 2; 1 switches immediately.
+	StableRounds int
+}
+
+// withPlannerDefaults fills zero fields.
+func withPlannerDefaults(c PlannerConfig) PlannerConfig {
+	if c.RackLocalShare <= 0 {
+		c.RackLocalShare = 0.8
+	}
+	if c.MaxCrossShare <= 0 {
+		c.MaxCrossShare = 0.3
+	}
+	if c.StableRounds <= 0 {
+		c.StableRounds = 2
+	}
+	return c
+}
+
+// Plan derives a recommendation from the summary's current hotspot
+// structure. It is a pure function of the summary (deterministic: the
+// rack-pair cells are folded in canonical order).
+func Plan(cfg PlannerConfig, s *Summary) Recommendation {
+	cfg = withPlannerDefaults(cfg)
+	total := s.Total()
+	if total <= 0 {
+		return Recommendation{Shards: 1, Granularity: shard.ByPod}
+	}
+	intraRack, _, _ := s.LocalityShares()
+	g := shard.ByPod
+	units := s.Pods()
+	if intraRack >= cfg.RackLocalShare {
+		g = shard.ByRack
+		units = s.Racks()
+	}
+	if units < 1 {
+		units = 1
+	}
+
+	// Replay the partitioner's contiguous-block unit→shard mapping
+	// against the rack-pair aggregates: for each candidate count n, sum
+	// the rate that would cross shard boundaries, and keep the largest n
+	// whose cross share fits the cap. n = 1 is always admissible
+	// (cross share zero).
+	cells := s.Cells()
+	unitOf := func(rack int) int {
+		if g == shard.ByRack {
+			return rack
+		}
+		return s.PodOfRack(rack)
+	}
+	best := 1
+	for n := 2; n <= units; n++ {
+		var cross float64
+		for _, c := range cells {
+			ua, ub := unitOf(c.RackA), unitOf(c.RackB)
+			if ua*n/units != ub*n/units {
+				cross += c.Rate
+			}
+		}
+		if cross <= cfg.MaxCrossShare*total {
+			best = n
+		}
+	}
+	return Recommendation{Shards: best, Granularity: g}
+}

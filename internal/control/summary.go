@@ -1,0 +1,177 @@
+package control
+
+import (
+	"math"
+	"slices"
+
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/topology"
+)
+
+// HotPair is one cell of the ToR-level traffic matrix: the aggregate
+// rate between two racks (RackA ≤ RackB; equal for the diagonal).
+type HotPair struct {
+	RackA, RackB int
+	Rate         float64
+}
+
+// Summary is the incrementally maintained ToR/pod-level aggregate of a
+// pairwise VM traffic matrix under a concrete placement: the sparse
+// rack-pair rate table plus running communication-locality shares. It is
+// pure bookkeeping — the Controller feeds it edge-rate deltas bucketed
+// by the endpoints' current racks (from the traffic changelog and from
+// placement-change observations), so it never rescans the matrix.
+type Summary struct {
+	// rack→pod table and unit counts, derived from the topology once.
+	rackPod  []int32
+	numRacks int
+	numPods  int
+
+	// rate holds the symmetric rack-pair aggregates, keyed canonically
+	// (low rack in the high word). Cells decayed to ~0 are deleted so
+	// the map tracks the active hotspot structure, not history.
+	rate map[uint64]float64
+
+	// Running locality decomposition of the total rate.
+	intraRack float64
+	intraPod  float64
+	crossPod  float64
+}
+
+// NewSummary derives the unit tables from topo and returns an empty
+// summary.
+func NewSummary(topo topology.Topology) *Summary {
+	s := &Summary{rate: make(map[uint64]float64)}
+	hosts := topo.Hosts()
+	for h := 0; h < hosts; h++ {
+		r, p := topo.RackOf(cluster.HostID(h)), topo.PodOf(cluster.HostID(h))
+		if r >= s.numRacks {
+			s.numRacks = r + 1
+		}
+		if p >= s.numPods {
+			s.numPods = p + 1
+		}
+	}
+	if s.numRacks < 1 {
+		s.numRacks = 1
+	}
+	if s.numPods < 1 {
+		s.numPods = 1
+	}
+	s.rackPod = make([]int32, s.numRacks)
+	for h := 0; h < hosts; h++ {
+		s.rackPod[topo.RackOf(cluster.HostID(h))] = int32(topo.PodOf(cluster.HostID(h)))
+	}
+	return s
+}
+
+// Reset drops every aggregate (the full-rebuild path after a changelog
+// overflow or a bulk allocation rewrite).
+func (s *Summary) Reset() {
+	s.rate = make(map[uint64]float64)
+	s.intraRack, s.intraPod, s.crossPod = 0, 0, 0
+}
+
+// PodOfRack resolves a rack's aggregation pod.
+func (s *Summary) PodOfRack(rack int) int {
+	if rack < 0 || rack >= len(s.rackPod) {
+		return 0
+	}
+	return int(s.rackPod[rack])
+}
+
+// Racks and Pods return the topology-wide unit counts the partitioner's
+// contiguous-block mapping runs over.
+func (s *Summary) Racks() int { return s.numRacks }
+
+// Pods returns the pod count.
+func (s *Summary) Pods() int { return s.numPods }
+
+func pairKey(a, b int) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// cellEpsilon is the magnitude below which a decayed rack-pair cell is
+// treated as zero and dropped — floating-point residue from folding an
+// edge in and back out must not keep dead cells (or dead units) alive.
+const cellEpsilon = 1e-9
+
+// AddEdge folds one edge-rate delta into the rack pair (ra, rb). The
+// Controller calls it for every traffic-changelog entry (delta =
+// new − old at the endpoints' current racks) and twice per placement
+// move (− rate at the old rack, + rate at the new one).
+func (s *Summary) AddEdge(ra, rb int, delta float64) {
+	if delta == 0 || math.IsNaN(delta) {
+		return
+	}
+	if ra < 0 || rb < 0 || ra >= s.numRacks || rb >= s.numRacks {
+		return
+	}
+	switch {
+	case ra == rb:
+		s.intraRack += delta
+	case s.PodOfRack(ra) == s.PodOfRack(rb):
+		s.intraPod += delta
+	default:
+		s.crossPod += delta
+	}
+	k := pairKey(ra, rb)
+	if v := s.rate[k] + delta; math.Abs(v) < cellEpsilon {
+		delete(s.rate, k)
+	} else {
+		s.rate[k] = v
+	}
+}
+
+// Total returns the aggregate rate across all rack pairs.
+func (s *Summary) Total() float64 { return s.intraRack + s.intraPod + s.crossPod }
+
+// LocalityShares returns the fractions of the total rate that stay
+// within one rack, cross racks within one pod, and cross pods. A zero
+// total yields all-zero shares.
+func (s *Summary) LocalityShares() (intraRack, intraPod, crossPod float64) {
+	t := s.Total()
+	if t <= 0 {
+		return 0, 0, 0
+	}
+	return s.intraRack / t, s.intraPod / t, s.crossPod / t
+}
+
+// Cells returns the non-zero rack-pair aggregates in deterministic
+// (rack-pair key ascending) order. The deterministic order matters: the
+// planner sums these floats, and the sum must be identical run to run.
+func (s *Summary) Cells() []HotPair {
+	keys := make([]uint64, 0, len(s.rate))
+	for k := range s.rate {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	out := make([]HotPair, len(keys))
+	for i, k := range keys {
+		out[i] = HotPair{RackA: int(k >> 32), RackB: int(uint32(k)), Rate: s.rate[k]}
+	}
+	return out
+}
+
+// HotPairs returns the k highest-rate rack pairs (rate descending, ties
+// by rack-pair key) — the "handful of ToR hotspots" view of the current
+// matrix.
+func (s *Summary) HotPairs(k int) []HotPair {
+	cells := s.Cells()
+	slices.SortStableFunc(cells, func(a, b HotPair) int {
+		switch {
+		case a.Rate > b.Rate:
+			return -1
+		case a.Rate < b.Rate:
+			return 1
+		}
+		return 0
+	})
+	if k > 0 && len(cells) > k {
+		cells = cells[:k]
+	}
+	return cells
+}

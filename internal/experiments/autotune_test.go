@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// TestAutoTuneSweepConvergence is the acceptance criterion for the
+// adaptive control plane: with no fixed shard flags, the auto-tuned run
+// must converge to within 5% of the best fixed shard count's cost
+// reduction on both a pod-local and a cross-pod-heavy workload — whose
+// optima differ — and the adaptive-deadline run under injected delay
+// must regenerate strictly fewer live rings than the fixed-deadline
+// baseline.
+func TestAutoTuneSweepConvergence(t *testing.T) {
+	res, err := AutoTuneSweep(FatTree, ScaleSmall, 20140630, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Render(io.Discard) // rendering must not panic
+
+	finals := map[AutoTuneWorkload]int{}
+	for _, w := range []AutoTuneWorkload{PodLocal, CrossPod} {
+		best, ok := res.BestFixed(w)
+		if !ok || best.Reduction <= 0 {
+			t.Fatalf("%s: no meaningful fixed baseline (best %+v)", w, best)
+		}
+		auto, ok := res.AutoRun(w)
+		if !ok {
+			t.Fatalf("%s: no auto run recorded", w)
+		}
+		if auto.Reduction < 0.95*best.Reduction {
+			t.Fatalf("%s: auto reduction %.2f%% below 95%% of best fixed %.2f%% (fixed-%d)",
+				w, 100*auto.Reduction, 100*best.Reduction, best.Shards)
+		}
+		if len(auto.ChosenShards) == 0 {
+			t.Fatalf("%s: auto run recorded no per-round shard choices", w)
+		}
+		finals[w] = auto.FinalShards()
+	}
+	// The two workloads are constructed to have different optima: the
+	// controller must actually distinguish them.
+	if finals[PodLocal] <= finals[CrossPod] {
+		t.Fatalf("controller did not separate the workloads: pod-local chose %d shards, cross-pod %d",
+			finals[PodLocal], finals[CrossPod])
+	}
+
+	// Deadline policy: under injected delay with no loss, every
+	// regeneration is a false positive the adaptive policy should avoid.
+	if res.FixedRegens == 0 || res.FixedSpurious == 0 {
+		t.Fatalf("fixed-deadline baseline regenerated nothing (regens=%d spurious=%d); comparison vacuous",
+			res.FixedRegens, res.FixedSpurious)
+	}
+	if res.AdaptiveRegens >= res.FixedRegens {
+		t.Fatalf("adaptive deadlines did not reduce regenerations: %d vs fixed %d",
+			res.AdaptiveRegens, res.FixedRegens)
+	}
+	if res.AdaptiveSpurious >= res.FixedSpurious {
+		t.Fatalf("adaptive deadlines did not reduce spurious regenerations: %d vs fixed %d",
+			res.AdaptiveSpurious, res.FixedSpurious)
+	}
+}

@@ -129,4 +129,46 @@
 // bit-identical to the unwrapped one. FaultPlan/FaultTransport provide
 // the deterministic, seeded chaos harness (drop/duplicate/delay
 // schedules, per-type filters, partitions) the suite tests this under.
+//
+// # Adaptive control
+//
+// The reconciler's structural knobs need not be fixed flags; the
+// adaptive control plane (internal/control) derives them from live
+// measurements:
+//
+//   - Shard assignment. ReconcilerConfig.Tuner supersedes the fixed
+//     Shards/Granularity: every RunRound asks the controller — which
+//     folds the traffic matrix's ToR-level hotspot structure
+//     incrementally from its changelog — for the shard count and
+//     granularity whose contiguous-block partition keeps the
+//     cross-shard rate share under a threshold. Pod-local workloads fan
+//     out to one ring per pod; cross-pod-heavy workloads collapse
+//     toward the serial token instead of flooding the reconciliation
+//     queue with proposals. The round's choice is recorded in
+//     RoundReport.Shards/Granularity.
+//
+//   - Adaptive deadlines. ReconcilerConfig.AdaptiveDeadline replaces
+//     the fixed ShardDeadline with per-shard EWMA + k·stddev estimates
+//     of per-hop progress latency, fed from MsgRingAck arrival times
+//     (the fixed value remains the warm-up fallback). A stale-attempt
+//     report — proof that a presumed-lost token was alive — counts a
+//     witnessed-spurious regeneration (RingReport.Spurious) and applies
+//     a multiplicative backoff, so slow-but-alive rings on loaded hosts
+//     stop being regenerated even before accepted samples raise the
+//     estimate; on a healthy fabric the estimate collapses toward the
+//     estimator floor, catching genuinely dead rings orders of
+//     magnitude faster than a conservative fixed deadline. Regeneration
+//     remains behavior-neutral either way: the chaos suite asserts the
+//     fixed- and adaptive-deadline planes produce identical migration
+//     sequences under injected delay, differing only in wasted recovery
+//     work.
+//
+// The merge phase itself is batched: capacity probes are prefetched per
+// distinct target host in one concurrent wave and cached for the phase
+// (sound because the reconciler's own commits are the only capacity
+// mutations during a merge, and each one is folded into the cache), and
+// commits to pairwise-independent moves — disjoint VMs, peer sets and
+// host pairs — are pipelined instead of paying one serial RTT chain
+// each. The batched pass is observably identical to the sequential one;
+// only the message schedule differs.
 package hypervisor

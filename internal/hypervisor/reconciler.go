@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/control"
 	"github.com/score-dc/score/internal/core"
 	"github.com/score-dc/score/internal/shard"
 	"github.com/score-dc/score/internal/token"
@@ -50,6 +51,24 @@ type ReconcilerConfig struct {
 	// MaxAttempts caps regenerations per shard per round; beyond it the
 	// ring is finalized from the reconciler's copy as-is. Zero means 32.
 	MaxAttempts int
+	// Tuner, when set, supersedes Shards and Granularity: every round
+	// asks the adaptive control plane for the current traffic-derived
+	// recommendation and partitions accordingly. Shards/Granularity may
+	// then be left zero.
+	Tuner *control.Controller
+	// AdaptiveDeadline derives each shard's progress deadline from
+	// observed per-hop ack latency (EWMA + k·stddev, see
+	// control.LatencyEstimator) instead of the fixed ShardDeadline,
+	// which remains the warm-up fallback. Slow-but-alive rings stop
+	// being spuriously regenerated — a stale-attempt report proving a
+	// presumed-lost token alive applies a multiplicative backoff — and
+	// on a healthy fabric dead rings are caught near the estimator's
+	// floor instead of the conservative fixed value. Uses Tuner's
+	// estimator when Tuner is set, a standalone one otherwise.
+	AdaptiveDeadline bool
+	// Estimator tunes the adaptive-deadline estimator when
+	// AdaptiveDeadline is set without a Tuner.
+	Estimator control.EstimatorConfig
 }
 
 // RingReport summarizes one shard ring's activity within a round.
@@ -69,6 +88,18 @@ type RingReport struct {
 	// unresponsive. A ring with Regenerated > 0 that still completed is
 	// a recovered ring.
 	Regenerated, Evicted int
+	// Spurious counts regenerations later witnessed unnecessary: a
+	// report from a superseded attempt arrived, proving the
+	// presumed-lost token was alive (merely slow). It is a lower bound
+	// on the false-positive count — a spurious regeneration whose slow
+	// token also got lost leaves no witness.
+	Spurious int
+	// Deadline is the progress deadline the ring ran with — adaptive
+	// when the reconciler runs with AdaptiveDeadline, the fixed
+	// configuration value otherwise. Under adaptation it is sampled at
+	// injection and again at each deadline check, so the reported value
+	// is the last one used.
+	Deadline time.Duration
 }
 
 // RoundReport summarizes one distributed partition → rings →
@@ -94,6 +125,14 @@ type RoundReport struct {
 	// round (their VMs' staged moves were discarded at merge time).
 	Regenerated, Recovered int
 	Evicted                []cluster.HostID
+	// SpuriousRegens sums the rings' witnessed-unnecessary
+	// regenerations (see RingReport.Spurious).
+	SpuriousRegens int
+	// Shards and Granularity record the partition this round ran with —
+	// the tuner's recommendation under auto-tuning, the fixed
+	// configuration otherwise.
+	Shards      int
+	Granularity shard.Granularity
 }
 
 // ringEvent is one MsgRingDone or MsgRingAck arrival.
@@ -120,6 +159,12 @@ type Reconciler struct {
 	events chan ringEvent
 
 	round uint32
+	// est is the adaptive-deadline estimator (nil when disabled);
+	// lastShards/lastGran detect partition-shape changes that invalidate
+	// per-shard estimates.
+	est        *control.LatencyEstimator
+	lastShards int
+	lastGran   shard.Granularity
 }
 
 // NewReconciler validates the configuration; call Start with a transport
@@ -128,11 +173,13 @@ func NewReconciler(cfg ReconcilerConfig, reg *Registry) (*Reconciler, error) {
 	if cfg.Topo == nil || reg == nil {
 		return nil, fmt.Errorf("hypervisor: nil dependency")
 	}
-	if cfg.Shards < 1 {
-		return nil, fmt.Errorf("hypervisor: shard count %d must be positive", cfg.Shards)
-	}
-	if cfg.Granularity != shard.ByPod && cfg.Granularity != shard.ByRack {
-		return nil, fmt.Errorf("hypervisor: unknown granularity %v", cfg.Granularity)
+	if cfg.Tuner == nil {
+		if cfg.Shards < 1 {
+			return nil, fmt.Errorf("hypervisor: shard count %d must be positive", cfg.Shards)
+		}
+		if cfg.Granularity != shard.ByPod && cfg.Granularity != shard.ByRack {
+			return nil, fmt.Errorf("hypervisor: unknown granularity %v", cfg.Granularity)
+		}
 	}
 	if cfg.ProbeTimeout <= 0 {
 		cfg.ProbeTimeout = 2 * time.Second
@@ -149,7 +196,25 @@ func NewReconciler(cfg ReconcilerConfig, reg *Registry) (*Reconciler, error) {
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 32
 	}
-	return &Reconciler{cfg: cfg, reg: reg, events: make(chan ringEvent, 4096)}, nil
+	r := &Reconciler{cfg: cfg, reg: reg, events: make(chan ringEvent, 4096)}
+	if cfg.AdaptiveDeadline {
+		if cfg.Tuner != nil {
+			r.est = cfg.Tuner.Latency()
+		} else {
+			r.est = control.NewLatencyEstimator(cfg.Estimator)
+		}
+	}
+	return r, nil
+}
+
+// shardDeadline resolves shard s's current progress deadline: the
+// adaptive estimate when enabled (with the fixed ShardDeadline as the
+// warm-up fallback), the fixed value otherwise.
+func (r *Reconciler) shardDeadline(s int) time.Duration {
+	if r.est == nil {
+		return r.cfg.ShardDeadline
+	}
+	return r.est.Deadline(s, r.cfg.ShardDeadline)
 }
 
 // Start binds the reconciler to a transport created by mk.
@@ -192,13 +257,110 @@ func (r *Reconciler) handle(from string, m Message) {
 
 // reconcileEnv backs the shared reconciliation pass with the distributed
 // plane: locations resolve through the registry (authoritative, updated
-// synchronously by every executed migration), capacity through live
-// probes, and Apply through the commit protocol. Calls are sequential,
-// so probes always observe the state left by the previous apply.
+// synchronously by every executed migration), capacity through probes,
+// and Apply through the commit protocol. It implements shard.BatchEnv:
+// capacity responses are cached for the merge phase — sound because
+// during the merge the reconciler's own commits are the only capacity
+// mutations, and the cache folds each one — so grouped prefetch probes
+// replace one round trip per re-validated move, and commits to
+// pairwise-independent decisions are pipelined by ApplyAll. Sequential
+// calls observe the state left by the previous apply, exactly as the
+// unbatched env did.
 type reconcileEnv struct {
 	r     *Reconciler
 	rates map[cluster.VMID][]traffic.Edge
 	ram   map[cluster.VMID]int32
+
+	capMu sync.Mutex
+	caps  map[cluster.HostID]*hostCap
+}
+
+// hostCap is one probed host's remaining capacity, adjusted by every
+// commit the merge phase lands. ok is false when the probe failed (dead
+// or unregistered host) — Admissible then answers false without
+// re-paying the probe timeout.
+type hostCap struct {
+	ok         bool
+	slots, ram int32
+}
+
+// capacity returns the host's cache entry, probing once on a miss.
+func (e *reconcileEnv) capacity(h cluster.HostID) *hostCap {
+	e.capMu.Lock()
+	if c, ok := e.caps[h]; ok {
+		e.capMu.Unlock()
+		return c
+	}
+	e.capMu.Unlock()
+	c := &hostCap{}
+	if addr, ok := e.r.reg.HostAddr(h); ok {
+		if resp, err := e.r.rq.request(addr, Message{Type: MsgCapacityReq}); err == nil {
+			c.ok, c.slots, c.ram = true, resp.FreeSlots, resp.FreeRAMMB
+		}
+	}
+	e.capMu.Lock()
+	if prev, ok := e.caps[h]; ok {
+		c = prev // a concurrent prefetch won the race; keep its ledger
+	} else {
+		e.caps[h] = c
+	}
+	e.capMu.Unlock()
+	return c
+}
+
+// Prefetch implements shard.BatchEnv: one concurrent probe wave warms
+// the cache for every listed host, overlapping the round trips (and the
+// probe timeouts of dead hosts) that the sequential path would serialize.
+func (e *reconcileEnv) Prefetch(targets []cluster.HostID) {
+	var wg sync.WaitGroup
+	for _, h := range targets {
+		e.capMu.Lock()
+		_, warm := e.caps[h]
+		e.capMu.Unlock()
+		if warm {
+			continue
+		}
+		wg.Add(1)
+		go func(h cluster.HostID) {
+			defer wg.Done()
+			e.capacity(h)
+		}(h)
+	}
+	wg.Wait()
+}
+
+// Peers implements shard.BatchEnv from the staged moves' carried rate
+// tables.
+func (e *reconcileEnv) Peers(vm cluster.VMID) []cluster.VMID {
+	edges := e.rates[vm]
+	out := make([]cluster.VMID, len(edges))
+	for i, ed := range edges {
+		out[i] = ed.Peer
+	}
+	return out
+}
+
+// ApplyAll implements shard.BatchEnv: the decisions are pairwise
+// independent (the shared pass guarantees it), so their commit round
+// trips — source dom0 commit, VM transfer, acks — overlap instead of
+// paying one serial RTT chain each.
+func (e *reconcileEnv) ApplyAll(ds []core.Decision) ([]float64, []error) {
+	realized := make([]float64, len(ds))
+	errs := make([]error, len(ds))
+	if len(ds) == 1 {
+		realized[0], errs[0] = e.Apply(ds[0])
+		return realized, errs
+	}
+	var wg sync.WaitGroup
+	for i := range ds {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			realized[i], errs[i] = e.Apply(ds[i])
+		}(i)
+	}
+	wg.Wait()
+	return realized, errs
 }
 
 func (e *reconcileEnv) HostOf(vm cluster.VMID) cluster.HostID {
@@ -232,19 +394,37 @@ func (e *reconcileEnv) Delta(vm cluster.VMID, target cluster.HostID) float64 {
 }
 
 func (e *reconcileEnv) Admissible(vm cluster.VMID, target cluster.HostID) bool {
-	addr, ok := e.r.reg.HostAddr(target)
-	if !ok {
-		return false
+	c := e.capacity(target)
+	e.capMu.Lock()
+	defer e.capMu.Unlock()
+	return c.ok && c.slots >= 1 && c.ram >= e.ram[vm]
+}
+
+// applyCap folds one landed commit into the capacity ledger; a failed
+// commit instead invalidates both endpoints (the true state is unknown
+// — e.g. retries exhausted after the transfer landed), forcing a fresh
+// probe on the next touch.
+func (e *reconcileEnv) applyCap(vm cluster.VMID, from, to cluster.HostID, landed bool) {
+	e.capMu.Lock()
+	defer e.capMu.Unlock()
+	if !landed {
+		delete(e.caps, from)
+		delete(e.caps, to)
+		return
 	}
-	resp, err := e.r.rq.request(addr, Message{Type: MsgCapacityReq, VM: vm, RAMMB: e.ram[vm]})
-	if err != nil {
-		return false
+	if c, ok := e.caps[to]; ok && c.ok {
+		c.slots--
+		c.ram -= e.ram[vm]
 	}
-	return resp.FreeSlots >= 1 && resp.FreeRAMMB >= e.ram[vm]
+	if c, ok := e.caps[from]; ok && c.ok {
+		c.slots++
+		c.ram += e.ram[vm]
+	}
 }
 
 func (e *reconcileEnv) Apply(d core.Decision) (float64, error) {
 	realized := e.Delta(d.VM, d.Target)
+	from := e.HostOf(d.VM)
 	srcAddr, ok := e.r.reg.Lookup(d.VM)
 	if !ok {
 		return 0, fmt.Errorf("hypervisor: VM %d has no registered dom0", d.VM)
@@ -259,13 +439,19 @@ func (e *reconcileEnv) Apply(d core.Decision) (float64, error) {
 		Type: MsgReconcileCommit, VM: d.VM, Host: d.Target, Payload: []byte(tgtAddr),
 	}, commitAttempts)
 	if err != nil {
+		e.applyCap(d.VM, from, d.Target, false)
 		return 0, err
 	}
 	if resp.FreeSlots != 1 {
+		e.applyCap(d.VM, from, d.Target, false)
 		return 0, fmt.Errorf("hypervisor: dom0 %s refused commit of VM %d", srcAddr, d.VM)
 	}
+	e.applyCap(d.VM, from, d.Target, true)
 	return realized, nil
 }
+
+// Interface compliance: the distributed env takes the batched pass.
+var _ shard.BatchEnv = (*reconcileEnv)(nil)
 
 // decisionsOf converts staged moves to the shared reconcile currency.
 func decisionsOf(ms []StagedMove) []core.Decision {
@@ -346,6 +532,14 @@ type shardTrack struct {
 	regenHops int32
 	stuck     int
 	done      bool
+	// staleSeen marks superseded attempts a report arrived from — each
+	// is one witnessed-spurious regeneration, counted once.
+	staleSeen map[uint32]bool
+	// sinceRegen marks that the next accepted progress interval starts
+	// at a re-injection, not at an accepted ack: it measures the
+	// regeneration gap plus the holder draining superseded forks, not
+	// per-hop latency, and must not be fed to the estimator.
+	sinceRegen bool
 }
 
 // roundState carries one RunRound's collection across helpers.
@@ -451,17 +645,66 @@ func (r *Reconciler) regenerate(c *roundState, s int) error {
 		tk.next = resume
 		tk.regenHops = st.Hops
 		tk.lastProgress = time.Now()
+		tk.sinceRegen = true
 		return nil
 	}
 }
 
+// observeProgress feeds the adaptive-deadline estimator one accepted
+// progress report: the interval since the shard's previous accepted
+// progress, divided by the hops it spans.
+func (r *Reconciler) observeProgress(s int, tk *shardTrack, st *RingState, at time.Time) {
+	if r.est == nil {
+		return
+	}
+	if tk.sinceRegen {
+		// The interval since the re-injection conflates the regeneration
+		// gap and the fork-queue drain; folding it would teach the
+		// estimator the recovery path's own latency and stall the next
+		// detection. Resume sampling from the next ack-to-ack interval.
+		tk.sinceRegen = false
+		return
+	}
+	hops := st.Hops - tk.st.Hops
+	if hops <= 0 {
+		return
+	}
+	r.est.Observe(s, at.Sub(tk.lastProgress)/time.Duration(hops))
+}
+
+// witnessStale records a report from a superseded attempt — proof the
+// regeneration that superseded it was unnecessary. Each stale attempt
+// counts once, and the estimator backs off multiplicatively so the next
+// deadline clears the ring's true progress latency even before enough
+// accepted samples raise the EWMA.
+func (r *Reconciler) witnessStale(c *roundState, s int, tk *shardTrack, attempt uint32) {
+	if attempt >= tk.attempt || tk.staleSeen[attempt] {
+		return
+	}
+	if tk.staleSeen == nil {
+		tk.staleSeen = make(map[uint32]bool)
+	}
+	tk.staleSeen[attempt] = true
+	c.reports[s].Spurious++
+	if r.est != nil {
+		r.est.Penalize(s)
+	}
+}
+
 // collect waits for every injected ring to complete, regenerating rings
-// that miss the shard deadline. Acks advance each shard's copy
-// monotonically (a duplicated token forks the state; only the
-// furthest-advanced fork is kept, and only one completion is accepted).
+// that miss their shard deadline — fixed, or per-shard adaptive when the
+// estimator is on. Acks advance each shard's copy monotonically (a
+// duplicated token forks the state; only the furthest-advanced fork is
+// kept, and only one completion is accepted).
 func (r *Reconciler) collect(c *roundState) error {
 	timeout := r.roundTimeoutCh()
-	tickEvery := r.cfg.ShardDeadline / 4
+	tickBase := r.cfg.ShardDeadline
+	if r.est != nil {
+		if m := r.est.Config().Min; m < tickBase {
+			tickBase = m
+		}
+	}
+	tickEvery := tickBase / 4
 	if tickEvery < time.Millisecond {
 		tickEvery = time.Millisecond
 	}
@@ -478,19 +721,35 @@ func (r *Reconciler) collect(c *roundState) error {
 				continue
 			}
 			tk := c.tracks[s]
-			if tk.done || ev.st.Attempt != tk.attempt {
-				continue // stale attempt: a regenerated ring superseded it
+			if tk.done {
+				continue
+			}
+			if ev.st.Attempt != tk.attempt {
+				// Stale attempt: a regenerated ring superseded it — and
+				// its arrival proves that token was alive, not lost.
+				r.witnessStale(c, s, tk, ev.st.Attempt)
+				continue
 			}
 			if ev.done {
+				r.observeProgress(s, tk, ev.st, ev.at)
 				c.finalize(s, ev.st, ev.at)
+				if r.est != nil && c.reports[s].Regenerated == 0 {
+					r.est.Relax(s)
+				}
 			} else if ev.st.Hops > tk.st.Hops {
+				r.observeProgress(s, tk, ev.st, ev.at)
 				tk.st = ev.st
 				tk.next = ev.next
 				tk.lastProgress = ev.at
 			}
 		case now := <-ticker.C:
 			for s, tk := range c.tracks {
-				if tk == nil || tk.done || now.Sub(tk.lastProgress) < r.cfg.ShardDeadline {
+				if tk == nil || tk.done {
+					continue
+				}
+				dl := r.shardDeadline(s)
+				c.reports[s].Deadline = dl
+				if now.Sub(tk.lastProgress) < dl {
 					continue
 				}
 				if err := r.regenerate(c, s); err != nil {
@@ -512,13 +771,26 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 	roundID := r.round
 
 	// 1. Partition the registry's current allocation, reusing the
-	// in-process plane's topology-aligned partitioner.
+	// in-process plane's topology-aligned partitioner. Under
+	// auto-tuning the shard count and granularity come from the control
+	// plane's traffic-derived recommendation instead of the fixed
+	// configuration.
 	hostIDs := r.reg.HostList()
 	if len(hostIDs) == 0 {
 		return nil, fmt.Errorf("hypervisor: no agents registered")
 	}
+	shards, gran := r.cfg.Shards, r.cfg.Granularity
+	if r.cfg.Tuner != nil {
+		shards, gran = r.cfg.Tuner.Plan()
+		if shards < 1 {
+			shards = 1
+		}
+		if gran != shard.ByPod && gran != shard.ByRack {
+			gran = shard.ByPod
+		}
+	}
 	hosts := int(hostIDs[len(hostIDs)-1]) + 1
-	part, err := shard.NewHostPartition(r.cfg.Topo, hosts, r.cfg.Granularity, r.cfg.Shards)
+	part, err := shard.NewHostPartition(r.cfg.Topo, hosts, gran, shards)
 	if err != nil {
 		return nil, err
 	}
@@ -528,6 +800,14 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 		}
 	}
 	n := part.Shards()
+	// A changed shard count or granularity re-constitutes the rings;
+	// per-shard latency estimates from the old shape no longer apply.
+	if r.est != nil && (n != r.lastShards || gran != r.lastGran) {
+		if r.lastShards != 0 {
+			r.est.Reset()
+		}
+		r.lastShards, r.lastGran = n, gran
+	}
 
 	// 2. Push the round's shard assignment to every agent. A host that
 	// does not ack within the probe timeout is evicted for the round —
@@ -593,7 +873,7 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 		evicted:  dead,
 	}
 	for s := 0; s < n; s++ {
-		c.reports[s] = RingReport{Shard: s, VMs: len(lists[s])}
+		c.reports[s] = RingReport{Shard: s, VMs: len(lists[s]), Deadline: r.shardDeadline(s)}
 		first, ok := rings[s].Inject()
 		if !ok {
 			continue // empty shard: no ring this round
@@ -624,6 +904,7 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 		r:     r,
 		rates: make(map[cluster.VMID][]traffic.Edge),
 		ram:   make(map[cluster.VMID]int32),
+		caps:  make(map[cluster.HostID]*hostCap),
 	}
 	for _, st := range states {
 		if st == nil {
@@ -638,7 +919,7 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 		}
 	}
 
-	rep := &RoundReport{Round: roundID, Rings: reports}
+	rep := &RoundReport{Round: roundID, Rings: reports, Shards: n, Granularity: gran}
 	for h := range c.evicted {
 		rep.Evicted = append(rep.Evicted, h)
 	}
@@ -651,6 +932,7 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 			rep.RingHops = reports[s].Hops
 		}
 		rep.Regenerated += reports[s].Regenerated
+		rep.SpuriousRegens += reports[s].Spurious
 		if reports[s].Regenerated > 0 && states[s] != nil {
 			rep.Recovered++
 		}

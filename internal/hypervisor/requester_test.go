@@ -192,4 +192,3 @@ func TestRequesterDuplicateResponseDropped(t *testing.T) {
 		t.Fatalf("%d pending entries leaked", n)
 	}
 }
-

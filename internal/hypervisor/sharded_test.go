@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/control"
 	"github.com/score-dc/score/internal/core"
 	"github.com/score-dc/score/internal/shard"
 	"github.com/score-dc/score/internal/token"
@@ -102,6 +103,9 @@ type shardPlane struct {
 	agents []*Agent
 	rec    *Reconciler
 	eng    *core.Engine
+	// tcps collects the raw TCP transports of a planeOpts.tcp plane, for
+	// pool statistics.
+	tcps []*TCPTransport
 }
 
 // finalPlacement reads VM→host off the agents.
@@ -124,8 +128,12 @@ type planeOpts struct {
 	shardDeadline time.Duration
 	evictAttempts int
 	// tcp runs every endpoint on a real loopback TCPTransport instead
-	// of the in-memory hub.
-	tcp bool
+	// of the in-memory hub; tcpCfg tunes its pool.
+	tcp    bool
+	tcpCfg TCPConfig
+	// adaptive derives per-shard deadlines from observed ack latency.
+	adaptive bool
+	estCfg   control.EstimatorConfig
 }
 
 // buildShardPlane assembles a fat-tree instance with hotspot traffic and
@@ -180,7 +188,11 @@ func buildShardPlaneOpts(t testing.TB, k int, seed int64, scale float64, shards 
 			var tr Transport
 			var err error
 			if o.tcp {
-				tr, err = NewTCPTransport("127.0.0.1:0", h)
+				tcp, terr := NewTCPTransportConfig("127.0.0.1:0", h, o.tcpCfg)
+				if terr == nil {
+					p.tcps = append(p.tcps, tcp)
+				}
+				tr, err = tcp, terr
 			} else {
 				tr, err = hub.NewEndpoint(addr, h)
 			}
@@ -217,9 +229,11 @@ func buildShardPlaneOpts(t testing.TB, k int, seed int64, scale float64, shards 
 	if shards > 0 {
 		rec, err := NewReconciler(ReconcilerConfig{
 			Topo: topo, Cost: cm, Shards: shards, Granularity: shard.ByPod,
-			ProbeTimeout:  o.probeTimeout,
-			ShardDeadline: o.shardDeadline,
-			EvictAttempts: o.evictAttempts,
+			ProbeTimeout:     o.probeTimeout,
+			ShardDeadline:    o.shardDeadline,
+			EvictAttempts:    o.evictAttempts,
+			AdaptiveDeadline: o.adaptive,
+			Estimator:        o.estCfg,
 		}, p.reg)
 		if err != nil {
 			t.Fatal(err)

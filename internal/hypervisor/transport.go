@@ -6,10 +6,13 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Handler consumes inbound messages; from is the sender's address when
-// known (TCP peers dial fresh connections, so from is informational).
+// known (TCP connections are pooled per peer, so from identifies the
+// remote socket, not a stable agent address).
 type Handler func(from string, m Message)
 
 // Transport delivers protocol messages between dom0 agents.
@@ -129,26 +132,92 @@ func (ep *memEndpoint) Close() error {
 	return nil
 }
 
+// TCPConfig tunes a TCPTransport's connection pool.
+type TCPConfig struct {
+	// MaxIdlePerHost bounds the idle connections retained per target
+	// address; connections returned beyond it are closed. Default 2.
+	// Concurrency is never limited — simultaneous Sends to one target
+	// each get their own connection (pooled or freshly dialed); the cap
+	// only governs what is kept warm afterwards.
+	MaxIdlePerHost int
+	// IdleTimeout closes pooled connections unused for this long.
+	// Default 30s.
+	IdleTimeout time.Duration
+	// DisablePool restores the historical dial-per-send behavior (one
+	// dial, one frame, close) — the baseline the soak measures pooling
+	// against.
+	DisablePool bool
+}
+
+func withTCPDefaults(c TCPConfig) TCPConfig {
+	if c.MaxIdlePerHost <= 0 {
+		c.MaxIdlePerHost = 2
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// TCPStats counts a transport's send-path work: Sends is every frame
+// written, Dials the connections established for them, Reused the sends
+// that rode an existing pooled connection. Sends − Dials is the dial
+// overhead saved versus the dial-per-send baseline.
+type TCPStats struct {
+	Sends, Dials, Reused int64
+}
+
+// pooledConn is one idle outbound connection with its park time.
+type pooledConn struct {
+	c    net.Conn
+	last time.Time
+}
+
 // TCPTransport is a real-socket endpoint: a listener accepts framed
 // messages (the paper's "token listening server runs on a known port in
-// dom0"), and Send dials the peer and writes one frame.
+// dom0"), and Send writes one frame over a pooled connection to the
+// peer — dialing only when no warm connection is available — instead of
+// paying a TCP handshake per message. Idle connections are closed by a
+// janitor after IdleTimeout.
 type TCPTransport struct {
 	ln      net.Listener
 	handler Handler
+	cfg     TCPConfig
 	wg      sync.WaitGroup
-	mu      sync.Mutex
-	closed  bool
+	done    chan struct{}
+
+	mu       sync.Mutex
+	closed   bool
+	idle     map[string][]pooledConn
+	accepted map[net.Conn]struct{}
+
+	sends, dials, reused atomic.Int64
 }
 
-// NewTCPTransport listens on addr ("host:port", empty port picks one).
+// NewTCPTransport listens on addr ("host:port", empty port picks one)
+// with the default pool configuration.
 func NewTCPTransport(addr string, handler Handler) (*TCPTransport, error) {
+	return NewTCPTransportConfig(addr, handler, TCPConfig{})
+}
+
+// NewTCPTransportConfig is NewTCPTransport with explicit pool tuning.
+func NewTCPTransportConfig(addr string, handler Handler, cfg TCPConfig) (*TCPTransport, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("hypervisor: listen %s: %w", addr, err)
 	}
-	t := &TCPTransport{ln: ln, handler: handler}
+	t := &TCPTransport{
+		ln: ln, handler: handler, cfg: withTCPDefaults(cfg),
+		done:     make(chan struct{}),
+		idle:     make(map[string][]pooledConn),
+		accepted: make(map[net.Conn]struct{}),
+	}
 	t.wg.Add(1)
 	go t.acceptLoop()
+	if !t.cfg.DisablePool {
+		t.wg.Add(1)
+		go t.janitor()
+	}
 	return t, nil
 }
 
@@ -169,6 +238,21 @@ func (t *TCPTransport) acceptLoop() {
 }
 
 func (t *TCPTransport) serve(conn net.Conn) {
+	t.mu.Lock()
+	if t.closed {
+		// Raced Close(): its snapshot missed this connection, so it is
+		// ours to release.
+		t.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	t.accepted[conn] = struct{}{}
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
 	for {
 		m, err := readFrame(conn)
 		if err != nil {
@@ -176,6 +260,122 @@ func (t *TCPTransport) serve(conn net.Conn) {
 		}
 		t.handler(conn.RemoteAddr().String(), m)
 	}
+}
+
+// janitor closes pooled connections idle past the timeout.
+func (t *TCPTransport) janitor() {
+	defer t.wg.Done()
+	tick := t.cfg.IdleTimeout / 2
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case now := <-ticker.C:
+			var stale []net.Conn
+			t.mu.Lock()
+			for addr, conns := range t.idle {
+				keep := conns[:0]
+				for _, pc := range conns {
+					if now.Sub(pc.last) >= t.cfg.IdleTimeout {
+						stale = append(stale, pc.c)
+					} else {
+						keep = append(keep, pc)
+					}
+				}
+				if len(keep) == 0 {
+					delete(t.idle, addr)
+				} else {
+					t.idle[addr] = keep
+				}
+			}
+			t.mu.Unlock()
+			for _, c := range stale {
+				_ = c.Close()
+			}
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// connAliveProbe bounds the liveness read on a parked connection. It
+// must lie in the FUTURE: an already-expired deadline makes the runtime
+// fail the Read before even attempting the socket, so a queued FIN
+// would go unseen. Any future deadline suffices for detection — the
+// runtime issues one non-blocking read first, which surfaces queued
+// EOF/RST immediately — so the value only prices the empty-socket wait
+// a healthy checkout pays, and is kept far below a dial's cost.
+const connAliveProbe = 10 * time.Microsecond
+
+// connAlive reports whether a parked connection is still usable. Peers
+// never send unsolicited data on these one-way frame connections, so a
+// short-deadline read either times out (alive), or surfaces the EOF/RST
+// a crashed or closed peer already queued — restoring the immediate
+// crash detection the dial-per-send transport had: a write into a
+// half-open socket would "succeed" locally and silently lose the frame,
+// and worse, hide the send error the reconciler's eviction fast path
+// keys on. (A peer dead without a FIN/RST — power loss, partition — is
+// still invisible here; the protocol's deadlines own that case.)
+func connAlive(c net.Conn) bool {
+	if err := c.SetReadDeadline(time.Now().Add(connAliveProbe)); err != nil {
+		return false
+	}
+	var b [1]byte
+	_, err := c.Read(b[:])
+	if err == nil {
+		return false // unsolicited inbound bytes: protocol confusion, drop it
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return c.SetReadDeadline(time.Time{}) == nil
+	}
+	return false
+}
+
+// getConn pops a warm, still-alive connection to addr or dials a fresh
+// one; fresh reports which.
+func (t *TCPTransport) getConn(addr string) (c net.Conn, fresh bool, err error) {
+	for {
+		t.mu.Lock()
+		conns := t.idle[addr]
+		if len(conns) == 0 {
+			t.mu.Unlock()
+			break
+		}
+		pc := conns[len(conns)-1]
+		t.idle[addr] = conns[:len(conns)-1]
+		t.mu.Unlock()
+		if connAlive(pc.c) {
+			return pc.c, false, nil
+		}
+		_ = pc.c.Close()
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, true, fmt.Errorf("hypervisor: dial %s: %w", addr, err)
+	}
+	t.dials.Add(1)
+	return conn, true, nil
+}
+
+// putConn parks a connection for reuse, closing it when the transport is
+// shut down or the per-target idle cap is reached.
+func (t *TCPTransport) putConn(addr string, c net.Conn) {
+	t.mu.Lock()
+	if t.closed || len(t.idle[addr]) >= t.cfg.MaxIdlePerHost {
+		t.mu.Unlock()
+		_ = c.Close()
+		return
+	}
+	t.idle[addr] = append(t.idle[addr], pooledConn{c: c, last: time.Now()})
+	t.mu.Unlock()
+}
+
+// Stats snapshots the send-path counters.
+func (t *TCPTransport) Stats() TCPStats {
+	return TCPStats{Sends: t.sends.Load(), Dials: t.dials.Load(), Reused: t.reused.Load()}
 }
 
 // Addr implements Transport.
@@ -188,26 +388,56 @@ func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
 // RingState blob stops reallocating as staged moves accumulate.
 var frameBufs = sync.Pool{New: func() any { return new([]byte) }}
 
-// Send implements Transport. Each call dials the peer, writes one
-// length-prefixed frame and closes — the simple, stateless pattern the
-// paper's dom0-to-dom0 messages use.
+// Send implements Transport: one length-prefixed frame over a pooled
+// connection, dialed on demand. A write error on a reused connection
+// (the peer may have closed it while parked) retries once over a fresh
+// dial; a fresh connection's write error is final. With DisablePool the
+// historical dial-per-send path runs instead.
 func (t *TCPTransport) Send(to string, m Message) error {
-	conn, err := net.Dial("tcp", to)
-	if err != nil {
-		return fmt.Errorf("hypervisor: dial %s: %w", to, err)
-	}
-	defer conn.Close()
+	t.sends.Add(1)
 	bp := frameBufs.Get().(*[]byte)
 	defer frameBufs.Put(bp)
 	buf := (*bp)[:0]
 	buf = binary.BigEndian.AppendUint32(buf, uint32(m.EncodedSize()))
 	buf = m.AppendEncode(buf)
 	*bp = buf
-	_, err = conn.Write(buf)
-	return err
+
+	if t.cfg.DisablePool {
+		conn, err := net.Dial("tcp", to)
+		if err != nil {
+			return fmt.Errorf("hypervisor: dial %s: %w", to, err)
+		}
+		t.dials.Add(1)
+		defer conn.Close()
+		_, err = conn.Write(buf)
+		return err
+	}
+
+	for {
+		conn, fresh, err := t.getConn(to)
+		if err != nil {
+			return err
+		}
+		if _, err := conn.Write(buf); err != nil {
+			_ = conn.Close()
+			if fresh {
+				return err
+			}
+			continue // stale pooled connection: retry over a fresh dial
+		}
+		if !fresh {
+			// Count reuse only for sends that actually rode a pooled
+			// connection — a stale pop whose write failed is not reuse.
+			t.reused.Add(1)
+		}
+		t.putConn(to, conn)
+		return nil
+	}
 }
 
-// Close implements Transport.
+// Close implements Transport: it stops the listener and janitor, closes
+// every pooled and accepted connection, and waits for the handler
+// goroutines to drain.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -215,8 +445,22 @@ func (t *TCPTransport) Close() error {
 		return nil
 	}
 	t.closed = true
+	var conns []net.Conn
+	for _, pcs := range t.idle {
+		for _, pc := range pcs {
+			conns = append(conns, pc.c)
+		}
+	}
+	t.idle = map[string][]pooledConn{}
+	for c := range t.accepted {
+		conns = append(conns, c)
+	}
 	t.mu.Unlock()
+	close(t.done)
 	err := t.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
 	t.wg.Wait()
 	return err
 }

@@ -8,6 +8,15 @@ import (
 	"github.com/score-dc/score/internal/token"
 )
 
+// Tuner supplies a per-round shard count and granularity derived from
+// live measurements — the adaptive control plane's hook into both
+// schedulers (implemented by control.Controller). Plan is called once
+// at the start of every round; when its answer changes, the scheduler
+// re-partitions before running the round's rings.
+type Tuner interface {
+	Plan() (shards int, g Granularity)
+}
+
 // Config tunes a sharded token scheduler.
 type Config struct {
 	// Shards is the number of concurrent token rings (clamped to the
@@ -21,6 +30,11 @@ type Config struct {
 	Shards int
 	// Granularity aligns shard boundaries to pods (default) or racks.
 	Granularity Granularity
+	// Tuner, when set, supersedes Shards and Granularity: every round
+	// starts by asking it for the current recommendation and
+	// re-partitions when the answer changed. Shards/Granularity may then
+	// be left zero.
+	Tuner Tuner
 	// Workers bounds the worker pool; 0 means GOMAXPROCS.
 	Workers int
 	// NewPolicy builds shard s's token-forwarding policy. It is invoked
@@ -69,6 +83,10 @@ type Round struct {
 	// RingHops is the longest ring's hop count — the round's wall-clock
 	// extent when rings run concurrently. TotalHops sums all rings.
 	RingHops, TotalHops int
+	// Granularity is the shard alignment this round ran with — the
+	// tuner's choice under auto-tuning, the fixed configuration
+	// otherwise. len(Shards) is the effective ring count.
+	Granularity Granularity
 }
 
 // Result aggregates a Run.
@@ -98,6 +116,12 @@ type Coordinator struct {
 	// lazily rebuilt by the next round.
 	part   *Partition
 	detach func()
+
+	// curShards/curGran are the parameters the live partition was built
+	// with — cfg values for a fixed coordinator, the tuner's latest
+	// adopted recommendation otherwise.
+	curShards int
+	curGran   Granularity
 }
 
 // NewCoordinator validates the configuration and binds it to an engine.
@@ -107,16 +131,18 @@ func NewCoordinator(eng *core.Engine, cfg Config) (*Coordinator, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("shard: nil engine")
 	}
-	if cfg.Shards < 1 {
-		return nil, fmt.Errorf("shard: shard count %d must be positive", cfg.Shards)
-	}
-	if cfg.Granularity != ByPod && cfg.Granularity != ByRack {
-		return nil, fmt.Errorf("shard: unknown granularity %v", cfg.Granularity)
+	if cfg.Tuner == nil {
+		if cfg.Shards < 1 {
+			return nil, fmt.Errorf("shard: shard count %d must be positive", cfg.Shards)
+		}
+		if cfg.Granularity != ByPod && cfg.Granularity != ByRack {
+			return nil, fmt.Errorf("shard: unknown granularity %v", cfg.Granularity)
+		}
 	}
 	if cfg.NewPolicy == nil {
 		cfg.NewPolicy = func(int) token.Policy { return token.HighestLevelFirst{} }
 	}
-	c := &Coordinator{eng: eng, cfg: cfg, pool: NewPool(cfg.Workers)}
+	c := &Coordinator{eng: eng, cfg: cfg, pool: NewPool(cfg.Workers), curShards: cfg.Shards, curGran: cfg.Granularity}
 	c.detach = eng.Cluster().Observe(c.onAllocChange, c.onAllocReset)
 	return c, nil
 }
@@ -151,11 +177,28 @@ func (c *Coordinator) Close() {
 	c.part = nil
 }
 
-// partition returns the live partition, building it on first use or
-// after a reset.
+// partition returns the live partition, building it on first use, after
+// a reset, or after the tuner's recommendation changed. The tuner is
+// consulted once per round (here): an unchanged recommendation keeps the
+// incrementally maintained partition; a changed one drops it and pays a
+// single rebuild at the new shape, after which incremental maintenance
+// resumes.
 func (c *Coordinator) partition() (*Partition, error) {
+	if c.cfg.Tuner != nil {
+		shards, g := c.cfg.Tuner.Plan()
+		if shards < 1 {
+			shards = 1
+		}
+		if g != ByPod && g != ByRack {
+			g = ByPod
+		}
+		if shards != c.curShards || g != c.curGran || c.part == nil {
+			c.curShards, c.curGran = shards, g
+			c.part = nil
+		}
+	}
 	if c.part == nil {
-		part, err := NewPartition(c.eng.Topology(), c.eng.Cluster(), c.cfg.Granularity, c.cfg.Shards)
+		part, err := NewPartition(c.eng.Topology(), c.eng.Cluster(), c.curGran, c.curShards)
 		if err != nil {
 			return nil, err
 		}
@@ -195,7 +238,7 @@ func (c *Coordinator) RunRound() (*Round, error) {
 		outcomes[s] = c.ringPass(s, part, views[s], policies[s])
 	})
 
-	round := &Round{Shards: make([]ShardRound, 0, n)}
+	round := &Round{Shards: make([]ShardRound, 0, n), Granularity: c.curGran}
 	cm := c.eng.Config().MigrationCost
 	env := EngineEnv(c.eng)
 	var proposals []core.Decision

@@ -66,6 +66,91 @@ func OrderProposals(ps []core.Decision) {
 	})
 }
 
+// BatchEnv optionally extends Env for planes where re-validation and
+// apply cost wire round trips (the distributed reconciler). The shared
+// merge/reconcile passes use it to cut the serial tail: Prefetch warms
+// capacity state for every probed target in one concurrent wave, and
+// ApplyAll pipelines commits to pairwise-independent decisions. The
+// batched path is observably identical to the sequential one — same
+// decisions, same floats, same order — because only decisions whose
+// Delta, Admissible, HostOf and Apply provably cannot influence each
+// other (disjoint VMs, peer sets and host pairs) share a window.
+type BatchEnv interface {
+	Env
+	// Prefetch warms capacity state for targets so subsequent Admissible
+	// calls do not pay one probe round trip each. Hosts already warm are
+	// skipped.
+	Prefetch(targets []cluster.HostID)
+	// Peers returns vm's communicating peers — the VMs whose position
+	// feeds vm's ΔC. Used for the independence analysis only.
+	Peers(vm cluster.VMID) []cluster.VMID
+	// ApplyAll executes already-validated, pairwise-independent
+	// decisions concurrently, returning the realized ΔC (or error) per
+	// decision in input order.
+	ApplyAll(ds []core.Decision) ([]float64, []error)
+}
+
+// maxBatch bounds one pipelined commit wave — enough to overlap the
+// round trips that matter without fanning a huge round's merge into
+// hundreds of simultaneous migrations.
+const maxBatch = 16
+
+// batchWindow returns how many leading decisions of ds (≥ 1) are
+// pairwise independent: distinct VMs, no decision's VM in another's
+// peer set, and disjoint {source, target} host pairs. Within such a
+// window, validating every decision against the pre-window state and
+// applying them in any order (or concurrently) yields exactly the
+// sequential outcome.
+func batchWindow(env BatchEnv, ds []core.Decision) int {
+	if len(ds) < 2 {
+		return len(ds)
+	}
+	vms := map[cluster.VMID]bool{}
+	peers := map[cluster.VMID]bool{}
+	hosts := map[cluster.HostID]bool{}
+	admit := func(d core.Decision) bool {
+		if vms[d.VM] || peers[d.VM] {
+			return false
+		}
+		src := env.HostOf(d.VM)
+		if hosts[src] || hosts[d.Target] {
+			return false
+		}
+		ps := env.Peers(d.VM)
+		for _, p := range ps {
+			if vms[p] {
+				return false
+			}
+		}
+		vms[d.VM] = true
+		hosts[src], hosts[d.Target] = true, true
+		for _, p := range ps {
+			peers[p] = true
+		}
+		return true
+	}
+	// The first decision always admits (every conflict set starts
+	// empty), so the window is never smaller than 1.
+	w := 0
+	for w < len(ds) && w < maxBatch && admit(ds[w]) {
+		w++
+	}
+	return w
+}
+
+// prefetchTargets warms the distinct capacity-probe targets of ds.
+func prefetchTargets(env BatchEnv, ds []core.Decision) {
+	seen := map[cluster.HostID]bool{}
+	targets := make([]cluster.HostID, 0, len(ds))
+	for _, d := range ds {
+		if !seen[d.Target] {
+			seen[d.Target] = true
+			targets = append(targets, d.Target)
+		}
+	}
+	env.Prefetch(targets)
+}
+
 // MergeStaged replays one ring's staged intra-shard commits against env.
 // Capacity cannot have shifted within the shard (no other ring touches
 // its hosts), but a staged move's ΔC was computed against frozen
@@ -80,6 +165,10 @@ func OrderProposals(ps []core.Decision) {
 // The error return is reserved for future envs with aborting failures;
 // the current implementations never set it.
 func MergeStaged(env Env, cm float64, commits []core.Decision) (applied []core.Decision, stale int, err error) {
+	if be, ok := env.(BatchEnv); ok {
+		applied, stale = mergeStagedBatched(be, cm, commits)
+		return applied, stale, nil
+	}
 	for _, d := range commits {
 		if env.Delta(d.VM, d.Target) <= cm || !env.Admissible(d.VM, d.Target) {
 			stale++
@@ -95,6 +184,35 @@ func MergeStaged(env Env, cm float64, commits []core.Decision) (applied []core.D
 	return applied, stale, nil
 }
 
+// mergeStagedBatched is MergeStaged over a BatchEnv: capacity probes are
+// prefetched in one concurrent wave, and consecutive pairwise-
+// independent commits are validated against the shared pre-window state
+// and applied as one pipelined wave.
+func mergeStagedBatched(env BatchEnv, cm float64, commits []core.Decision) (applied []core.Decision, stale int) {
+	prefetchTargets(env, commits)
+	for i := 0; i < len(commits); {
+		w := batchWindow(env, commits[i:])
+		exec := make([]core.Decision, 0, w)
+		for _, d := range commits[i : i+w] {
+			if env.Delta(d.VM, d.Target) <= cm || !env.Admissible(d.VM, d.Target) {
+				stale++
+				continue
+			}
+			exec = append(exec, d)
+		}
+		realized, errs := env.ApplyAll(exec)
+		for j, d := range exec {
+			if errs[j] != nil {
+				stale++
+				continue
+			}
+			applied = append(applied, core.Decision{VM: d.VM, From: d.From, Target: d.Target, Delta: realized[j]})
+		}
+		i += w
+	}
+	return applied, stale
+}
+
 // ReconcileProposals applies queued cross-shard proposals in the
 // canonical OrderProposals order, re-validating ΔC and admissibility
 // against the merged state before each apply — Theorem 1 for every move
@@ -102,6 +220,9 @@ func MergeStaged(env Env, cm float64, commits []core.Decision) (applied []core.D
 // are rejected. The input slice is reordered in place.
 func ReconcileProposals(env Env, cm float64, proposals []core.Decision) (applied []core.Decision, rejected []core.Decision) {
 	OrderProposals(proposals)
+	if be, ok := env.(BatchEnv); ok {
+		return reconcileProposalsBatched(be, cm, proposals)
+	}
 	for _, pr := range proposals {
 		d := env.Delta(pr.VM, pr.Target)
 		if d <= cm || !env.Admissible(pr.VM, pr.Target) {
@@ -115,6 +236,38 @@ func ReconcileProposals(env Env, cm float64, proposals []core.Decision) (applied
 			continue
 		}
 		applied = append(applied, core.Decision{VM: pr.VM, From: from, Target: pr.Target, Delta: realized})
+	}
+	return applied, rejected
+}
+
+// reconcileProposalsBatched is the canonical-order proposal pass over a
+// BatchEnv: same order, same re-validation, same floats — with probe
+// prefetching and pipelined commits inside each pairwise-independent
+// window.
+func reconcileProposalsBatched(env BatchEnv, cm float64, proposals []core.Decision) (applied []core.Decision, rejected []core.Decision) {
+	prefetchTargets(env, proposals)
+	for i := 0; i < len(proposals); {
+		w := batchWindow(env, proposals[i:])
+		exec := make([]core.Decision, 0, w)
+		orig := make([]core.Decision, 0, w)
+		for _, pr := range proposals[i : i+w] {
+			d := env.Delta(pr.VM, pr.Target)
+			if d <= cm || !env.Admissible(pr.VM, pr.Target) {
+				rejected = append(rejected, pr)
+				continue
+			}
+			exec = append(exec, core.Decision{VM: pr.VM, From: env.HostOf(pr.VM), Target: pr.Target, Delta: d})
+			orig = append(orig, pr)
+		}
+		realized, errs := env.ApplyAll(exec)
+		for j, d := range exec {
+			if errs[j] != nil {
+				rejected = append(rejected, orig[j])
+				continue
+			}
+			applied = append(applied, core.Decision{VM: d.VM, From: d.From, Target: d.Target, Delta: realized[j]})
+		}
+		i += w
 	}
 	return applied, rejected
 }

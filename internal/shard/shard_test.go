@@ -427,3 +427,63 @@ func TestCoordinatorValidation(t *testing.T) {
 		t.Fatal("unknown granularity string accepted")
 	}
 }
+
+// scriptedTuner replays a fixed sequence of recommendations, repeating
+// the last one once exhausted.
+type scriptedTuner struct {
+	recs []struct {
+		shards int
+		g      Granularity
+	}
+	calls int
+}
+
+func (s *scriptedTuner) Plan() (int, Granularity) {
+	i := s.calls
+	if i >= len(s.recs) {
+		i = len(s.recs) - 1
+	}
+	s.calls++
+	return s.recs[i].shards, s.recs[i].g
+}
+
+// TestCoordinatorTunerRepartitions: when the tuner's recommendation
+// changes between rounds, the coordinator must re-partition at the new
+// shape — and keep the incremental partition otherwise.
+func TestCoordinatorTunerRepartitions(t *testing.T) {
+	eng := buildEngine(t, 4, 23, 10)
+	tuner := &scriptedTuner{recs: []struct {
+		shards int
+		g      Granularity
+	}{{1, ByPod}, {4, ByPod}, {4, ByPod}, {8, ByRack}}}
+	coord, err := NewCoordinator(eng, Config{Tuner: tuner, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	want := []int{1, 4, 4, 8}
+	for round, n := range want {
+		partBefore := coord.part
+		res, err := coord.RunRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(res.Shards); got != n {
+			t.Fatalf("round %d ran %d rings, tuner asked for %d", round+1, got, n)
+		}
+		if round == 2 && coord.part != partBefore && partBefore != nil {
+			t.Fatal("unchanged recommendation rebuilt the partition")
+		}
+	}
+	if tuner.calls < len(want) {
+		t.Fatalf("tuner consulted %d times over %d rounds", tuner.calls, len(want))
+	}
+	// Tuner-driven coordinators accept a zero fixed configuration…
+	if _, err := NewCoordinator(eng, Config{Tuner: tuner}); err != nil {
+		t.Fatalf("tuner-driven coordinator rejected: %v", err)
+	}
+	// …but fixed ones still validate.
+	if _, err := NewCoordinator(eng, Config{}); err == nil {
+		t.Fatal("zero shards without a tuner accepted")
+	}
+}

@@ -26,6 +26,8 @@ type agentPlane struct {
 	agents []*hypervisor.Agent
 	rec    *hypervisor.Reconciler
 	faults *hypervisor.FaultPlan
+	// detach unbinds the auto-tuning controller's cluster observer.
+	detach func()
 }
 
 func (p *agentPlane) close() {
@@ -34,6 +36,9 @@ func (p *agentPlane) close() {
 	}
 	for _, a := range p.agents {
 		_ = a.Close()
+	}
+	if p.detach != nil {
+		p.detach()
 	}
 }
 
@@ -44,15 +49,19 @@ func (r *Runner) buildAgentPlane() (*agentPlane, error) {
 	eng := r.eng
 	cl := eng.Cluster()
 	p := &agentPlane{hub: hypervisor.NewMemHub(), reg: hypervisor.NewRegistry()}
-	// Token-loss injection: a seeded fault plan drops MsgShardToken
-	// hops on the wire; the reconciler's per-shard deadline regenerates
-	// the affected ring from its acked copy. The plan's seed comes from
-	// the runner's rng, so equal-seed runs inject the same schedule.
-	if r.cfg.TokenLossProb > 0 {
+	// Fault injection: a seeded fault plan drops (TokenLossProb) and/or
+	// delays (TokenDelayProb × TokenDelayS) MsgShardToken hops on the
+	// wire; the reconciler's per-shard deadline — fixed or adaptive —
+	// regenerates affected rings from its acked copy. The plan's seed
+	// comes from the runner's rng, so equal-seed runs inject the same
+	// schedule.
+	if r.cfg.TokenLossProb > 0 || r.cfg.TokenDelayProb > 0 {
 		p.faults = hypervisor.NewFaultPlan(hypervisor.FaultConfig{
-			Seed:     r.rng.Int63(),
-			DropProb: r.cfg.TokenLossProb,
-			Types:    []hypervisor.MsgType{hypervisor.MsgShardToken},
+			Seed:      r.rng.Int63(),
+			DropProb:  r.cfg.TokenLossProb,
+			DelayProb: r.cfg.TokenDelayProb,
+			Delay:     time.Duration(r.cfg.TokenDelayS * float64(time.Second)),
+			Types:     []hypervisor.MsgType{hypervisor.MsgShardToken},
 		})
 	}
 	mk := func(addr string) func(hypervisor.Handler) (hypervisor.Transport, error) {
@@ -117,14 +126,25 @@ func (r *Runner) buildAgentPlane() (*agentPlane, error) {
 			return nil, err
 		}
 	}
-	rec, err := hypervisor.NewReconciler(hypervisor.ReconcilerConfig{
-		Topo:          eng.Topology(),
-		Cost:          eng.CostModel(),
-		MigrationCost: eng.Config().MigrationCost,
-		Shards:        r.cfg.DistributedShards,
-		Granularity:   r.cfg.ShardGranularity,
-		ShardDeadline: time.Duration(r.cfg.DistributedDeadlineS * float64(time.Second)),
-	}, p.reg)
+	rcfg := hypervisor.ReconcilerConfig{
+		Topo:             eng.Topology(),
+		Cost:             eng.CostModel(),
+		MigrationCost:    eng.Config().MigrationCost,
+		Shards:           r.cfg.DistributedShards,
+		Granularity:      r.cfg.ShardGranularity,
+		ShardDeadline:    time.Duration(r.cfg.DistributedDeadlineS * float64(time.Second)),
+		AdaptiveDeadline: r.cfg.AdaptiveDeadline,
+		EvictAttempts:    r.cfg.DistributedEvictAttempts,
+	}
+	// Under auto-tuning the reconciler consults the controller — bound
+	// to the engine mirror's traffic matrix and cluster, which replay
+	// every committed move — for shard count and granularity each round.
+	ctrl, detach := r.controller()
+	p.detach = detach
+	if ctrl != nil {
+		rcfg.Tuner = ctrl
+	}
+	rec, err := hypervisor.NewReconciler(rcfg, p.reg)
 	if err != nil {
 		p.close()
 		return nil, err
@@ -177,6 +197,8 @@ func (r *Runner) runDistributed() (*Metrics, error) {
 		r.metrics.CrossProposed += rep.CrossApplied + rep.CrossRejected
 		r.metrics.StaleRejected += rep.StaleRejected
 		r.metrics.TokensRegenerated += rep.Regenerated
+		r.metrics.SpuriousRegens += rep.SpuriousRegens
+		r.metrics.ShardsChosen = append(r.metrics.ShardsChosen, rep.Shards)
 
 		// Mirror each committed move: model its transfer under the link
 		// load as it stands, shift its flows, and apply it to the

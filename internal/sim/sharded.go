@@ -15,10 +15,23 @@ import (
 	"math/rand"
 
 	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/control"
 	"github.com/score-dc/score/internal/core"
 	"github.com/score-dc/score/internal/shard"
 	"github.com/score-dc/score/internal/token"
 )
+
+// controller builds and binds the adaptive control plane for an
+// AutoTune run; detach must run before the engine's cluster outlives
+// the run. Returns nil when auto-tuning is off.
+func (r *Runner) controller() (*control.Controller, func()) {
+	if !r.cfg.AutoTune {
+		return nil, func() {}
+	}
+	ctrl := control.New(r.eng.Topology(), control.Config{})
+	detach := ctrl.Bind(r.eng.Traffic(), r.eng.Cluster())
+	return ctrl, detach
+}
 
 // shardPolicyFactory builds one policy instance per shard ring.
 // Stateless policies are shared; the stochastic Random policy gets a
@@ -114,12 +127,18 @@ func (r *Runner) runSharded() (*Metrics, error) {
 		return nil, fmt.Errorf("sim: need at least 2 VMs, have %d", len(vms))
 	}
 	r.numVMs = len(vms)
-	coord, err := shard.NewCoordinator(r.eng, shard.Config{
+	ctrl, detach := r.controller()
+	defer detach()
+	scfg := shard.Config{
 		Shards:      r.cfg.Shards,
 		Granularity: r.cfg.ShardGranularity,
 		Workers:     r.cfg.ShardWorkers,
 		NewPolicy:   r.shardPolicyFactory(),
-	})
+	}
+	if ctrl != nil {
+		scfg.Tuner = ctrl
+	}
+	coord, err := shard.NewCoordinator(r.eng, scfg)
 	if err != nil {
 		return nil, err
 	}
@@ -162,6 +181,7 @@ func (r *Runner) runSharded() (*Metrics, error) {
 			st.Proposals += sh.Proposed
 		}
 		r.appendRoundStats(round, len(res.Applied))
+		r.metrics.ShardsChosen = append(r.metrics.ShardsChosen, len(res.Shards))
 		r.metrics.StaleRejected += res.StaleRejected
 		// Fold the round into the link loads incrementally: any traffic
 		// changelog first (over round-start positions), then the applied

@@ -82,6 +82,32 @@ type Config struct {
 	// the engine's BandwidthThreshold is not enforced by the agents,
 	// and clusters with CPU admission (Host.CPUMilli > 0) are rejected.
 	DistributedShards int
+	// AutoTune enables the adaptive control plane (internal/control): a
+	// controller folds the live traffic matrix into a ToR-level hotspot
+	// summary and supersedes the fixed shard knobs, re-deriving shard
+	// count and granularity every round. With DistributedShards > 0 the
+	// distributed agent plane is auto-tuned (the flag's magnitude only
+	// selects the plane); otherwise the in-process sharded mode runs
+	// auto-tuned, regardless of Shards.
+	AutoTune bool
+	// AdaptiveDeadline (distributed plane only) derives per-shard
+	// recovery deadlines from observed per-hop ack latency
+	// (EWMA + k·stddev) instead of the fixed DistributedDeadlineS,
+	// which remains the warm-up fallback.
+	AdaptiveDeadline bool
+	// TokenDelayProb delays that fraction of shard-token hops by
+	// TokenDelayS real seconds on the wire (distributed plane only) —
+	// the load-jitter injection the adaptive deadline is evaluated
+	// against. Composes with TokenLossProb through the same seeded
+	// fault plan.
+	TokenDelayProb float64
+	TokenDelayS    float64
+	// DistributedEvictAttempts overrides how many consecutive
+	// no-progress regenerations evict a holder's host (0 keeps the
+	// reconciler default). Delay-injection experiments raise it so
+	// slow-but-alive hosts are never evicted while the deadline policy
+	// is what is under test.
+	DistributedEvictAttempts int
 }
 
 // DefaultConfig covers a scaled-down Fig. 3 style run.
@@ -136,6 +162,14 @@ type Metrics struct {
 	StaleRejected               int
 	// Rounds counts partition/rings/merge cycles (sharded modes only).
 	Rounds int
+	// ShardsChosen records the effective ring count of every round
+	// (sharded modes only) — under AutoTune, the controller's per-round
+	// choice; fixed runs repeat the clamped configuration value.
+	ShardsChosen []int
+	// SpuriousRegens counts ring regenerations later witnessed
+	// unnecessary — a report from the superseded attempt arrived,
+	// proving the presumed-lost token alive (distributed plane only).
+	SpuriousRegens int
 }
 
 // ShardStats aggregates one shard ring's activity across a sharded run.
@@ -232,7 +266,7 @@ func (r *Runner) Run() (*Metrics, error) {
 		}
 		return r.runDistributed()
 	}
-	if r.cfg.Shards > 1 {
+	if r.cfg.Shards > 1 || r.cfg.AutoTune {
 		return r.runSharded()
 	}
 	cl := r.eng.Cluster()

@@ -40,6 +40,7 @@ import (
 	"math/rand"
 
 	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/control"
 	"github.com/score-dc/score/internal/core"
 	"github.com/score-dc/score/internal/ga"
 	"github.com/score-dc/score/internal/migration"
@@ -257,6 +258,23 @@ func NewShardCoordinator(eng *Engine, cfg ShardConfig) (*ShardCoordinator, error
 // ParseShardGranularity resolves "pod" or "rack".
 func ParseShardGranularity(s string) (ShardGranularity, error) {
 	return shard.ParseGranularity(s)
+}
+
+// Adaptive control plane (internal/control): a deterministic feedback
+// controller deriving shard count/granularity from the traffic matrix's
+// ToR-level hotspot structure and per-shard recovery deadlines from
+// observed ack latency. Most callers instead set SimConfig.AutoTune.
+type (
+	// Controller implements ShardConfig.Tuner for both decision planes.
+	Controller = control.Controller
+	// ControlConfig tunes a Controller.
+	ControlConfig = control.Config
+)
+
+// NewController builds a controller for a topology; Bind attaches the
+// traffic matrix and cluster it measures.
+func NewController(topo Topology, cfg ControlConfig) *Controller {
+	return control.New(topo, cfg)
 }
 
 // NewWorkerPool returns a pool of at most workers concurrent tasks
