@@ -1,0 +1,179 @@
+// Command scoreperf turns `go test -bench` output into a committed
+// perf-trajectory snapshot (BENCH_*.json) and gates regressions against
+// one in CI.
+//
+// Format mode (default) reads bench output on stdin and writes JSON:
+//
+//	go test -run '^$' -bench 'Round100k|SummaryFold100k' -benchmem \
+//	    -benchtime=1x . | scoreperf -out BENCH_6.json
+//
+// Check mode additionally compares a metric against the committed
+// snapshot and exits non-zero on regression:
+//
+//	go test ... | scoreperf -check BENCH_6.json -metric peak-rss-mb \
+//	    -match k=24 -tolerance 0.20
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line: the trimmed name and every
+// value/unit metric pair (ns/op, B/op, allocs/op, plus any
+// b.ReportMetric unit such as heap-mb or peak-rss-mb).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the committed perf-trajectory file.
+type Snapshot struct {
+	Note       string      `json:"note,omitempty"`
+	Command    string      `json:"command,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scoreperf:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "", "write the parsed snapshot JSON to this file ('-' = stdout)")
+	check := flag.String("check", "", "committed snapshot to gate against")
+	metric := flag.String("metric", "peak-rss-mb", "metric gated in -check mode")
+	match := flag.String("match", "", "only gate benchmarks whose name contains this substring")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional increase before -check fails")
+	note := flag.String("note", "", "free-form note stored in the snapshot")
+	command := flag.String("command", "", "the go test invocation stored in the snapshot")
+	flag.Parse()
+
+	benches, err := parseBench(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	snap := Snapshot{Note: *note, Command: *command, Benchmarks: benches}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if *out == "-" {
+			_, err = os.Stdout.Write(buf)
+		} else {
+			err = os.WriteFile(*out, buf, 0o644)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if *check == "" {
+		return nil
+	}
+	return gate(snap, *check, *metric, *match, *tolerance)
+}
+
+// parseBench extracts benchmark result lines:
+//
+//	BenchmarkRound100k/k=8-16  1  123456 ns/op  12 B/op  3 allocs/op  45.6 heap-mb
+//
+// The trailing -N GOMAXPROCS suffix is stripped from the name so
+// snapshots compare across machines.
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // "Benchmark..." prose, not a result line
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// gate fails when any matched benchmark's metric grew more than
+// tolerance over the committed snapshot. Benchmarks absent from the
+// snapshot (new trajectory points) pass with a notice.
+func gate(snap Snapshot, path, metric, match string, tolerance float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var committed Snapshot
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	base := map[string]float64{}
+	for _, b := range committed.Benchmarks {
+		if v, ok := b.Metrics[metric]; ok {
+			base[b.Name] = v
+		}
+	}
+	checked, failed := 0, 0
+	for _, b := range snap.Benchmarks {
+		if match != "" && !strings.Contains(b.Name, match) {
+			continue
+		}
+		got, ok := b.Metrics[metric]
+		if !ok {
+			continue
+		}
+		want, ok := base[b.Name]
+		if !ok {
+			fmt.Printf("scoreperf: %s: no committed %s baseline, skipping\n", b.Name, metric)
+			continue
+		}
+		checked++
+		limit := want * (1 + tolerance)
+		if got > limit {
+			failed++
+			fmt.Printf("scoreperf: FAIL %s: %s = %.2f, committed %.2f (+%.1f%% > %.0f%% tolerance)\n",
+				b.Name, metric, got, want, (got/want-1)*100, tolerance*100)
+		} else {
+			fmt.Printf("scoreperf: ok %s: %s = %.2f vs committed %.2f (limit %.2f)\n",
+				b.Name, metric, got, want, limit)
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("no benchmark matched -match %q with metric %q", match, metric)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d gated benchmarks regressed on %s", failed, checked, metric)
+	}
+	return nil
+}

@@ -12,6 +12,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 )
@@ -68,6 +69,20 @@ var (
 	ErrNotPlaced    = errors.New("cluster: VM not placed")
 )
 
+// vmRec is one registered VM's entire hot state — current host and
+// resource demand — in 16 bytes. With densely issued IDs the cluster
+// keeps one flat []vmRec indexed by ID offset, so the per-VM state of a
+// 100k-VM instance is a single 1.6 MB array instead of two maps of
+// boxed entries, and HostOf/demand reads are a bounds check plus one
+// cache line. host is only meaningful when reg is true (the zero record
+// is unregistered, not "placed on host 0").
+type vmRec struct {
+	host     HostID
+	ramMB    int32
+	cpuMilli int32
+	reg      bool
+}
+
 // Cluster binds a set of hosts and VMs together with the current
 // allocation. The zero value is not usable; construct with New.
 //
@@ -77,21 +92,23 @@ var (
 // placement at any instant.
 type Cluster struct {
 	hosts []Host // dense, indexed by HostID
-	vms   map[VMID]VM
 
-	vmHost  map[VMID]HostID
+	// Dense VM records: recs[id-recBase] holds the VM registered as id.
+	// This is the primary layout for the contiguous ID ranges a
+	// PlacementManager issues. When registered IDs turn out too
+	// scattered to index densely (recsOff) the records migrate to the
+	// map fallback below and the slice is dropped.
+	recBase VMID
+	recs    []vmRec
+	numVMs  int
+
+	recsOff bool
+	vms     map[VMID]VM     // sparse fallback only
+	vmHost  map[VMID]HostID // sparse fallback only
+
 	hostVMs [][]VMID // dense, indexed by HostID; unordered sets
 	ramUsed []int    // MiB in use per host
 	cpuUsed []int    // millicores in use per host
-
-	// denseHost is an O(1) HostOf fast path: denseHost[id-denseBase]
-	// mirrors vmHost for the contiguous ID range issued by a
-	// PlacementManager. When registered IDs turn out too sparse to
-	// mirror densely the slice is dropped (denseOff) and HostOf falls
-	// back to the map.
-	denseBase VMID
-	denseHost []HostID
-	denseOff  bool
 
 	// Allocation observers, notified after every successful mutation.
 	// Registered by decision engines to keep incremental cost and
@@ -115,8 +132,6 @@ type allocObserver struct {
 func New(hosts []Host) (*Cluster, error) {
 	c := &Cluster{
 		hosts:   make([]Host, len(hosts)),
-		vms:     make(map[VMID]VM),
-		vmHost:  make(map[VMID]HostID),
 		hostVMs: make([][]VMID, len(hosts)),
 		ramUsed: make([]int, len(hosts)),
 		cpuUsed: make([]int, len(hosts)),
@@ -183,69 +198,107 @@ func (c *Cluster) notifyReset() {
 }
 
 // denseSlack bounds how much larger than the VM population the dense
-// HostOf mirror may grow before it is abandoned for the map.
+// record table may grow before it is abandoned for the map fallback.
 const denseSlack = 1024
 
-// ensureDense grows the dense HostOf mirror to cover vm, or disables it
-// when the ID range is too sparse to mirror affordably.
-func (c *Cluster) ensureDense(vm VMID) {
-	if c.denseOff {
-		return
+// ensureRec grows the dense record table to cover vm and returns vm's
+// index, or -1 when the cluster is (or just fell back to) the sparse
+// map layout.
+func (c *Cluster) ensureRec(vm VMID) int {
+	if c.recsOff {
+		return -1
 	}
-	if c.denseHost == nil {
-		c.denseBase = vm
-		c.denseHost = []HostID{NoHost}
-		return
+	if c.recs == nil {
+		c.recBase = vm
+		c.recs = make([]vmRec, 1, 8)
+		return 0
 	}
-	i := int64(vm) - int64(c.denseBase)
-	if i >= 0 && i < int64(len(c.denseHost)) {
-		return
+	i := int64(vm) - int64(c.recBase)
+	if i >= 0 && i < int64(len(c.recs)) {
+		return int(i)
 	}
 	// Required contiguous range to cover both the existing window and vm.
 	var newBase, required int64
 	if i < 0 {
 		newBase = int64(vm)
-		required = int64(len(c.denseHost)) - i
+		required = int64(len(c.recs)) - i
 	} else {
-		newBase = int64(c.denseBase)
+		newBase = int64(c.recBase)
 		required = i + 1
 	}
-	if required > int64(len(c.vms))*4+denseSlack {
-		c.denseOff, c.denseHost = true, nil
-		return
+	if required > int64(c.numVMs)*4+denseSlack {
+		c.fallbackSparse()
+		return -1
 	}
 	// Grow geometrically on the extending side so sequential ID issuance
 	// stays amortized O(1).
 	padded := required
-	if double := 2 * int64(len(c.denseHost)); double > padded {
+	if double := 2 * int64(len(c.recs)); double > padded {
 		padded = double
 	}
 	if i < 0 && newBase > padded-required {
 		newBase -= padded - required // spare capacity below when growing down
 	}
-	nh := make([]HostID, padded)
-	for j := range nh {
-		nh[j] = NoHost
-	}
-	copy(nh[int64(c.denseBase)-newBase:], c.denseHost)
-	c.denseBase, c.denseHost = VMID(newBase), nh
+	nr := make([]vmRec, padded)
+	copy(nr[int64(c.recBase)-newBase:], c.recs)
+	c.recBase, c.recs = VMID(newBase), nr
+	return int(int64(vm) - newBase)
 }
 
-// setHost records vm's placement in both the map and the dense mirror.
-func (c *Cluster) setHost(vm VMID, h HostID) {
-	c.vmHost[vm] = h
-	if c.denseHost != nil {
-		if i := int64(vm) - int64(c.denseBase); i >= 0 && i < int64(len(c.denseHost)) {
-			c.denseHost[i] = h
+// fallbackSparse migrates every dense record into the map layout.
+func (c *Cluster) fallbackSparse() {
+	c.vms = make(map[VMID]VM, c.numVMs)
+	c.vmHost = make(map[VMID]HostID, c.numVMs)
+	for i := range c.recs {
+		r := &c.recs[i]
+		if !r.reg {
+			continue
 		}
+		id := c.recBase + VMID(i)
+		c.vms[id] = VM{ID: id, RAMMB: int(r.ramMB), CPUMilli: int(r.cpuMilli)}
+		c.vmHost[id] = r.host
 	}
+	c.recsOff = true
+	c.recBase, c.recs = 0, nil
+}
+
+// registered reports whether id names a known VM.
+func (c *Cluster) registered(id VMID) bool {
+	if !c.recsOff {
+		i := int64(id) - int64(c.recBase)
+		return c.recs != nil && uint64(i) < uint64(len(c.recs)) && c.recs[i].reg
+	}
+	_, ok := c.vms[id]
+	return ok
+}
+
+// demand returns vm's resource demand, ok == false when unregistered.
+func (c *Cluster) demand(vm VMID) (ramMB, cpuMilli int, ok bool) {
+	if !c.recsOff {
+		i := int64(vm) - int64(c.recBase)
+		if c.recs == nil || uint64(i) >= uint64(len(c.recs)) || !c.recs[i].reg {
+			return 0, 0, false
+		}
+		return int(c.recs[i].ramMB), int(c.recs[i].cpuMilli), true
+	}
+	v, ok := c.vms[vm]
+	return v.RAMMB, v.CPUMilli, ok
+}
+
+// setHostOf records vm's placement. The VM must be registered.
+func (c *Cluster) setHostOf(vm VMID, h HostID) {
+	if !c.recsOff {
+		c.recs[int64(vm)-int64(c.recBase)].host = h
+		return
+	}
+	c.vmHost[vm] = h
 }
 
 // NumHosts returns the number of physical servers.
 func (c *Cluster) NumHosts() int { return len(c.hosts) }
 
 // NumVMs returns the number of registered VMs.
-func (c *Cluster) NumVMs() int { return len(c.vms) }
+func (c *Cluster) NumVMs() int { return c.numVMs }
 
 // Host returns the host description for id.
 func (c *Cluster) Host(id HostID) (Host, error) {
@@ -257,6 +310,14 @@ func (c *Cluster) Host(id HostID) (Host, error) {
 
 // VM returns the VM description for id.
 func (c *Cluster) VM(id VMID) (VM, error) {
+	if !c.recsOff {
+		i := int64(id) - int64(c.recBase)
+		if c.recs == nil || uint64(i) >= uint64(len(c.recs)) || !c.recs[i].reg {
+			return VM{}, fmt.Errorf("%w: %d", ErrUnknownVM, id)
+		}
+		r := &c.recs[i]
+		return VM{ID: id, RAMMB: int(r.ramMB), CPUMilli: int(r.cpuMilli)}, nil
+	}
 	vm, ok := c.vms[id]
 	if !ok {
 		return VM{}, fmt.Errorf("%w: %d", ErrUnknownVM, id)
@@ -265,9 +326,18 @@ func (c *Cluster) VM(id VMID) (VM, error) {
 }
 
 // VMs returns all VM IDs in ascending order. The ascending total order is
-// what the Round-Robin token policy walks (Section V-A1).
+// what the Round-Robin token policy walks (Section V-A1). With the dense
+// record table this is a linear scan — no sort, no map iteration.
 func (c *Cluster) VMs() []VMID {
-	ids := make([]VMID, 0, len(c.vms))
+	ids := make([]VMID, 0, c.numVMs)
+	if !c.recsOff {
+		for i := range c.recs {
+			if c.recs[i].reg {
+				ids = append(ids, c.recBase+VMID(i))
+			}
+		}
+		return ids
+	}
 	for id := range c.vms {
 		ids = append(ids, id)
 	}
@@ -277,15 +347,22 @@ func (c *Cluster) VMs() []VMID {
 
 // AddVM registers an unplaced VM.
 func (c *Cluster) AddVM(vm VM) error {
-	if _, ok := c.vms[vm.ID]; ok {
+	if c.registered(vm.ID) {
 		return fmt.Errorf("%w: %d", ErrAlreadyHosts, vm.ID)
 	}
 	if vm.RAMMB < 0 || vm.CPUMilli < 0 {
 		return fmt.Errorf("cluster: VM %d has negative resource demand", vm.ID)
 	}
-	c.vms[vm.ID] = vm
-	c.ensureDense(vm.ID)
-	c.setHost(vm.ID, NoHost)
+	if vm.RAMMB > math.MaxInt32 || vm.CPUMilli > math.MaxInt32 {
+		return fmt.Errorf("cluster: VM %d resource demand overflows 32 bits", vm.ID)
+	}
+	if i := c.ensureRec(vm.ID); i >= 0 {
+		c.recs[i] = vmRec{host: NoHost, ramMB: int32(vm.RAMMB), cpuMilli: int32(vm.CPUMilli), reg: true}
+	} else {
+		c.vms[vm.ID] = vm
+		c.vmHost[vm.ID] = NoHost
+	}
+	c.numVMs++
 	return nil
 }
 
@@ -294,11 +371,11 @@ func (c *Cluster) AddVM(vm VM) error {
 // (the PlacementManager's sequential issuance) this is a bounds check
 // and a slice load — the decision engine's hottest lookup.
 func (c *Cluster) HostOf(vm VMID) HostID {
-	if d := c.denseHost; d != nil {
-		// When the mirror is live it covers every registered VM, so an
-		// out-of-range ID is unknown.
-		if i := int64(vm) - int64(c.denseBase); uint64(i) < uint64(len(d)) {
-			return d[i]
+	if !c.recsOff {
+		if rs := c.recs; rs != nil {
+			if i := int64(vm) - int64(c.recBase); uint64(i) < uint64(len(rs)) && rs[i].reg {
+				return rs[i].host
+			}
 		}
 		return NoHost
 	}
@@ -309,17 +386,26 @@ func (c *Cluster) HostOf(vm VMID) HostID {
 	return h
 }
 
-// DenseAllocSnapshot copies the dense VMID→HostID mirror: base is the
+// DenseAllocSnapshot copies the dense VMID→HostID view: base is the
 // ID of alloc[0], and alloc[id-base] is the host of id (NoHost when
 // unplaced or unregistered). ok is false when IDs were issued too
-// sparsely for the mirror to exist; callers then fall back to HostOf.
-// Decision views use the copy as an O(1) overlay base, keeping their
-// allocation reads as cheap as the cluster's own fast path.
+// sparsely for the dense record table to exist; callers then fall back
+// to HostOf. Decision views use the copy as an O(1) overlay base,
+// keeping their allocation reads as cheap as the cluster's own fast
+// path.
 func (c *Cluster) DenseAllocSnapshot() (base VMID, alloc []HostID, ok bool) {
-	if c.denseHost == nil {
+	if c.recsOff || c.recs == nil {
 		return 0, nil, false
 	}
-	return c.denseBase, append([]HostID(nil), c.denseHost...), true
+	alloc = make([]HostID, len(c.recs))
+	for i := range c.recs {
+		if r := &c.recs[i]; r.reg {
+			alloc[i] = r.host
+		} else {
+			alloc[i] = NoHost
+		}
+	}
+	return c.recBase, alloc, true
 }
 
 // VMsOn returns the VMs currently placed on host. The returned slice is
@@ -376,36 +462,36 @@ func (c *Cluster) FreeCPUMilli(host HostID) int {
 // CPU capacity constraints. A VM always "fits" on the host it already
 // occupies.
 func (c *Cluster) Fits(vm VMID, host HostID) bool {
-	v, ok := c.vms[vm]
+	ram, cpu, ok := c.demand(vm)
 	if !ok || !c.validHost(host) {
 		return false
 	}
-	if c.vmHost[vm] == host {
+	if c.HostOf(vm) == host {
 		return true
 	}
-	return c.FreeSlots(host) >= 1 && c.FreeRAMMB(host) >= v.RAMMB &&
-		c.FreeCPUMilli(host) >= v.CPUMilli
+	return c.FreeSlots(host) >= 1 && c.FreeRAMMB(host) >= ram &&
+		c.FreeCPUMilli(host) >= cpu
 }
 
 // Place puts an unplaced VM on host, enforcing capacity.
 func (c *Cluster) Place(vm VMID, host HostID) error {
-	v, ok := c.vms[vm]
+	ram, cpu, ok := c.demand(vm)
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownVM, vm)
 	}
 	if !c.validHost(host) {
 		return fmt.Errorf("%w: %d", ErrUnknownHost, host)
 	}
-	if c.vmHost[vm] != NoHost {
-		return fmt.Errorf("%w: VM %d on host %d", ErrAlreadyHosts, vm, c.vmHost[vm])
+	if cur := c.HostOf(vm); cur != NoHost {
+		return fmt.Errorf("%w: VM %d on host %d", ErrAlreadyHosts, vm, cur)
 	}
-	if c.FreeSlots(host) < 1 || c.FreeRAMMB(host) < v.RAMMB || c.FreeCPUMilli(host) < v.CPUMilli {
+	if c.FreeSlots(host) < 1 || c.FreeRAMMB(host) < ram || c.FreeCPUMilli(host) < cpu {
 		return fmt.Errorf("%w: host %d for VM %d", ErrNoCapacity, host, vm)
 	}
-	c.setHost(vm, host)
+	c.setHostOf(vm, host)
 	c.hostVMs[host] = append(c.hostVMs[host], vm)
-	c.ramUsed[host] += v.RAMMB
-	c.cpuUsed[host] += v.CPUMilli
+	c.ramUsed[host] += ram
+	c.cpuUsed[host] += cpu
 	c.notifyChange(vm, NoHost, host)
 	return nil
 }
@@ -414,30 +500,30 @@ func (c *Cluster) Place(vm VMID, host HostID) error {
 // to its current host is a no-op. This is the allocation change A → Au→x̂
 // of Section IV.
 func (c *Cluster) Move(vm VMID, host HostID) error {
-	v, ok := c.vms[vm]
+	ram, cpu, ok := c.demand(vm)
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownVM, vm)
 	}
 	if !c.validHost(host) {
 		return fmt.Errorf("%w: %d", ErrUnknownHost, host)
 	}
-	cur := c.vmHost[vm]
+	cur := c.HostOf(vm)
 	if cur == NoHost {
 		return fmt.Errorf("%w: %d", ErrNotPlaced, vm)
 	}
 	if cur == host {
 		return nil
 	}
-	if c.FreeSlots(host) < 1 || c.FreeRAMMB(host) < v.RAMMB || c.FreeCPUMilli(host) < v.CPUMilli {
+	if c.FreeSlots(host) < 1 || c.FreeRAMMB(host) < ram || c.FreeCPUMilli(host) < cpu {
 		return fmt.Errorf("%w: host %d for VM %d", ErrNoCapacity, host, vm)
 	}
 	c.removeFromHost(vm, cur)
-	c.ramUsed[cur] -= v.RAMMB
-	c.cpuUsed[cur] -= v.CPUMilli
-	c.setHost(vm, host)
+	c.ramUsed[cur] -= ram
+	c.cpuUsed[cur] -= cpu
+	c.setHostOf(vm, host)
 	c.hostVMs[host] = append(c.hostVMs[host], vm)
-	c.ramUsed[host] += v.RAMMB
-	c.cpuUsed[host] += v.CPUMilli
+	c.ramUsed[host] += ram
+	c.cpuUsed[host] += cpu
 	c.notifyChange(vm, cur, host)
 	return nil
 }
@@ -457,7 +543,15 @@ func (c *Cluster) removeFromHost(vm VMID, host HostID) {
 // offline cost evaluation (e.g. by the GA baseline) without aliasing the
 // live cluster state.
 func (c *Cluster) Snapshot() map[VMID]HostID {
-	m := make(map[VMID]HostID, len(c.vmHost))
+	m := make(map[VMID]HostID, c.numVMs)
+	if !c.recsOff {
+		for i := range c.recs {
+			if r := &c.recs[i]; r.reg {
+				m[c.recBase+VMID(i)] = r.host
+			}
+		}
+		return m
+	}
 	for vm, h := range c.vmHost {
 		m[vm] = h
 	}
@@ -472,20 +566,27 @@ func (c *Cluster) Restore(alloc map[VMID]HostID) error {
 	slots := make([]int, len(c.hosts))
 	ram := make([]int, len(c.hosts))
 	cpu := make([]int, len(c.hosts))
-	for vm := range c.vms {
+	var verr error
+	c.forEachVM(func(vm VMID, ramMB, cpuMilli int, _ HostID) bool {
 		h, ok := alloc[vm]
 		if !ok {
-			return fmt.Errorf("cluster: snapshot missing VM %d", vm)
+			verr = fmt.Errorf("cluster: snapshot missing VM %d", vm)
+			return false
 		}
 		if h == NoHost {
-			continue
+			return true
 		}
 		if !c.validHost(h) {
-			return fmt.Errorf("%w: %d", ErrUnknownHost, h)
+			verr = fmt.Errorf("%w: %d", ErrUnknownHost, h)
+			return false
 		}
 		slots[h]++
-		ram[h] += c.vms[vm].RAMMB
-		cpu[h] += c.vms[vm].CPUMilli
+		ram[h] += ramMB
+		cpu[h] += cpuMilli
+		return true
+	})
+	if verr != nil {
+		return verr
 	}
 	for i, h := range c.hosts {
 		if slots[i] > h.Slots || ram[i] > h.RAMMB || (h.CPUMilli > 0 && cpu[i] > h.CPUMilli) {
@@ -500,40 +601,68 @@ func (c *Cluster) Restore(alloc map[VMID]HostID) error {
 		c.cpuUsed[i] = 0
 	}
 	for vm, h := range alloc {
-		if _, ok := c.vms[vm]; !ok {
+		ramMB, cpuMilli, ok := c.demand(vm)
+		if !ok {
 			continue // ignore foreign entries
 		}
-		c.setHost(vm, h)
+		c.setHostOf(vm, h)
 		if h != NoHost {
 			c.hostVMs[h] = append(c.hostVMs[h], vm)
-			c.ramUsed[h] += c.vms[vm].RAMMB
-			c.cpuUsed[h] += c.vms[vm].CPUMilli
+			c.ramUsed[h] += ramMB
+			c.cpuUsed[h] += cpuMilli
 		}
 	}
 	c.notifyReset()
 	return nil
 }
 
-// Clone returns a deep copy of the cluster, used by optimizers that
-// explore hypothetical allocations. Observers are not copied: state
-// derived for the original must not track the clone.
-func (c *Cluster) Clone() *Cluster {
-	n := &Cluster{
-		hosts:     append([]Host(nil), c.hosts...),
-		vms:       make(map[VMID]VM, len(c.vms)),
-		vmHost:    make(map[VMID]HostID, len(c.vmHost)),
-		hostVMs:   make([][]VMID, len(c.hostVMs)),
-		ramUsed:   append([]int(nil), c.ramUsed...),
-		cpuUsed:   append([]int(nil), c.cpuUsed...),
-		denseBase: c.denseBase,
-		denseHost: append([]HostID(nil), c.denseHost...),
-		denseOff:  c.denseOff,
+// forEachVM visits every registered VM with its demand and current
+// host; f returning false stops the walk. Dense mode visits in
+// ascending ID order.
+func (c *Cluster) forEachVM(f func(vm VMID, ramMB, cpuMilli int, host HostID) bool) {
+	if !c.recsOff {
+		for i := range c.recs {
+			r := &c.recs[i]
+			if !r.reg {
+				continue
+			}
+			if !f(c.recBase+VMID(i), int(r.ramMB), int(r.cpuMilli), r.host) {
+				return
+			}
+		}
+		return
 	}
 	for id, vm := range c.vms {
-		n.vms[id] = vm
+		if !f(id, vm.RAMMB, vm.CPUMilli, c.vmHost[id]) {
+			return
+		}
 	}
-	for id, h := range c.vmHost {
-		n.vmHost[id] = h
+}
+
+// Clone returns a deep copy of the cluster, used by optimizers that
+// explore hypothetical allocations. Observers are not copied: state
+// derived for the original must not track the clone. The dense record
+// table clones with one array copy.
+func (c *Cluster) Clone() *Cluster {
+	n := &Cluster{
+		hosts:   append([]Host(nil), c.hosts...),
+		recBase: c.recBase,
+		recs:    append([]vmRec(nil), c.recs...),
+		numVMs:  c.numVMs,
+		recsOff: c.recsOff,
+		hostVMs: make([][]VMID, len(c.hostVMs)),
+		ramUsed: append([]int(nil), c.ramUsed...),
+		cpuUsed: append([]int(nil), c.cpuUsed...),
+	}
+	if c.recsOff {
+		n.vms = make(map[VMID]VM, len(c.vms))
+		n.vmHost = make(map[VMID]HostID, len(c.vmHost))
+		for id, vm := range c.vms {
+			n.vms[id] = vm
+		}
+		for id, h := range c.vmHost {
+			n.vmHost[id] = h
+		}
 	}
 	for i, set := range c.hostVMs {
 		n.hostVMs[i] = append([]VMID(nil), set...)

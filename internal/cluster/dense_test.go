@@ -28,14 +28,33 @@ func TestHostOfDenseMirror(t *testing.T) {
 	}
 	check := func(context string) {
 		t.Helper()
+		// Cross-check HostOf against the independent per-host VM sets.
 		for _, id := range ids {
-			if got, want := c.HostOf(id), c.vmHost[id]; got != want {
-				t.Fatalf("%s: HostOf(%d) = %d, map says %d", context, id, got, want)
+			h := c.HostOf(id)
+			if h == NoHost {
+				t.Fatalf("%s: VM %d unplaced", context, id)
 			}
+			found := false
+			for _, on := range c.VMsOn(h) {
+				if on == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s: HostOf(%d) = %d but host set disagrees", context, id, h)
+			}
+		}
+		total := 0
+		for h := 0; h < c.NumHosts(); h++ {
+			total += c.UsedSlots(HostID(h))
+		}
+		if total != len(ids) {
+			t.Fatalf("%s: host sets carry %d VMs, want %d", context, total, len(ids))
 		}
 		// Unknown IDs — below, inside, and above the issued range.
 		for _, id := range []VMID{0, 1, 0x0a000001 - 1, 0x0a000001 + 100, 0xffffffff} {
-			if _, known := c.vms[id]; known {
+			if c.registered(id) {
 				continue
 			}
 			if got := c.HostOf(id); got != NoHost {
@@ -94,8 +113,8 @@ func TestHostOfSparseFallback(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if c.denseHost != nil {
-		t.Fatal("dense mirror should be disabled for scattered IDs")
+	if !c.recsOff {
+		t.Fatal("dense record table should be disabled for scattered IDs")
 	}
 	for i, id := range ids {
 		if err := c.Place(id, HostID(i%c.NumHosts())); err != nil {
@@ -124,8 +143,8 @@ func TestHostOfGrowsDownward(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if c.denseHost == nil {
-		t.Fatal("dense mirror disabled for a compact ID range")
+	if c.recsOff || c.recs == nil {
+		t.Fatal("dense record table disabled for a compact ID range")
 	}
 	for _, id := range []VMID{500, 510, 490, 505, 495} {
 		if err := c.Place(id, 1); err != nil {

@@ -97,10 +97,13 @@ type Engine struct {
 	rackOf []int32
 	podOf  []int32
 
-	// Scratch reused across decisions.
+	// Scratch reused across decisions. The probed-host set is a 32-bit
+	// epoch array — half the footprint of the former uint64 epochs on
+	// what is the engine's largest per-host scratch — with an explicit
+	// wrap reset when the epoch counter overflows.
 	rank       []rankEntry
-	probed     []uint64 // probed[h] == probeEpoch ⇒ already probed this decision
-	probeEpoch uint64
+	probed     []uint32 // probed[h] == probeEpoch ⇒ already probed this decision
+	probeEpoch uint32
 
 	// Incremental accounting (see TotalCost / HostNetLoad).
 	acctValid bool
@@ -136,7 +139,7 @@ func NewEngine(topo topology.Topology, cost CostModel, cl *cluster.Cluster, tm *
 	if n := cl.NumHosts(); n > probeSpan {
 		probeSpan = n
 	}
-	e.probed = make([]uint64, probeSpan)
+	e.probed = make([]uint32, probeSpan)
 	if e.depth == 3 {
 		e.rackOf = make([]int32, probeSpan)
 		e.podOf = make([]int32, probeSpan)
@@ -348,23 +351,25 @@ func (e *Engine) onAllocChange(vm cluster.VMID, from, to cluster.HostID) {
 }
 
 // rebuildAccounting recomputes the running C^A and host net loads from
-// scratch — the O(|pairs|) slow path taken once per traffic window.
+// scratch — the O(|pairs|) slow path taken once per traffic window. It
+// streams the matrix via ForEachPair (same canonical order, so the same
+// float sums) instead of forcing the pair-list cache to materialize —
+// at 100k VMs that cache is tens of MB the rebuild does not need.
 func (e *Engine) rebuildAccounting() {
-	pairs, rates := e.tm.Pairs()
 	for i := range e.hostNet {
 		e.hostNet[i] = 0
 	}
 	var total float64
-	for i, p := range pairs {
-		ha, hb := e.cl.HostOf(p.A), e.cl.HostOf(p.B)
-		total += e.cost.PairCost(rates[i], e.levelOrDepth(ha, hb))
+	e.tm.ForEachPair(func(a, b cluster.VMID, rate float64) {
+		ha, hb := e.cl.HostOf(a), e.cl.HostOf(b)
+		total += e.cost.PairCost(rate, e.levelOrDepth(ha, hb))
 		if ha != cluster.NoHost && ha != hb {
-			e.hostNet[ha] += rates[i]
+			e.hostNet[ha] += rate
 		}
 		if hb != cluster.NoHost && hb != ha {
-			e.hostNet[hb] += rates[i]
+			e.hostNet[hb] += rate
 		}
-	}
+	})
 	e.total = total
 	e.acctTMGen = e.tm.Generation()
 	e.acctValid = true
@@ -563,6 +568,10 @@ func (e *Engine) BestMigration(u cluster.VMID) (Decision, bool) {
 	}
 	best := Decision{VM: u, From: cur, Target: cluster.NoHost}
 	e.probeEpoch++
+	if e.probeEpoch == 0 { // epoch wrapped: stale marks would collide
+		clear(e.probed)
+		e.probeEpoch = 1
+	}
 	probes := 0
 	limit := e.cfg.MaxCandidates
 

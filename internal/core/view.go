@@ -46,8 +46,8 @@ type AllocView struct {
 	// Scratch reused across decisions (the engine's own scratch is
 	// reserved for its single-threaded paths).
 	rank       []rankEntry
-	probed     []uint64
-	probeEpoch uint64
+	probed     []uint32
+	probeEpoch uint32
 }
 
 // NewView creates a decision view over the engine's current state. It
@@ -63,7 +63,7 @@ func (e *Engine) NewView() *AllocView {
 		ramD:   make([]int32, n),
 		cpuD:   make([]int32, n),
 		netD:   make([]float64, n),
-		probed: make([]uint64, len(e.probed)),
+		probed: make([]uint32, len(e.probed)),
 	}
 	var ok bool
 	if v.denseBase, v.dense, ok = e.cl.DenseAllocSnapshot(); !ok {
@@ -262,6 +262,10 @@ func (v *AllocView) BestMigration(u cluster.VMID) (Decision, bool) {
 	}
 	best := Decision{VM: u, From: cur, Target: cluster.NoHost}
 	v.probeEpoch++
+	if v.probeEpoch == 0 { // epoch wrapped: stale marks would collide
+		clear(v.probed)
+		v.probeEpoch = 1
+	}
 	probes := 0
 	limit := e.cfg.MaxCandidates
 

@@ -181,6 +181,65 @@ func NewScenario(f Family, s Scale, d Density, seed int64) (*Scenario, error) {
 	return &Scenario{Topo: topo, Cl: cl, TM: tm, Eng: eng, Rng: rng, VMsPerHost: vmsPerHost}, nil
 }
 
+// NewFatTreeScenario builds a fat-tree instance at an explicit k — the
+// scale axis of the recorded perf trajectory (k=8 ≈ 128 hosts, k=16 ≈
+// 1024, k=24 ≈ 3456, k=32 ≈ 8192). Unlike NewScenario it streams: VMs
+// are created and placed in topology order (host 0 first), IDs ascend
+// with hosts, and the traffic matrix is bulk-loaded through the CSR
+// Builder — no random-placement retry loop, no pair map, so a k=24
+// instance with 100k+ VMs (vmsPerHost ≈ 30) assembles in seconds.
+// Slots carry ~25% headroom over the initial packing so migrations
+// remain admissible.
+func NewFatTreeScenario(k, vmsPerHost int, d Density, seed int64) (*Scenario, error) {
+	if k < 4 || k%2 != 0 {
+		return nil, fmt.Errorf("experiments: fat-tree k must be even and ≥ 4, got %d", k)
+	}
+	if vmsPerHost < 1 {
+		return nil, fmt.Errorf("experiments: vmsPerHost must be positive, got %d", vmsPerHost)
+	}
+	topo, err := topology.NewFatTree(k, 1000)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	slots := vmsPerHost + vmsPerHost/4 + 2
+	hosts := cluster.UniformHosts(topo.Hosts(), slots, slots*1024, 1000)
+	cl, err := cluster.New(hosts)
+	if err != nil {
+		return nil, err
+	}
+	pm := cluster.NewPlacementManager(cl, 0x0a000001) // 10.0.0.1-style IDs
+	for h := 0; h < topo.Hosts(); h++ {
+		for j := 0; j < vmsPerHost; j++ {
+			id, err := pm.CreateVM(1024)
+			if err != nil {
+				return nil, err
+			}
+			if err := cl.Place(id, cluster.HostID(h)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	tm, err := traffic.Generate(traffic.DefaultGenConfig(topo.Racks()), topo, cl, rng)
+	if err != nil {
+		return nil, err
+	}
+	if factor := d.Factor(); factor != 1 {
+		tm = tm.Scaled(factor)
+	}
+
+	cost, err := core.NewCostModel(core.PaperWeights()...)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(topo, cost, cl, tm, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{Topo: topo, Cl: cl, TM: tm, Eng: eng, Rng: rng, VMsPerHost: vmsPerHost}, nil
+}
+
 // CloneForRun duplicates the scenario's mutable state (cluster +
 // engine) so independent policies start from identical allocations.
 func (sc *Scenario) CloneForRun() (*Scenario, error) {

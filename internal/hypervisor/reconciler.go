@@ -165,6 +165,11 @@ type Reconciler struct {
 	est        *control.LatencyEstimator
 	lastShards int
 	lastGran   shard.Granularity
+
+	// batchTuner carries the merge phase's commit-RTT estimate across
+	// rounds so each round's first pipelined wave starts from the
+	// previously observed link speed instead of the fixed default.
+	batchTuner shard.BatchTuner
 }
 
 // NewReconciler validates the configuration; call Start with a transport
@@ -451,7 +456,14 @@ func (e *reconcileEnv) Apply(d core.Decision) (float64, error) {
 }
 
 // Interface compliance: the distributed env takes the batched pass.
-var _ shard.BatchEnv = (*reconcileEnv)(nil)
+// Tuner implements shard.WindowTuner: the commit-RTT estimate lives on
+// the Reconciler, not the per-round env, so it survives across rounds.
+func (e *reconcileEnv) Tuner() *shard.BatchTuner { return &e.r.batchTuner }
+
+var (
+	_ shard.BatchEnv    = (*reconcileEnv)(nil)
+	_ shard.WindowTuner = (*reconcileEnv)(nil)
+)
 
 // decisionsOf converts staged moves to the shared reconcile currency.
 func decisionsOf(ms []StagedMove) []core.Decision {

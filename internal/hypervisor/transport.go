@@ -147,6 +147,15 @@ type TCPConfig struct {
 	// dial, one frame, close) — the baseline the soak measures pooling
 	// against.
 	DisablePool bool
+	// HeartbeatIdle: a pooled connection parked at least this long must
+	// prove itself end-to-end — an application-level ping (zero-length
+	// frame) answered by the peer's pong — before it carries a frame.
+	// Connections reused sooner skip the ping and pay only the passive
+	// connAlive probe. 0 selects the 1s default; negative disables the
+	// heartbeat entirely.
+	HeartbeatIdle time.Duration
+	// HeartbeatTimeout bounds the pong wait. Default 250ms.
+	HeartbeatTimeout time.Duration
 }
 
 func withTCPDefaults(c TCPConfig) TCPConfig {
@@ -155,6 +164,12 @@ func withTCPDefaults(c TCPConfig) TCPConfig {
 	}
 	if c.IdleTimeout <= 0 {
 		c.IdleTimeout = 30 * time.Second
+	}
+	if c.HeartbeatIdle == 0 {
+		c.HeartbeatIdle = time.Second
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 250 * time.Millisecond
 	}
 	return c
 }
@@ -255,6 +270,15 @@ func (t *TCPTransport) serve(conn net.Conn) {
 	}()
 	for {
 		m, err := readFrame(conn)
+		if err == errPing {
+			// Liveness ping on a parked connection: answer on the same
+			// socket so the sender's pong read proves this serve loop —
+			// not just the kernel — is alive.
+			if _, werr := conn.Write([]byte{pongByte}); werr != nil {
+				return
+			}
+			continue
+		}
 		if err != nil {
 			return
 		}
@@ -334,8 +358,41 @@ func connAlive(c net.Conn) bool {
 	return false
 }
 
+// The heartbeat wire format: a zero-length frame is the ping, answered
+// by one pongByte on the same socket. Neither can be confused with a
+// real frame — frames are non-empty and strictly one-directional, and
+// every pong is consumed by the heartbeat that solicited it.
+var pingFrame = [4]byte{}
+
+const pongByte = 0xa5
+
+// errPing marks a zero-length frame on the receive path.
+var errPing = fmt.Errorf("hypervisor: heartbeat ping")
+
+// heartbeat proves a parked connection end-to-end: the ping must come
+// back as a pong within HeartbeatTimeout. Unlike connAlive's passive
+// probe — which only surfaces a FIN/RST the peer already queued — the
+// pong requires the peer's serve loop to respond, so a peer dead
+// *without* a FIN (power loss, partition, hung host) is caught here
+// instead of silently absorbing the next frame into a half-open socket.
+func (t *TCPTransport) heartbeat(c net.Conn) bool {
+	if err := c.SetDeadline(time.Now().Add(t.cfg.HeartbeatTimeout)); err != nil {
+		return false
+	}
+	if _, err := c.Write(pingFrame[:]); err != nil {
+		return false
+	}
+	var b [1]byte
+	if _, err := io.ReadFull(c, b[:]); err != nil || b[0] != pongByte {
+		return false
+	}
+	return c.SetDeadline(time.Time{}) == nil
+}
+
 // getConn pops a warm, still-alive connection to addr or dials a fresh
-// one; fresh reports which.
+// one; fresh reports which. Connections parked past HeartbeatIdle must
+// pass the end-to-end heartbeat; younger ones pay only the passive
+// probe.
 func (t *TCPTransport) getConn(addr string) (c net.Conn, fresh bool, err error) {
 	for {
 		t.mu.Lock()
@@ -347,7 +404,11 @@ func (t *TCPTransport) getConn(addr string) (c net.Conn, fresh bool, err error) 
 		pc := conns[len(conns)-1]
 		t.idle[addr] = conns[:len(conns)-1]
 		t.mu.Unlock()
-		if connAlive(pc.c) {
+		if t.cfg.HeartbeatIdle > 0 && time.Since(pc.last) >= t.cfg.HeartbeatIdle {
+			if t.heartbeat(pc.c) {
+				return pc.c, false, nil
+			}
+		} else if connAlive(pc.c) {
 			return pc.c, false, nil
 		}
 		_ = pc.c.Close()
@@ -355,6 +416,13 @@ func (t *TCPTransport) getConn(addr string) (c net.Conn, fresh bool, err error) 
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, true, fmt.Errorf("hypervisor: dial %s: %w", addr, err)
+	}
+	// Kernel-level backstop for parked connections between heartbeats: a
+	// peer dead without a FIN is eventually torn down by TCP keepalive
+	// even if the pool never touches the connection again.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetKeepAlive(true)
+		_ = tc.SetKeepAlivePeriod(30 * time.Second)
 	}
 	t.dials.Add(1)
 	return conn, true, nil
@@ -471,6 +539,9 @@ func readFrame(r io.Reader) (Message, error) {
 		return Message{}, err
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 { // zero-length frame: heartbeat ping, not a message
+		return Message{}, errPing
+	}
 	if n > 1<<26 { // 64 MiB guard against corrupt frames
 		return Message{}, fmt.Errorf("hypervisor: frame of %d bytes exceeds limit", n)
 	}

@@ -1,7 +1,9 @@
 package shard
 
 import (
+	"math"
 	"sort"
+	"time"
 
 	"github.com/score-dc/score/internal/cluster"
 	"github.com/score-dc/score/internal/core"
@@ -90,18 +92,89 @@ type BatchEnv interface {
 	ApplyAll(ds []core.Decision) ([]float64, []error)
 }
 
-// maxBatch bounds one pipelined commit wave — enough to overlap the
-// round trips that matter without fanning a huge round's merge into
-// hundreds of simultaneous migrations.
-const maxBatch = 16
+// The pipelined commit window is derived, not fixed. Each ApplyAll
+// wave costs roughly one commit round trip regardless of width (the
+// commits inside a wave overlap), so a merge of n remaining decisions
+// pays a serial tail of about ceil(n/w)·RTT. The tuner keeps an EWMA
+// of observed wave round trips and picks the smallest window that
+// lands the whole merge inside mergeBudget — small merges over fast
+// links stay narrow (fewer simultaneous migrations), long merges over
+// slow links widen up to maxBatch. Before the first observation the
+// window is defaultBatch, the old fixed cap.
+const (
+	defaultBatch = 16
+	maxBatch     = 64
+	mergeBudget  = 250 * time.Millisecond
+	rttAlpha     = 0.5 // EWMA weight of the newest wave RTT
+)
 
-// batchWindow returns how many leading decisions of ds (≥ 1) are
+// BatchTuner derives the pipelined commit window from observed commit
+// round trips. The zero value is ready to use; a plane that wants the
+// estimate to survive across rounds keeps one tuner alive and hands it
+// to the shared pass via the WindowTuner interface. Not safe for
+// concurrent use — reconciliation passes are strictly sequential.
+type BatchTuner struct {
+	rttNS float64 // EWMA of one pipelined wave's round trip
+}
+
+// observe folds one ApplyAll wave's measured duration into the RTT
+// estimate.
+func (t *BatchTuner) observe(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	ns := float64(d)
+	if t.rttNS == 0 {
+		t.rttNS = ns
+		return
+	}
+	t.rttNS += rttAlpha * (ns - t.rttNS)
+}
+
+// window returns the commit-wave cap given how many decisions remain
+// in the merge: the smallest w with ceil(remaining/w)·RTT ≤ mergeBudget,
+// clamped to [1, maxBatch]. Any cap yields the sequential outcome —
+// batchWindow only ever admits pairwise-independent prefixes — so the
+// window is purely a latency/fan-out trade.
+func (t *BatchTuner) window(remaining int) int {
+	if t == nil || t.rttNS <= 0 {
+		return defaultBatch
+	}
+	w := int(math.Ceil(float64(remaining) * t.rttNS / float64(mergeBudget)))
+	if w < 1 {
+		w = 1
+	}
+	if w > maxBatch {
+		w = maxBatch
+	}
+	return w
+}
+
+// WindowTuner is optionally implemented by a BatchEnv whose commit RTT
+// estimate should persist across reconciliation rounds. Envs without it
+// get a fresh per-pass tuner, which still adapts across the waves of
+// one long merge.
+type WindowTuner interface {
+	Tuner() *BatchTuner
+}
+
+// tunerOf returns the env's persistent tuner, or a fresh per-pass one.
+func tunerOf(env BatchEnv) *BatchTuner {
+	if wt, ok := env.(WindowTuner); ok {
+		if t := wt.Tuner(); t != nil {
+			return t
+		}
+	}
+	return &BatchTuner{}
+}
+
+// batchWindow returns how many leading decisions of ds (≥ 1, ≤ cap) are
 // pairwise independent: distinct VMs, no decision's VM in another's
 // peer set, and disjoint {source, target} host pairs. Within such a
 // window, validating every decision against the pre-window state and
 // applying them in any order (or concurrently) yields exactly the
 // sequential outcome.
-func batchWindow(env BatchEnv, ds []core.Decision) int {
+func batchWindow(env BatchEnv, ds []core.Decision, cap int) int {
 	if len(ds) < 2 {
 		return len(ds)
 	}
@@ -132,8 +205,11 @@ func batchWindow(env BatchEnv, ds []core.Decision) int {
 	// The first decision always admits (every conflict set starts
 	// empty), so the window is never smaller than 1.
 	w := 0
-	for w < len(ds) && w < maxBatch && admit(ds[w]) {
+	for w < len(ds) && w < cap && admit(ds[w]) {
 		w++
+	}
+	if w == 0 {
+		w = 1 // cap < 1 must still make progress
 	}
 	return w
 }
@@ -190,8 +266,9 @@ func MergeStaged(env Env, cm float64, commits []core.Decision) (applied []core.D
 // and applied as one pipelined wave.
 func mergeStagedBatched(env BatchEnv, cm float64, commits []core.Decision) (applied []core.Decision, stale int) {
 	prefetchTargets(env, commits)
+	tuner := tunerOf(env)
 	for i := 0; i < len(commits); {
-		w := batchWindow(env, commits[i:])
+		w := batchWindow(env, commits[i:], tuner.window(len(commits)-i))
 		exec := make([]core.Decision, 0, w)
 		for _, d := range commits[i : i+w] {
 			if env.Delta(d.VM, d.Target) <= cm || !env.Admissible(d.VM, d.Target) {
@@ -200,7 +277,11 @@ func mergeStagedBatched(env BatchEnv, cm float64, commits []core.Decision) (appl
 			}
 			exec = append(exec, d)
 		}
+		start := time.Now()
 		realized, errs := env.ApplyAll(exec)
+		if len(exec) > 0 {
+			tuner.observe(time.Since(start))
+		}
 		for j, d := range exec {
 			if errs[j] != nil {
 				stale++
@@ -246,8 +327,9 @@ func ReconcileProposals(env Env, cm float64, proposals []core.Decision) (applied
 // window.
 func reconcileProposalsBatched(env BatchEnv, cm float64, proposals []core.Decision) (applied []core.Decision, rejected []core.Decision) {
 	prefetchTargets(env, proposals)
+	tuner := tunerOf(env)
 	for i := 0; i < len(proposals); {
-		w := batchWindow(env, proposals[i:])
+		w := batchWindow(env, proposals[i:], tuner.window(len(proposals)-i))
 		exec := make([]core.Decision, 0, w)
 		orig := make([]core.Decision, 0, w)
 		for _, pr := range proposals[i : i+w] {
@@ -259,7 +341,11 @@ func reconcileProposalsBatched(env BatchEnv, cm float64, proposals []core.Decisi
 			exec = append(exec, core.Decision{VM: pr.VM, From: env.HostOf(pr.VM), Target: pr.Target, Delta: d})
 			orig = append(orig, pr)
 		}
+		start := time.Now()
 		realized, errs := env.ApplyAll(exec)
+		if len(exec) > 0 {
+			tuner.observe(time.Since(start))
+		}
 		for j, d := range exec {
 			if errs[j] != nil {
 				rejected = append(rejected, orig[j])

@@ -1,0 +1,398 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/score-dc/score/internal/cluster"
+)
+
+// refMatrix reproduces the pre-arena slice-row layout (one map entry
+// per VM, rows grown by append) with the exact mutation logic the old
+// Matrix used. The churn tests below drive it in lockstep with the
+// arena-backed Matrix and demand identical observable behavior.
+type refMatrix struct {
+	adj        map[cluster.VMID][]Edge
+	numPairs   int
+	gen        uint64
+	log        []EdgeChange
+	logBaseGen uint64
+}
+
+func newRefMatrix() *refMatrix {
+	return &refMatrix{adj: make(map[cluster.VMID][]Edge)}
+}
+
+func (m *refMatrix) setEdge(u, v cluster.VMID, rate float64) bool {
+	edges := m.adj[u]
+	i, ok := findEdge(edges, v)
+	if ok {
+		edges[i].Rate = rate
+		return false
+	}
+	edges = append(edges, Edge{})
+	copy(edges[i+1:], edges[i:])
+	edges[i] = Edge{Peer: v, Rate: rate}
+	m.adj[u] = edges
+	return true
+}
+
+func (m *refMatrix) removeEdge(u, v cluster.VMID) bool {
+	edges := m.adj[u]
+	i, ok := findEdge(edges, v)
+	if !ok {
+		return false
+	}
+	copy(edges[i:], edges[i+1:])
+	edges = edges[:len(edges)-1]
+	if len(edges) == 0 {
+		delete(m.adj, u)
+	} else {
+		m.adj[u] = edges
+	}
+	return true
+}
+
+func (m *refMatrix) logChange(u, v cluster.VMID, old, new float64) {
+	if len(m.log) >= changeLogCap {
+		m.log = m.log[:0]
+		m.logBaseGen = m.gen
+	}
+	m.log = append(m.log, EdgeChange{Pair: MakePair(u, v), Old: old, New: new})
+}
+
+func (m *refMatrix) Rate(u, v cluster.VMID) float64 {
+	if u == v {
+		return 0
+	}
+	edges := m.adj[u]
+	if i, ok := findEdge(edges, v); ok {
+		return edges[i].Rate
+	}
+	return 0
+}
+
+func (m *refMatrix) Set(u, v cluster.VMID, rate float64) {
+	if u == v {
+		return
+	}
+	old := m.Rate(u, v)
+	if rate <= 0 {
+		if m.removeEdge(u, v) {
+			m.removeEdge(v, u)
+			m.numPairs--
+			m.logChange(u, v, old, 0)
+			m.gen++
+		}
+		return
+	}
+	if m.setEdge(u, v, rate) {
+		m.numPairs++
+	}
+	m.setEdge(v, u, rate)
+	m.logChange(u, v, old, rate)
+	m.gen++
+}
+
+func (m *refMatrix) Add(u, v cluster.VMID, rate float64) {
+	if u == v || rate <= 0 {
+		return
+	}
+	m.Set(u, v, m.Rate(u, v)+rate)
+}
+
+func (m *refMatrix) ChangesSince(gen uint64) ([]EdgeChange, bool) {
+	if gen == m.gen {
+		return nil, true
+	}
+	if gen > m.gen || gen < m.logBaseGen {
+		return nil, false
+	}
+	return m.log[gen-m.logBaseGen:], true
+}
+
+// checkEquivalent compares every observable of the arena matrix against
+// the slice-row reference: per-VM rows, pair list, counters.
+func checkEquivalent(t *testing.T, m *Matrix, ref *refMatrix, ids []cluster.VMID) {
+	t.Helper()
+	if m.NumPairs() != ref.numPairs {
+		t.Fatalf("NumPairs = %d, ref %d", m.NumPairs(), ref.numPairs)
+	}
+	if m.Generation() != ref.gen {
+		t.Fatalf("Generation = %d, ref %d", m.Generation(), ref.gen)
+	}
+	for _, u := range ids {
+		got, want := m.NeighborEdges(u), ref.adj[u]
+		if len(got) != len(want) {
+			t.Fatalf("row %d: %d edges, ref %d", u, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("row %d[%d] = %+v, ref %+v", u, i, got[i], want[i])
+			}
+		}
+		if m.Degree(u) != len(want) {
+			t.Fatalf("Degree(%d) = %d, ref %d", u, m.Degree(u), len(want))
+		}
+	}
+	ps, rs := m.Pairs()
+	if len(ps) != ref.numPairs {
+		t.Fatalf("Pairs len = %d, ref numPairs %d", len(ps), ref.numPairs)
+	}
+	for i, p := range ps {
+		if ref.Rate(p.A, p.B) != rs[i] {
+			t.Fatalf("pair %v rate %v, ref %v", p, rs[i], ref.Rate(p.A, p.B))
+		}
+	}
+}
+
+// churn drives both layouts through n interleaved mutations: rate
+// resets (a traffic-window rollover's SetRate), pair creation via Add,
+// removals, and hub rows that grow large enough to overflow their arena
+// slots. Returns the IDs used.
+func churn(t *testing.T, m *Matrix, ref *refMatrix, idOf func(int) cluster.VMID, nVMs, ops int, seed int64) []cluster.VMID {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]cluster.VMID, nVMs)
+	for i := range ids {
+		ids[i] = idOf(i)
+	}
+	// Checkpoints exercise ChangesSince across the run, including past
+	// changelog-window restarts.
+	type checkpoint struct{ gen uint64 }
+	var cps []checkpoint
+	for op := 0; op < ops; op++ {
+		var u cluster.VMID
+		if rng.Intn(4) == 0 {
+			u = ids[rng.Intn(8)] // hub: few VMs collect large rows
+		} else {
+			u = ids[rng.Intn(nVMs)]
+		}
+		v := ids[rng.Intn(nVMs)]
+		switch rng.Intn(10) {
+		case 0, 1: // remove
+			m.Set(u, v, 0)
+			ref.Set(u, v, 0)
+		case 2, 3, 4: // accumulate
+			r := rng.Float64() * 10
+			m.Add(u, v, r)
+			ref.Add(u, v, r)
+		default: // reset to a fresh rate
+			r := 0.1 + rng.Float64()*100
+			m.Set(u, v, r)
+			ref.Set(u, v, r)
+		}
+		if op%512 == 0 {
+			cps = append(cps, checkpoint{gen: ref.gen})
+		}
+		if op%1024 == 1023 {
+			checkEquivalent(t, m, ref, ids)
+		}
+	}
+	checkEquivalent(t, m, ref, ids)
+	for _, cp := range cps {
+		got, gok := m.ChangesSince(cp.gen)
+		want, wok := ref.ChangesSince(cp.gen)
+		if gok != wok || len(got) != len(want) {
+			t.Fatalf("ChangesSince(%d): ok=%v len=%d, ref ok=%v len=%d",
+				cp.gen, gok, len(got), wok, len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("ChangesSince(%d)[%d] = %+v, ref %+v", cp.gen, i, got[i], want[i])
+			}
+		}
+	}
+	return ids
+}
+
+// TestCSREquivalenceDense: the arena-backed dense layout behaves
+// exactly like the old slice-row layout under interleaved SetRate/move
+// churn, across row overflow, compaction passes, and changelog-window
+// restarts (ops ≫ changeLogCap).
+func TestCSREquivalenceDense(t *testing.T) {
+	m, ref := NewMatrix(), newRefMatrix()
+	base := cluster.VMID(0x0a000001)
+	churn(t, m, ref, func(i int) cluster.VMID { return base + cluster.VMID(i) }, 300, 20000, 61)
+	st := m.Stats()
+	if st.Sparse {
+		t.Fatal("contiguous IDs must stay on the dense layout")
+	}
+	if st.Compactions == 0 {
+		t.Fatal("churn never triggered a compaction — overflow path untested")
+	}
+	// Compaction must leave the matrix healthy, not just equivalent.
+	m.Compact()
+	st = m.Stats()
+	if st.ArenaDead != 0 || st.OverflowRows != 0 || st.OverflowEdges != 0 {
+		t.Fatalf("post-compaction stats not clean: %+v", st)
+	}
+}
+
+// TestCSREquivalenceSparseFallback: scattered VM IDs trip the density
+// guard, and the map fallback remains behaviorally identical through
+// the same churn.
+func TestCSREquivalenceSparseFallback(t *testing.T) {
+	m, ref := NewMatrix(), newRefMatrix()
+	rng := rand.New(rand.NewSource(7))
+	scattered := make([]cluster.VMID, 300)
+	seen := map[cluster.VMID]bool{}
+	for i := range scattered {
+		for {
+			id := cluster.VMID(rng.Int63n(1 << 31))
+			if !seen[id] {
+				seen[id] = true
+				scattered[i] = id
+				break
+			}
+		}
+	}
+	churn(t, m, ref, func(i int) cluster.VMID { return scattered[i] }, 300, 8000, 62)
+	if !m.Stats().Sparse {
+		t.Fatal("scattered IDs must fall back to the sparse layout")
+	}
+}
+
+// TestBuilderMatchesIncremental: bulk-loading duplicate-heavy
+// contributions through Builder yields exactly the matrix that the same
+// Add sequence produces incrementally — same rows, same floats.
+func TestBuilderMatchesIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := NewBuilder(0)
+	inc := NewMatrix()
+	base := cluster.VMID(5000)
+	for i := 0; i < 5000; i++ {
+		u := base + cluster.VMID(rng.Intn(200))
+		v := base + cluster.VMID(rng.Intn(200))
+		r := rng.Float64() * 20
+		b.Add(u, v, r)
+		inc.Add(u, v, r)
+	}
+	built := b.Build()
+	if built.NumPairs() != inc.NumPairs() {
+		t.Fatalf("NumPairs = %d, incremental %d", built.NumPairs(), inc.NumPairs())
+	}
+	for i := 0; i < 200; i++ {
+		u := base + cluster.VMID(i)
+		got, want := built.NeighborEdges(u), inc.NeighborEdges(u)
+		if len(got) != len(want) {
+			t.Fatalf("row %d: %d edges, incremental %d", u, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("row %d[%d] = %+v, incremental %+v", u, j, got[j], want[j])
+			}
+		}
+	}
+	// A freshly built matrix reports no replayable history: consumers
+	// holding generation 0 must be told to rebuild.
+	if _, ok := built.ChangesSince(0); ok && built.NumPairs() > 0 {
+		t.Fatal("Build must not claim a replayable changelog from generation 0")
+	}
+	// The built arena is exact-fit.
+	st := built.Stats()
+	if st.Sparse || st.ArenaCap != st.Edges || st.OverflowEdges != 0 {
+		t.Fatalf("Build not exact-fit CSR: %+v", st)
+	}
+}
+
+// TestBuilderSparseFallback: Builder routes scattered IDs to the map
+// layout and still matches the incremental path.
+func TestBuilderSparseFallback(t *testing.T) {
+	b := NewBuilder(0)
+	inc := NewMatrix()
+	ids := []cluster.VMID{3, 1 << 20, 1 << 30, 1 << 28, 0xfffffff0}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		u, v := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+		r := rng.Float64() * 5
+		b.Add(u, v, r)
+		inc.Add(u, v, r)
+	}
+	built := b.Build()
+	if !built.Stats().Sparse {
+		t.Fatal("scattered IDs must build into the sparse layout")
+	}
+	for _, u := range ids {
+		got, want := built.NeighborEdges(u), inc.NeighborEdges(u)
+		if len(got) != len(want) {
+			t.Fatalf("row %d: %d edges, incremental %d", u, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("row %d[%d] = %+v, incremental %+v", u, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestQueriesAllocFreeAfterCompaction: after rows have spilled to the
+// overflow region and been folded back by a compaction, the hot-path
+// queries (NeighborEdges and the fold-style scans over them) still
+// allocate nothing.
+func TestQueriesAllocFreeAfterCompaction(t *testing.T) {
+	m := NewMatrix()
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 6000; i++ {
+		u := cluster.VMID(rng.Intn(16)) // small ID pool → big rows → spills
+		v := cluster.VMID(16 + rng.Intn(400))
+		m.Set(u, v, 1+rng.Float64())
+	}
+	if m.Stats().Compactions == 0 {
+		m.Compact()
+	}
+	var sink float64
+	if avg := testing.AllocsPerRun(200, func() {
+		for u := cluster.VMID(0); u < 16; u++ {
+			for _, e := range m.NeighborEdges(u) {
+				sink += e.Rate
+			}
+			sink += m.VMLoad(u)
+			sink += m.Rate(u, 20)
+		}
+		sink += m.TotalRate()
+	}); avg != 0 {
+		t.Fatalf("post-compaction hot queries allocate %v times per run, want 0", avg)
+	}
+	_ = sink
+}
+
+// TestForEachPairMatchesPairs: the streaming iterator visits exactly
+// the cached pair list, in the same canonical order.
+func TestForEachPairMatchesPairs(t *testing.T) {
+	for name, mk := range map[string]func() *Matrix{
+		"dense": func() *Matrix {
+			m := NewMatrix()
+			rng := rand.New(rand.NewSource(17))
+			for i := 0; i < 2000; i++ {
+				m.Set(cluster.VMID(rng.Intn(150)), cluster.VMID(rng.Intn(150)), 1+rng.Float64())
+			}
+			return m
+		},
+		"sparse": func() *Matrix {
+			m := NewMatrix()
+			ids := []cluster.VMID{1, 1 << 21, 1 << 29, 1 << 31}
+			rng := rand.New(rand.NewSource(19))
+			for i := 0; i < 60; i++ {
+				m.Set(ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))], 1+rng.Float64())
+			}
+			return m
+		},
+	} {
+		m := mk()
+		ps, rs := m.Pairs()
+		i := 0
+		m.ForEachPair(func(a, b cluster.VMID, rate float64) {
+			if i >= len(ps) {
+				t.Fatalf("%s: ForEachPair visited more than %d pairs", name, len(ps))
+			}
+			if ps[i] != (Pair{A: a, B: b}) || rs[i] != rate {
+				t.Fatalf("%s: pair %d = (%d,%d,%v), Pairs has (%v,%v)", name, i, a, b, rate, ps[i], rs[i])
+			}
+			i++
+		})
+		if i != len(ps) {
+			t.Fatalf("%s: ForEachPair visited %d pairs, Pairs has %d", name, i, len(ps))
+		}
+	}
+}

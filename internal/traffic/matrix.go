@@ -1,0 +1,687 @@
+package traffic
+
+import (
+	"math"
+	"slices"
+	"unsafe"
+
+	"github.com/score-dc/score/internal/cluster"
+)
+
+// EdgeChange records one pair-rate mutation: λ(A, B) moved from Old to
+// New. A sequence of changes replays a matrix's recent history, letting
+// consumers (the engine's incremental accounting) fold traffic-window
+// rollovers edge by edge instead of rebuilding from the full pair list.
+type EdgeChange struct {
+	Pair
+	Old, New float64
+}
+
+// changeLogCap bounds the in-memory changelog. Each mutation appends one
+// entry; when the log fills it restarts from the current generation, and
+// consumers further behind than its window fall back to a full rebuild.
+const changeLogCap = 4096
+
+// rowRef addresses one VM's adjacency row inside the matrix. The live
+// entries occupy arena[off : off+len] within a slot of cap entries; a
+// row that has outgrown its slot and could not extend in place lives in
+// the overflow region instead (ovf != 0 → ovf[ovf-1]), its arena slot
+// counted dead until the next compaction folds it back.
+type rowRef struct {
+	off uint32
+	len uint32
+	cap uint32
+	ovf int32
+}
+
+const (
+	edgeBytes   = int(unsafe.Sizeof(Edge{}))
+	rowRefBytes = int(unsafe.Sizeof(rowRef{}))
+
+	// initRowCap is the slot size granted to a row on its first edge.
+	initRowCap = 4
+	// maxRowGrow bounds one extend-in-place step for huge rows.
+	maxRowGrow = 1024
+	// rowWindowSlack is the flat allowance in the density guard deciding
+	// whether a VM-ID span may be indexed densely.
+	rowWindowSlack = 1024
+	// compactSlack is the flat allowance before dead or overflowed
+	// entries trigger a compaction, so small matrices never compact.
+	compactSlack = 64
+	// sparseRowOverhead approximates the per-row bookkeeping of the
+	// map-based fallback layout (bucket share, key, slice header) for
+	// Stats accounting.
+	sparseRowOverhead = 48
+)
+
+// slackOf is the spare capacity a row's slot receives at compaction, so
+// a freshly compacted matrix absorbs a few inserts per row before any
+// row must spill again.
+func slackOf(n int) int { return n/8 + 1 }
+
+// Matrix is a sparse symmetric pairwise traffic-rate matrix in Mb/s.
+// The zero value is ready to use. See the package comment for the
+// arena-backed adjacency layout and slice-ownership rules.
+type Matrix struct {
+	// Dense CSR storage — the common case: VM IDs issued contiguously
+	// (cluster.PlacementManager). rows[i] addresses VM base+i's row in
+	// the shared arena or the overflow region.
+	base     cluster.VMID
+	rows     []rowRef
+	arena    []Edge
+	ovf      [][]Edge // overflow rows; index = rowRef.ovf-1
+	freeOvf  []int32  // recycled overflow indices
+	nonEmpty int      // rows with at least one edge
+	dead     int      // arena entries abandoned by spilled/emptied rows
+	ovfEdges int      // edges currently living in overflow rows
+	compacts uint64
+
+	// Sparse fallback when VM IDs are too scattered for a dense row
+	// window (see ensureRow). Mutually exclusive with rows/arena.
+	sparse map[cluster.VMID][]Edge
+
+	numPairs int
+	gen      uint64
+
+	// Edge-level changelog: log[i] is the mutation that advanced the
+	// generation from logBaseGen+i to logBaseGen+i+1.
+	log        []EdgeChange
+	logBaseGen uint64
+
+	// Cached pair list served by Pairs, rebuilt lazily when gen moves.
+	pairCache  []Pair
+	rateCache  []float64
+	cacheGen   uint64
+	cacheValid bool
+}
+
+// NewMatrix returns an empty matrix.
+func NewMatrix() *Matrix { return &Matrix{} }
+
+// findEdge binary searches edges (sorted by Peer) for peer, returning
+// the insertion index and whether it is present.
+func findEdge(edges []Edge, peer cluster.VMID) (int, bool) {
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if edges[mid].Peer < peer {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(edges) && edges[lo].Peer == peer
+}
+
+// rowIndex maps a VM ID into the dense row table, -1 when outside it.
+func (m *Matrix) rowIndex(u cluster.VMID) int {
+	i := int64(u) - int64(m.base)
+	if uint64(i) >= uint64(len(m.rows)) {
+		return -1
+	}
+	return int(i)
+}
+
+// row returns row i's live edges. For arena rows the slice is capped at
+// the slot boundary so appends by callers can never clobber a neighbor
+// row (callers still must not append — the slice is matrix-owned).
+func (m *Matrix) row(i int) []Edge {
+	r := &m.rows[i]
+	if r.ovf != 0 {
+		return m.ovf[r.ovf-1]
+	}
+	return m.arena[r.off : r.off+r.len : r.off+r.cap]
+}
+
+// ensureRow returns the dense row index for u, growing or rebasing the
+// row window as needed. When the span required to cover u would waste
+// more than ~4× the occupied rows (plus slack), the matrix abandons the
+// dense window and migrates to the sparse map fallback, returning -1.
+func (m *Matrix) ensureRow(u cluster.VMID) int {
+	if m.sparse != nil {
+		return -1
+	}
+	if m.rows == nil {
+		m.base = u
+		m.rows = make([]rowRef, 1, 8)
+		return 0
+	}
+	i := int64(u) - int64(m.base)
+	if i >= 0 && i < int64(len(m.rows)) {
+		return int(i)
+	}
+	var newBase, required int64
+	if i < 0 {
+		newBase, required = int64(u), int64(len(m.rows))-i
+	} else {
+		newBase, required = int64(m.base), i+1
+	}
+	if required > int64(m.nonEmpty)*4+rowWindowSlack {
+		m.fallbackToSparse()
+		return -1
+	}
+	padded := required
+	if d := int64(len(m.rows)) * 2; d > padded {
+		padded = d
+	}
+	if i < 0 {
+		// Growing downward: spend the padding below so a descending ID
+		// sequence does not rebase on every insert.
+		newBase -= padded - required
+		if newBase < 0 {
+			newBase = 0
+		}
+	}
+	nr := make([]rowRef, padded)
+	copy(nr[int64(m.base)-newBase:], m.rows)
+	m.base, m.rows = cluster.VMID(newBase), nr
+	return int(int64(u) - newBase)
+}
+
+// fallbackToSparse migrates every dense row into the map layout. From
+// here on the matrix behaves like the classic slice-row design: correct
+// for arbitrarily scattered IDs, just without the arena's locality.
+func (m *Matrix) fallbackToSparse() {
+	s := make(map[cluster.VMID][]Edge, m.nonEmpty)
+	for i := range m.rows {
+		if m.rows[i].len == 0 {
+			continue
+		}
+		s[m.base+cluster.VMID(i)] = append([]Edge(nil), m.row(i)...)
+	}
+	m.sparse = s
+	m.base, m.rows, m.arena, m.ovf, m.freeOvf = 0, nil, nil, nil, nil
+	m.nonEmpty, m.dead, m.ovfEdges = 0, 0, 0
+}
+
+// spillRow moves arena row i to the overflow region, leaving its slot
+// dead until the next compaction.
+func (m *Matrix) spillRow(i int) {
+	r := &m.rows[i]
+	n := int(r.len)
+	s := make([]Edge, n, n+n/2+2)
+	copy(s, m.arena[r.off:r.off+r.len])
+	var idx int
+	if k := len(m.freeOvf); k > 0 {
+		idx = int(m.freeOvf[k-1])
+		m.freeOvf = m.freeOvf[:k-1]
+		m.ovf[idx] = s
+	} else {
+		idx = len(m.ovf)
+		m.ovf = append(m.ovf, s)
+	}
+	m.dead += int(r.cap)
+	m.ovfEdges += n
+	r.off, r.cap, r.ovf = 0, 0, int32(idx+1)
+}
+
+// insertDenseEdge inserts e at sorted position j of row i, growing the
+// row's storage as needed: extend the slot in place when it abuts the
+// arena's end, otherwise spill the row to the overflow region.
+func (m *Matrix) insertDenseEdge(i, j int, e Edge) {
+	r := &m.rows[i]
+	if r.len == 0 {
+		m.nonEmpty++
+	}
+	if r.ovf != 0 {
+		idx := r.ovf - 1
+		s := append(m.ovf[idx], Edge{})
+		copy(s[j+1:], s[j:])
+		s[j] = e
+		m.ovf[idx] = s
+		r.len++
+		m.ovfEdges++
+		return
+	}
+	if r.len == r.cap {
+		switch {
+		case r.cap == 0:
+			off := len(m.arena)
+			m.arena = slices.Grow(m.arena, initRowCap)[:off+initRowCap]
+			r.off, r.cap = uint32(off), initRowCap
+		case int(r.off)+int(r.cap) == len(m.arena):
+			grow := int(r.cap)
+			if grow > maxRowGrow {
+				grow = maxRowGrow
+			}
+			m.arena = slices.Grow(m.arena, grow)[:len(m.arena)+grow]
+			r.cap += uint32(grow)
+		default:
+			m.spillRow(i)
+			m.insertDenseEdge(i, j, e)
+			return
+		}
+	}
+	base := int(r.off)
+	n := int(r.len)
+	copy(m.arena[base+j+1:base+n+1], m.arena[base+j:base+n])
+	m.arena[base+j] = e
+	r.len++
+}
+
+// removeDenseEdge deletes position j of row i. Rows emptied in the
+// arena release their slot (counted dead); emptied overflow rows are
+// recycled immediately.
+func (m *Matrix) removeDenseEdge(i, j int) {
+	r := &m.rows[i]
+	if r.ovf != 0 {
+		idx := r.ovf - 1
+		s := m.ovf[idx]
+		copy(s[j:], s[j+1:])
+		s = s[:len(s)-1]
+		r.len--
+		m.ovfEdges--
+		if r.len == 0 {
+			m.ovf[idx] = nil
+			m.freeOvf = append(m.freeOvf, idx)
+			r.ovf = 0
+			m.nonEmpty--
+		} else {
+			m.ovf[idx] = s
+		}
+		return
+	}
+	base := int(r.off)
+	n := int(r.len)
+	copy(m.arena[base+j:base+n-1], m.arena[base+j+1:base+n])
+	r.len--
+	if r.len == 0 {
+		m.dead += int(r.cap)
+		*r = rowRef{}
+		m.nonEmpty--
+	}
+}
+
+// setEdgeAny inserts or updates the directed entry u→v in whichever
+// layout is active, reporting whether the entry was newly created.
+func (m *Matrix) setEdgeAny(u, v cluster.VMID, rate float64) bool {
+	if m.sparse == nil {
+		if i := m.ensureRow(u); i >= 0 {
+			es := m.row(i)
+			j, ok := findEdge(es, v)
+			if ok {
+				es[j].Rate = rate
+				return false
+			}
+			m.insertDenseEdge(i, j, Edge{Peer: v, Rate: rate})
+			return true
+		}
+		// ensureRow migrated to the sparse layout; fall through.
+	}
+	edges := m.sparse[u]
+	i, ok := findEdge(edges, v)
+	if ok {
+		edges[i].Rate = rate
+		return false
+	}
+	edges = append(edges, Edge{})
+	copy(edges[i+1:], edges[i:])
+	edges[i] = Edge{Peer: v, Rate: rate}
+	m.sparse[u] = edges
+	return true
+}
+
+// removeEdgeAny deletes the directed entry u→v, reporting whether it
+// existed.
+func (m *Matrix) removeEdgeAny(u, v cluster.VMID) bool {
+	if m.sparse == nil {
+		i := m.rowIndex(u)
+		if i < 0 {
+			return false
+		}
+		es := m.row(i)
+		j, ok := findEdge(es, v)
+		if !ok {
+			return false
+		}
+		m.removeDenseEdge(i, j)
+		return true
+	}
+	edges := m.sparse[u]
+	i, ok := findEdge(edges, v)
+	if !ok {
+		return false
+	}
+	copy(edges[i:], edges[i+1:])
+	edges = edges[:len(edges)-1]
+	if len(edges) == 0 {
+		delete(m.sparse, u)
+	} else {
+		m.sparse[u] = edges
+	}
+	return true
+}
+
+// maybeCompact rebuilds the arena once the entries stranded outside it
+// (dead slots, overflow rows) outweigh a fraction of the live edges.
+func (m *Matrix) maybeCompact() {
+	if m.sparse != nil || m.rows == nil {
+		return
+	}
+	live := 2 * m.numPairs
+	if m.dead > live/2+compactSlack || m.ovfEdges > live/8+compactSlack {
+		m.Compact()
+	}
+}
+
+// Compact rebuilds the arena: every row is copied into a fresh backing
+// array with slackOf slack, overflow rows fold back in, and dead slots
+// vanish. Row contents and all query results are unchanged; previously
+// returned NeighborEdges slices are invalidated (as by any mutation).
+func (m *Matrix) Compact() {
+	if m.sparse != nil || m.rows == nil {
+		return
+	}
+	total := 0
+	for i := range m.rows {
+		if n := int(m.rows[i].len); n > 0 {
+			total += n + slackOf(n)
+		}
+	}
+	na := make([]Edge, total)
+	cur := 0
+	for i := range m.rows {
+		r := &m.rows[i]
+		n := int(r.len)
+		if n == 0 {
+			*r = rowRef{}
+			continue
+		}
+		copy(na[cur:], m.row(i))
+		r.off, r.cap, r.ovf = uint32(cur), uint32(n+slackOf(n)), 0
+		cur += n + slackOf(n)
+	}
+	m.arena = na
+	m.ovf, m.freeOvf = nil, nil
+	m.dead, m.ovfEdges = 0, 0
+	m.compacts++
+}
+
+// logChange appends one mutation to the changelog, restarting the
+// window when it is full. Must be called exactly once per generation
+// increment, before gen moves.
+func (m *Matrix) logChange(u, v cluster.VMID, old, new float64) {
+	if len(m.log) >= changeLogCap {
+		m.log = m.log[:0]
+		m.logBaseGen = m.gen
+	}
+	m.log = append(m.log, EdgeChange{Pair: MakePair(u, v), Old: old, New: new})
+}
+
+// ChangesSince returns the mutations that advanced the matrix from
+// generation gen to the current one, in application order. ok is false
+// when gen lies behind the changelog's window (the caller must fall back
+// to a full recompute). The slice is owned by the matrix: read-only,
+// valid until the next mutation.
+func (m *Matrix) ChangesSince(gen uint64) ([]EdgeChange, bool) {
+	if gen == m.gen {
+		return nil, true
+	}
+	if gen > m.gen || gen < m.logBaseGen {
+		return nil, false
+	}
+	return m.log[gen-m.logBaseGen:], true
+}
+
+// Set fixes λ(u, v) to rateMbps. Setting a self-pair or a non-positive
+// rate removes the entry.
+func (m *Matrix) Set(u, v cluster.VMID, rateMbps float64) {
+	if u == v {
+		return
+	}
+	old := m.Rate(u, v)
+	if rateMbps <= 0 {
+		if m.removeEdgeAny(u, v) {
+			m.removeEdgeAny(v, u)
+			m.numPairs--
+			m.logChange(u, v, old, 0)
+			m.gen++
+			m.maybeCompact()
+		}
+		return
+	}
+	if m.setEdgeAny(u, v, rateMbps) {
+		m.numPairs++
+	}
+	m.setEdgeAny(v, u, rateMbps)
+	m.logChange(u, v, old, rateMbps)
+	m.gen++
+	m.maybeCompact()
+}
+
+// Add increases λ(u, v) by rateMbps, creating the pair if absent.
+func (m *Matrix) Add(u, v cluster.VMID, rateMbps float64) {
+	if u == v || rateMbps <= 0 {
+		return
+	}
+	m.Set(u, v, m.Rate(u, v)+rateMbps)
+}
+
+// Rate returns λ(u, v), 0 when the VMs do not communicate.
+func (m *Matrix) Rate(u, v cluster.VMID) float64 {
+	if u == v {
+		return 0
+	}
+	edges := m.NeighborEdges(u)
+	if i, ok := findEdge(edges, v); ok {
+		return edges[i].Rate
+	}
+	return 0
+}
+
+// NeighborEdges returns VM u's adjacency row: its peers in ascending ID
+// order with their rates. The slice is owned by the matrix — read-only,
+// valid until the next mutation (see the package comment).
+func (m *Matrix) NeighborEdges(u cluster.VMID) []Edge {
+	if m.sparse != nil {
+		return m.sparse[u]
+	}
+	if i := m.rowIndex(u); i >= 0 {
+		return m.row(i)
+	}
+	return nil
+}
+
+// Neighbors returns Vu, the set of VMs exchanging data with u, in
+// ascending ID order. The returned slice is owned by the caller; hot
+// paths should prefer NeighborEdges, which does not copy.
+func (m *Matrix) Neighbors(u cluster.VMID) []cluster.VMID {
+	edges := m.NeighborEdges(u)
+	if len(edges) == 0 {
+		return nil
+	}
+	out := make([]cluster.VMID, len(edges))
+	for i, e := range edges {
+		out[i] = e.Peer
+	}
+	return out
+}
+
+// Degree returns |Vu| without allocating.
+func (m *Matrix) Degree(u cluster.VMID) int {
+	return len(m.NeighborEdges(u))
+}
+
+// VMLoad returns Σ_{v∈Vu} λ(u, v), the aggregate traffic rate of VM u.
+// This is what the hypervisor computes from its flow table when holding
+// the token (Section V-B3), and what the bandwidth-threshold admission
+// check of Section V-C sums per host.
+func (m *Matrix) VMLoad(u cluster.VMID) float64 {
+	var sum float64
+	for _, e := range m.NeighborEdges(u) {
+		sum += e.Rate
+	}
+	return sum
+}
+
+// NumPairs returns the number of communicating pairs.
+func (m *Matrix) NumPairs() int { return m.numPairs }
+
+// Generation returns a counter that increments on every mutation.
+// Consumers caching derived state (pair lists, incremental cost
+// accumulators) compare generations to detect staleness.
+func (m *Matrix) Generation() uint64 { return m.gen }
+
+// TotalRate returns the sum of λ over all pairs.
+func (m *Matrix) TotalRate() float64 {
+	var sum float64
+	if m.sparse != nil {
+		for _, edges := range m.sparse {
+			for _, e := range edges {
+				sum += e.Rate
+			}
+		}
+		return sum / 2
+	}
+	for i := range m.rows {
+		for _, e := range m.row(i) {
+			sum += e.Rate
+		}
+	}
+	return sum / 2 // every pair is stored in both endpoint rows
+}
+
+// ForEachPair calls f for every communicating pair in deterministic
+// (A asc, B asc) order — the same order Pairs reports — without
+// materializing the pair-list cache. This is the memory-frugal path for
+// one-shot full scans at scale (accounting rebuilds, streaming export).
+func (m *Matrix) ForEachPair(f func(a, b cluster.VMID, rate float64)) {
+	if m.sparse != nil {
+		ids := make([]cluster.VMID, 0, len(m.sparse))
+		for u := range m.sparse {
+			ids = append(ids, u)
+		}
+		slices.Sort(ids)
+		for _, u := range ids {
+			for _, e := range m.sparse[u] {
+				if u < e.Peer {
+					f(u, e.Peer, e.Rate)
+				}
+			}
+		}
+		return
+	}
+	for i := range m.rows {
+		u := m.base + cluster.VMID(i)
+		for _, e := range m.row(i) {
+			if u < e.Peer { // emit each pair once, in canonical order
+				f(u, e.Peer, e.Rate)
+			}
+		}
+	}
+}
+
+// Pairs returns all communicating pairs in deterministic (A asc, B asc)
+// order with their rates. The result is cached between mutations; the
+// returned slices are owned by the matrix and must be treated as
+// read-only (see the package comment).
+func (m *Matrix) Pairs() ([]Pair, []float64) {
+	if !m.cacheValid || m.cacheGen != m.gen {
+		m.rebuildPairCache()
+	}
+	return m.pairCache, m.rateCache
+}
+
+func (m *Matrix) rebuildPairCache() {
+	ps := make([]Pair, 0, m.numPairs)
+	rs := make([]float64, 0, m.numPairs)
+	m.ForEachPair(func(a, b cluster.VMID, rate float64) {
+		ps = append(ps, Pair{A: a, B: b})
+		rs = append(rs, rate)
+	})
+	m.pairCache, m.rateCache = ps, rs
+	m.cacheGen, m.cacheValid = m.gen, true
+}
+
+// Scaled returns a copy of the matrix with every rate multiplied by f,
+// the paper's ×10 (medium) and ×50 (dense) load-stress transformation.
+// The copy's arena is exact-fit CSR (no slack, no overflow). A
+// non-positive factor yields an empty matrix (all entries removed).
+func (m *Matrix) Scaled(f float64) *Matrix {
+	out := NewMatrix()
+	if f <= 0 || math.IsNaN(f) {
+		return out
+	}
+	if m.sparse != nil {
+		out.sparse = make(map[cluster.VMID][]Edge, len(m.sparse))
+		for u, edges := range m.sparse {
+			cp := make([]Edge, len(edges))
+			for i, e := range edges {
+				cp[i] = Edge{Peer: e.Peer, Rate: e.Rate * f}
+			}
+			out.sparse[u] = cp
+		}
+		out.numPairs = m.numPairs
+		return out
+	}
+	if m.rows == nil {
+		return out
+	}
+	out.base = m.base
+	out.rows = make([]rowRef, len(m.rows))
+	out.arena = make([]Edge, 2*m.numPairs)
+	cur := 0
+	for i := range m.rows {
+		n := int(m.rows[i].len)
+		if n == 0 {
+			continue
+		}
+		dst := out.arena[cur : cur+n]
+		for j, e := range m.row(i) {
+			dst[j] = Edge{Peer: e.Peer, Rate: e.Rate * f}
+		}
+		out.rows[i] = rowRef{off: uint32(cur), len: uint32(n), cap: uint32(n)}
+		cur += n
+	}
+	out.nonEmpty = m.nonEmpty
+	out.numPairs = m.numPairs
+	return out
+}
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix { return m.Scaled(1) }
+
+// Stats reports the matrix's storage accounting — the observable the
+// scale benchmarks and the memory-regression tests gate on.
+type Stats struct {
+	Pairs         int    // communicating pairs
+	Edges         int    // directed adjacency entries (2·Pairs)
+	RowWindow     int    // dense row-table span (0 in sparse mode)
+	ArenaCap      int    // arena capacity, in edges
+	ArenaDead     int    // dead arena entries awaiting compaction
+	OverflowRows  int    // rows currently living in the overflow region
+	OverflowEdges int    // edges in overflow rows
+	Compactions   uint64 // compaction passes performed
+	Sparse        bool   // true when the map fallback is active
+	Bytes         int    // adjacency storage footprint, in bytes
+}
+
+// Stats returns the current storage accounting. Bytes counts the
+// adjacency structures only (arena, row table, overflow region — or the
+// estimated map layout in sparse mode); the changelog and pair cache are
+// excluded.
+func (m *Matrix) Stats() Stats {
+	s := Stats{
+		Pairs:       m.numPairs,
+		Edges:       2 * m.numPairs,
+		Compactions: m.compacts,
+	}
+	if m.sparse != nil {
+		s.Sparse = true
+		for _, edges := range m.sparse {
+			s.Bytes += cap(edges)*edgeBytes + sparseRowOverhead
+		}
+		return s
+	}
+	s.RowWindow = len(m.rows)
+	s.ArenaCap = cap(m.arena)
+	s.ArenaDead = m.dead
+	s.OverflowRows = len(m.ovf) - len(m.freeOvf)
+	s.OverflowEdges = m.ovfEdges
+	s.Bytes = cap(m.arena)*edgeBytes + cap(m.rows)*rowRefBytes +
+		cap(m.freeOvf)*4 + cap(m.ovf)*24
+	for _, o := range m.ovf {
+		s.Bytes += cap(o) * edgeBytes
+	}
+	return s
+}

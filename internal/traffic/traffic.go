@@ -10,39 +10,67 @@
 // (Section V-C, VI). The initial matrix can be scaled ×10 / ×50 into the
 // medium and dense variants of Fig. 3.
 //
-// # Adjacency layout
+// # Adjacency layout: arena-backed CSR
 //
-// Matrix stores the sparse symmetric matrix in CSR style: one []Edge
-// slice per VM, sorted by peer ID and kept sorted on every mutation.
+// Matrix stores the sparse symmetric matrix as CSR over one shared
+// arena: a single []Edge backing array holds every VM's adjacency row
+// back to back, and a dense row table of 16-byte rowRefs (uint32
+// offset/length/capacity into the arena) maps VM IDs to their rows.
 // Each communicating pair (u, v) appears twice — as Edge{v, λ} in u's
-// slice and Edge{u, λ} in v's — so the decision hot path (core.Engine)
-// walks a VM's neighbors and rates in a single cache-friendly scan with
-// no per-edge map lookup and no allocation. Point queries (Rate) binary
-// search the row. A generation counter increments on every mutation; it
-// backs the lazily rebuilt pair-list cache served by Pairs and lets
-// consumers (e.g. the engine's incremental cost accounting) detect
-// in-place mutation. Each mutation is additionally recorded in a bounded
+// row and Edge{u, λ} in v's — and every row is kept sorted by peer ID,
+// so the decision hot path (core.Engine) walks a VM's neighbors and
+// rates in a single cache-friendly scan with no per-edge map lookup, no
+// pointer chasing between rows, and no allocation. Point queries (Rate)
+// binary search the row.
+//
+// # Overflow and compaction lifecycle
+//
+// Rows are born in the arena with a few entries of slack. A mutation
+// that outgrows a row's slot first tries to extend the slot in place
+// (possible when it abuts the arena's end); otherwise the row spills
+// into a small per-VM overflow region — an ordinary Go slice on the
+// side — and its arena slot is counted dead. SetRate-style incremental
+// mutations therefore stay O(degree) regardless of where the row lives.
+// When dead slots or overflowed edges exceed a fraction of the live
+// edge count, the next mutation triggers a compaction pass (also
+// available explicitly as Compact) that rebuilds the arena exact-fit
+// plus per-row slack, folds every overflow row back in, and resets the
+// accounting. Bulk construction never pays per-insert maintenance:
+// Builder performs one sort plus a counting fill into an exact-fit
+// arena, and Scaled/Clone copy straight into exact-fit CSR.
+//
+// Matrices whose VM IDs are too scattered for a dense row window (the
+// span would waste more than ~4× the occupied rows) fall back to the
+// classic map-of-slices layout transparently; all queries behave
+// identically, just without the arena's locality.
+//
+// A generation counter increments on every mutation; it backs the
+// lazily rebuilt pair-list cache served by Pairs and lets consumers
+// (e.g. the engine's incremental cost accounting) detect in-place
+// mutation. Each mutation is additionally recorded in a bounded
 // edge-level changelog (ChangesSince), so consumers a few generations
-// behind can fold the delta per edge instead of rebuilding from the full
-// pair list — the traffic-window rollover fast path.
+// behind can fold the delta per edge instead of rebuilding from the
+// full pair list — the traffic-window rollover fast path.
 //
 // # Slice ownership
 //
 // NeighborEdges and Pairs return slices owned by the Matrix: callers
 // must treat them as read-only and must not hold them across mutations
-// (Set/Add). Adjacency rows are edited in place, so a NeighborEdges
-// slice held across a mutation may see its entries rewritten or
-// shifted. Pair-list snapshots from Pairs are rebuilt into fresh
-// backing arrays, so an earlier snapshot merely goes stale but stays
-// internally consistent. Neighbors, by contrast, returns a copy owned
-// by the caller.
+// (Set/Add/Compact). Adjacency rows are edited in place — and a
+// compaction or row spill moves them wholesale — so a NeighborEdges
+// slice held across a mutation may see its entries rewritten, shifted,
+// or left pointing into a retired arena. Pair-list snapshots from Pairs
+// are rebuilt into fresh backing arrays, so an earlier snapshot merely
+// goes stale but stays internally consistent. Neighbors, by contrast,
+// returns a copy owned by the caller. ForEachPair visits pairs in the
+// same canonical order as Pairs without materializing the cache — the
+// memory-frugal choice for one-shot scans at scale.
 package traffic
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
-	"slices"
 
 	"github.com/score-dc/score/internal/cluster"
 	"github.com/score-dc/score/internal/topology"
@@ -80,294 +108,6 @@ func CompareEdges(a, b Edge) int {
 	}
 	return 0
 }
-
-// EdgeChange records one pair-rate mutation: λ(A, B) moved from Old to
-// New. A sequence of changes replays a matrix's recent history, letting
-// consumers (the engine's incremental accounting) fold traffic-window
-// rollovers edge by edge instead of rebuilding from the full pair list.
-type EdgeChange struct {
-	Pair
-	Old, New float64
-}
-
-// changeLogCap bounds the in-memory changelog. Each mutation appends one
-// entry; when the log fills it restarts from the current generation, and
-// consumers further behind than its window fall back to a full rebuild.
-const changeLogCap = 4096
-
-// Matrix is a sparse symmetric pairwise traffic-rate matrix in Mb/s.
-// The zero value is ready to use. See the package comment for the
-// adjacency layout and slice-ownership rules.
-type Matrix struct {
-	adj      map[cluster.VMID][]Edge // per-VM edges, sorted by Peer
-	numPairs int
-	gen      uint64
-
-	// Edge-level changelog: log[i] is the mutation that advanced the
-	// generation from logBaseGen+i to logBaseGen+i+1.
-	log        []EdgeChange
-	logBaseGen uint64
-
-	// Cached pair list served by Pairs, rebuilt lazily when gen moves.
-	pairCache  []Pair
-	rateCache  []float64
-	cacheGen   uint64
-	cacheValid bool
-}
-
-// NewMatrix returns an empty matrix.
-func NewMatrix() *Matrix {
-	return &Matrix{adj: make(map[cluster.VMID][]Edge)}
-}
-
-func (m *Matrix) init() {
-	if m.adj == nil {
-		m.adj = make(map[cluster.VMID][]Edge)
-	}
-}
-
-// findEdge binary searches edges (sorted by Peer) for peer, returning
-// the insertion index and whether it is present.
-func findEdge(edges []Edge, peer cluster.VMID) (int, bool) {
-	lo, hi := 0, len(edges)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if edges[mid].Peer < peer {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo, lo < len(edges) && edges[lo].Peer == peer
-}
-
-// setEdge inserts or updates the directed entry u→v, keeping u's row
-// sorted. It reports whether the entry was newly created.
-func (m *Matrix) setEdge(u, v cluster.VMID, rate float64) bool {
-	edges := m.adj[u]
-	i, ok := findEdge(edges, v)
-	if ok {
-		edges[i].Rate = rate
-		return false
-	}
-	edges = append(edges, Edge{})
-	copy(edges[i+1:], edges[i:])
-	edges[i] = Edge{Peer: v, Rate: rate}
-	m.adj[u] = edges
-	return true
-}
-
-// removeEdge deletes the directed entry u→v, reporting whether it
-// existed.
-func (m *Matrix) removeEdge(u, v cluster.VMID) bool {
-	edges := m.adj[u]
-	i, ok := findEdge(edges, v)
-	if !ok {
-		return false
-	}
-	copy(edges[i:], edges[i+1:])
-	edges = edges[:len(edges)-1]
-	if len(edges) == 0 {
-		delete(m.adj, u)
-	} else {
-		m.adj[u] = edges
-	}
-	return true
-}
-
-// logChange appends one mutation to the changelog, restarting the
-// window when it is full. Must be called exactly once per generation
-// increment, before gen moves.
-func (m *Matrix) logChange(u, v cluster.VMID, old, new float64) {
-	if len(m.log) >= changeLogCap {
-		m.log = m.log[:0]
-		m.logBaseGen = m.gen
-	}
-	m.log = append(m.log, EdgeChange{Pair: MakePair(u, v), Old: old, New: new})
-}
-
-// ChangesSince returns the mutations that advanced the matrix from
-// generation gen to the current one, in application order. ok is false
-// when gen lies behind the changelog's window (the caller must fall back
-// to a full recompute). The slice is owned by the matrix: read-only,
-// valid until the next mutation.
-func (m *Matrix) ChangesSince(gen uint64) ([]EdgeChange, bool) {
-	if gen == m.gen {
-		return nil, true
-	}
-	if gen > m.gen || gen < m.logBaseGen {
-		return nil, false
-	}
-	return m.log[gen-m.logBaseGen:], true
-}
-
-// Set fixes λ(u, v) to rateMbps. Setting a self-pair or a non-positive
-// rate removes the entry.
-func (m *Matrix) Set(u, v cluster.VMID, rateMbps float64) {
-	if u == v {
-		return
-	}
-	m.init()
-	old := m.Rate(u, v)
-	if rateMbps <= 0 {
-		if m.removeEdge(u, v) {
-			m.removeEdge(v, u)
-			m.numPairs--
-			m.logChange(u, v, old, 0)
-			m.gen++
-		}
-		return
-	}
-	if m.setEdge(u, v, rateMbps) {
-		m.numPairs++
-	}
-	m.setEdge(v, u, rateMbps)
-	m.logChange(u, v, old, rateMbps)
-	m.gen++
-}
-
-// Add increases λ(u, v) by rateMbps, creating the pair if absent.
-func (m *Matrix) Add(u, v cluster.VMID, rateMbps float64) {
-	if u == v || rateMbps <= 0 {
-		return
-	}
-	m.Set(u, v, m.Rate(u, v)+rateMbps)
-}
-
-// Rate returns λ(u, v), 0 when the VMs do not communicate.
-func (m *Matrix) Rate(u, v cluster.VMID) float64 {
-	if m.adj == nil || u == v {
-		return 0
-	}
-	edges := m.adj[u]
-	if i, ok := findEdge(edges, v); ok {
-		return edges[i].Rate
-	}
-	return 0
-}
-
-// NeighborEdges returns VM u's adjacency row: its peers in ascending ID
-// order with their rates. The slice is owned by the matrix — read-only,
-// valid until the next mutation (see the package comment).
-func (m *Matrix) NeighborEdges(u cluster.VMID) []Edge {
-	if m.adj == nil {
-		return nil
-	}
-	return m.adj[u]
-}
-
-// Neighbors returns Vu, the set of VMs exchanging data with u, in
-// ascending ID order. The returned slice is owned by the caller; hot
-// paths should prefer NeighborEdges, which does not copy.
-func (m *Matrix) Neighbors(u cluster.VMID) []cluster.VMID {
-	if m.adj == nil {
-		return nil
-	}
-	edges := m.adj[u]
-	if len(edges) == 0 {
-		return nil
-	}
-	out := make([]cluster.VMID, len(edges))
-	for i, e := range edges {
-		out[i] = e.Peer
-	}
-	return out
-}
-
-// Degree returns |Vu| without allocating.
-func (m *Matrix) Degree(u cluster.VMID) int {
-	if m.adj == nil {
-		return 0
-	}
-	return len(m.adj[u])
-}
-
-// VMLoad returns Σ_{v∈Vu} λ(u, v), the aggregate traffic rate of VM u.
-// This is what the hypervisor computes from its flow table when holding
-// the token (Section V-B3), and what the bandwidth-threshold admission
-// check of Section V-C sums per host.
-func (m *Matrix) VMLoad(u cluster.VMID) float64 {
-	if m.adj == nil {
-		return 0
-	}
-	var sum float64
-	for _, e := range m.adj[u] {
-		sum += e.Rate
-	}
-	return sum
-}
-
-// NumPairs returns the number of communicating pairs.
-func (m *Matrix) NumPairs() int { return m.numPairs }
-
-// Generation returns a counter that increments on every mutation.
-// Consumers caching derived state (pair lists, incremental cost
-// accumulators) compare generations to detect staleness.
-func (m *Matrix) Generation() uint64 { return m.gen }
-
-// TotalRate returns the sum of λ over all pairs.
-func (m *Matrix) TotalRate() float64 {
-	var sum float64
-	for _, edges := range m.adj {
-		for _, e := range edges {
-			sum += e.Rate
-		}
-	}
-	return sum / 2 // every pair is stored in both endpoint rows
-}
-
-// Pairs returns all communicating pairs in deterministic (A asc, B asc)
-// order with their rates. The result is cached between mutations; the
-// returned slices are owned by the matrix and must be treated as
-// read-only (see the package comment).
-func (m *Matrix) Pairs() ([]Pair, []float64) {
-	if !m.cacheValid || m.cacheGen != m.gen {
-		m.rebuildPairCache()
-	}
-	return m.pairCache, m.rateCache
-}
-
-func (m *Matrix) rebuildPairCache() {
-	ids := make([]cluster.VMID, 0, len(m.adj))
-	for u := range m.adj {
-		ids = append(ids, u)
-	}
-	slices.Sort(ids)
-	ps := make([]Pair, 0, m.numPairs)
-	rs := make([]float64, 0, m.numPairs)
-	for _, u := range ids {
-		for _, e := range m.adj[u] {
-			if u < e.Peer { // emit each pair once, in canonical order
-				ps = append(ps, Pair{A: u, B: e.Peer})
-				rs = append(rs, e.Rate)
-			}
-		}
-	}
-	m.pairCache, m.rateCache = ps, rs
-	m.cacheGen, m.cacheValid = m.gen, true
-}
-
-// Scaled returns a copy of the matrix with every rate multiplied by f,
-// the paper's ×10 (medium) and ×50 (dense) load-stress transformation.
-// A non-positive factor yields an empty matrix (all entries removed).
-func (m *Matrix) Scaled(f float64) *Matrix {
-	out := NewMatrix()
-	if f <= 0 || math.IsNaN(f) {
-		return out
-	}
-	for u, edges := range m.adj {
-		cp := make([]Edge, len(edges))
-		for i, e := range edges {
-			cp[i] = Edge{Peer: e.Peer, Rate: e.Rate * f}
-		}
-		out.adj[u] = cp
-	}
-	out.numPairs = m.numPairs
-	return out
-}
-
-// Clone deep-copies the matrix.
-func (m *Matrix) Clone() *Matrix { return m.Scaled(1) }
 
 // GenConfig parameterizes the synthetic workload generator.
 type GenConfig struct {
@@ -428,6 +168,13 @@ func DefaultGenConfig(racks int) GenConfig {
 // hotspot structure is anchored on the racks of the *initial* placement,
 // so the initial ToR-level TM exhibits the sparse hotspot pattern of
 // Fig. 3a; S-CORE then migrates VMs to dissolve the expensive cells.
+//
+// Generation streams: draws are recorded as flat (pair, rate)
+// contributions and bulk-loaded into an exact-fit CSR arena at the end
+// (see Builder), so generating a 100k-VM instance never materializes a
+// pair map or pays per-insert row maintenance. The draw sequence — and
+// therefore the resulting rates, bit for bit — is identical to the old
+// incremental Add path.
 func Generate(cfg GenConfig, topo topology.Topology, c *cluster.Cluster, rng *rand.Rand) (*Matrix, error) {
 	vms := c.VMs()
 	if len(vms) < 2 {
@@ -436,7 +183,6 @@ func Generate(cfg GenConfig, topo topology.Topology, c *cluster.Cluster, rng *ra
 	if cfg.MiceRateMaxMbps < cfg.MiceRateMinMbps {
 		return nil, fmt.Errorf("traffic: mice rate bounds inverted")
 	}
-	m := NewMatrix()
 
 	// Index VMs by rack of their current host for hotspot wiring.
 	byRack := make([][]cluster.VMID, topo.Racks())
@@ -472,6 +218,9 @@ func Generate(cfg GenConfig, topo topology.Topology, c *cluster.Cluster, rng *ra
 		}
 	}
 
+	b := NewBuilder(int(cfg.MicePairsPerVM*float64(len(vms))) +
+		cfg.HotspotRackPairs*cfg.ElephantsPerHotspot)
+
 	// Background mice pairs: Poisson-ish degree, locality-biased peers.
 	for _, u := range vms {
 		r := topo.RackOf(c.HostOf(u))
@@ -494,7 +243,7 @@ func Generate(cfg GenConfig, topo topology.Topology, c *cluster.Cluster, rng *ra
 				continue
 			}
 			rate := cfg.MiceRateMinMbps + rng.Float64()*(cfg.MiceRateMaxMbps-cfg.MiceRateMinMbps)
-			m.Add(u, v, rate)
+			b.Add(u, v, rate)
 		}
 	}
 
@@ -517,10 +266,10 @@ func Generate(cfg GenConfig, topo topology.Topology, c *cluster.Cluster, rng *ra
 			if rate > cfg.ElephantCapMbps {
 				rate = cfg.ElephantCapMbps
 			}
-			m.Add(u, v, rate)
+			b.Add(u, v, rate)
 		}
 	}
-	return m, nil
+	return b.Build(), nil
 }
 
 // poisson draws a Poisson variate via Knuth's method; fine for small mean.
@@ -553,17 +302,16 @@ func TorMatrix(m *Matrix, topo topology.Topology, c *cluster.Cluster) [][]float6
 	for i := range out {
 		out[i], buf = buf[:n:n], buf[n:]
 	}
-	pairs, rates := m.Pairs()
-	for i, p := range pairs {
-		ha, hb := c.HostOf(p.A), c.HostOf(p.B)
+	m.ForEachPair(func(a, b cluster.VMID, rate float64) {
+		ha, hb := c.HostOf(a), c.HostOf(b)
 		if ha == cluster.NoHost || hb == cluster.NoHost {
-			continue
+			return
 		}
 		ra, rb := topo.RackOf(ha), topo.RackOf(hb)
-		out[ra][rb] += rates[i]
+		out[ra][rb] += rate
 		if ra != rb {
-			out[rb][ra] += rates[i]
+			out[rb][ra] += rate
 		}
-	}
+	})
 	return out
 }
