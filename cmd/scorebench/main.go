@@ -5,7 +5,11 @@
 // Usage:
 //
 //	scorebench [-scale small|medium|paper] [-seed N] [-out DIR] [-only fig2,fig3,...]
-//	           [-shards N]
+//	           [-shards N] [-metrics-addr HOST:PORT]
+//
+// With -metrics-addr the process serves Go runtime metrics at /metrics
+// and net/http/pprof at /debug/pprof/ while the figures generate — the
+// profiling surface for long sweeps.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"strings"
 
 	"github.com/score-dc/score/internal/experiments"
+	"github.com/score-dc/score/internal/obs"
 	"github.com/score-dc/score/internal/stats"
 	"github.com/score-dc/score/internal/viz"
 )
@@ -36,7 +41,19 @@ func run() error {
 	maxShards := flag.Int("shards", 8, "largest shard count in the shard sweep (doubling from 2)")
 	distShards := flag.Int("distributed-shards", 0, "largest ring count in the distributed agent-plane sweep (>0 enables the dist section)")
 	distLoss := flag.Float64("dist-loss", 0, "distributed sweep: per-hop shard-token drop probability (exercises reconciler ring regeneration)")
+	metricsAddr := flag.String("metrics-addr", "", "serve runtime /metrics and /debug/pprof/ on this address while figures generate (e.g. :9090)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterRuntime(reg)
+		srv, err := obs.Serve(*metricsAddr, reg, nil)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
+	}
 
 	var scale experiments.Scale
 	switch *scaleFlag {

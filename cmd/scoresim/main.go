@@ -9,6 +9,11 @@
 //	         [-cm COST] [-duration SEC] [-loss PROB] [-seed N]
 //	         [-shards N] [-shard-granularity pod|rack] [-shard-workers N]
 //	         [-distributed-shards N] [-dist-deadline SEC]
+//	         [-metrics-addr HOST:PORT]
+//
+// With -metrics-addr the run serves its observability plane over HTTP:
+// Prometheus text exposition at /metrics, the round-trace ring buffer at
+// /trace, and net/http/pprof at /debug/pprof/.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"os"
 
 	"github.com/score-dc/score"
+	"github.com/score-dc/score/internal/obs"
 	"github.com/score-dc/score/internal/viz"
 )
 
@@ -52,6 +58,7 @@ func run() error {
 	adaptiveDeadline := flag.Bool("adaptive-deadline", false, "distributed plane: derive per-shard recovery deadlines from observed ack latency (EWMA + k·stddev) instead of -dist-deadline")
 	delayProb := flag.Float64("delay", 0, "distributed plane: probability a shard-token hop is delayed on the wire")
 	delayS := flag.Float64("delay-s", 0.02, "distributed plane: injected hop delay in real seconds (with -delay)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /trace and /debug/pprof/ on this address for the run's duration (e.g. :9090)")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -108,6 +115,19 @@ func run() error {
 	}
 
 	simCfg := score.DefaultSimConfig()
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterRuntime(reg)
+		tr := obs.NewTracer(1 << 16)
+		srv, err := obs.Serve(*metricsAddr, reg, tr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics (trace at /trace, pprof at /debug/pprof/)\n", srv.Addr())
+		simCfg.Obs = reg
+		simCfg.Trace = tr
+	}
 	simCfg.DurationS = *duration
 	simCfg.HopLatencyS = *hop
 	simCfg.SampleIntervalS = *duration / 100

@@ -15,6 +15,9 @@ type Config struct {
 	Estimator EstimatorConfig
 	// TopK sizes the hot-pair report in Snapshot. Default 8.
 	TopK int
+	// Metrics, when set, mirrors the controller's and estimator's state
+	// into the registry (see NewMetrics); nil disables instrumentation.
+	Metrics *Metrics
 }
 
 // Snapshot is the controller's observable state for CLIs and sweeps.
@@ -67,6 +70,7 @@ func New(topo topology.Topology, cfg Config) *Controller {
 		cfg.TopK = 8
 	}
 	cfg.Planner = withPlannerDefaults(cfg.Planner)
+	cfg.Estimator.Metrics = cfg.Metrics
 	return &Controller{
 		topo: topo,
 		cfg:  cfg,
@@ -201,10 +205,12 @@ func (c *Controller) Recommendation() Recommendation {
 	rec := Plan(c.cfg.Planner, c.sum)
 	if !c.curSet {
 		c.cur, c.curSet = rec, true
+		c.adopted()
 		return c.cur
 	}
 	if rec == c.cur {
 		c.streak = 0
+		c.observe()
 		return c.cur
 	}
 	if rec == c.pending {
@@ -214,8 +220,36 @@ func (c *Controller) Recommendation() Recommendation {
 	}
 	if c.streak >= c.cfg.Planner.StableRounds {
 		c.cur, c.streak = rec, 0
+		c.adopted()
+	} else {
+		c.observe()
 	}
 	return c.cur
+}
+
+// adopted records a newly adopted recommendation; observe refreshes the
+// summary-derived gauges without counting a plan change.
+func (c *Controller) adopted() {
+	m := c.cfg.Metrics
+	if m == nil {
+		return
+	}
+	m.PlanChanges.Inc()
+	c.observe()
+}
+
+func (c *Controller) observe() {
+	m := c.cfg.Metrics
+	if m == nil {
+		return
+	}
+	m.Shards.Set(float64(c.cur.Shards))
+	m.Granularity.Set(float64(c.cur.Granularity))
+	m.TotalRate.Set(c.sum.Total())
+	ir, ip, cp := c.sum.LocalityShares()
+	m.IntraRack.Set(ir)
+	m.IntraPod.Set(ip)
+	m.CrossPod.Set(cp)
 }
 
 // Plan implements shard.Tuner.

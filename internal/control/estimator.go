@@ -31,6 +31,10 @@ type EstimatorConfig struct {
 	// regeneration is witnessed spurious (a stale-attempt report proves
 	// the presumed-lost token was alive). Default 64.
 	MaxBoost float64
+	// Metrics, when set, mirrors each shard's EWMA mean and stddev into
+	// the registry on every observation. Controller.New propagates its
+	// own Metrics here automatically.
+	Metrics *Metrics
 }
 
 // withEstimatorDefaults fills zero fields.
@@ -128,6 +132,10 @@ func (e *LatencyEstimator) Observe(shard int, perHop time.Duration) {
 		st.variance = (1 - e.cfg.Alpha) * (st.variance + diff*incr)
 	}
 	st.n++
+	if m := e.cfg.Metrics; m != nil {
+		m.HopLatency.At(shard).Set(st.mean)
+		m.HopStddev.At(shard).Set(math.Sqrt(st.variance))
+	}
 }
 
 // Penalize doubles a shard's deadline (up to MaxBoost×) after a

@@ -1,0 +1,42 @@
+package control
+
+import (
+	"github.com/score-dc/score/internal/obs"
+)
+
+// Metrics instruments the adaptive control plane: the planner's adopted
+// recommendation, the hotspot summary's locality decomposition, and the
+// latency estimator's per-shard EWMA/σ state. A nil *Metrics disables every
+// record site.
+type Metrics struct {
+	// Shards and Granularity mirror the adopted recommendation
+	// (granularity: 0 = by-pod, 1 = by-rack); PlanChanges counts
+	// adoptions of a new plan after hysteresis.
+	Shards      *obs.Gauge
+	Granularity *obs.Gauge
+	PlanChanges *obs.Counter
+	// TotalRate and the locality shares mirror the hotspot summary.
+	TotalRate *obs.Gauge
+	IntraRack *obs.Gauge
+	IntraPod  *obs.Gauge
+	CrossPod  *obs.Gauge
+	// HopLatency and HopStddev are the estimator's per-shard EWMA mean
+	// and stddev of per-hop progress latency, in seconds.
+	HopLatency *obs.GaugeVec
+	HopStddev  *obs.GaugeVec
+}
+
+// NewMetrics registers (or re-binds) the control-plane families on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Shards:      reg.Gauge("score_control_shards", "Shard count of the adopted recommendation."),
+		Granularity: reg.Gauge("score_control_granularity", "Adopted shard granularity (0 = by-pod, 1 = by-rack)."),
+		PlanChanges: reg.Counter("score_control_plan_changes_total", "Recommendation adoptions after hysteresis."),
+		TotalRate:   reg.Gauge("score_control_total_rate", "Total traffic rate in the hotspot summary."),
+		IntraRack:   reg.Gauge("score_control_intra_rack_share", "Share of traffic staying within one rack."),
+		IntraPod:    reg.Gauge("score_control_intra_pod_share", "Share of traffic crossing racks within one pod."),
+		CrossPod:    reg.Gauge("score_control_cross_pod_share", "Share of traffic crossing pods."),
+		HopLatency:  reg.GaugeVec("score_control_hop_latency_seconds", "Per-shard EWMA of per-hop ack latency.", "shard"),
+		HopStddev:   reg.GaugeVec("score_control_hop_stddev_seconds", "Per-shard stddev of per-hop ack latency.", "shard"),
+	}
+}

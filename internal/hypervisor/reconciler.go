@@ -9,6 +9,7 @@ import (
 	"github.com/score-dc/score/internal/cluster"
 	"github.com/score-dc/score/internal/control"
 	"github.com/score-dc/score/internal/core"
+	"github.com/score-dc/score/internal/obs"
 	"github.com/score-dc/score/internal/shard"
 	"github.com/score-dc/score/internal/token"
 	"github.com/score-dc/score/internal/topology"
@@ -69,6 +70,11 @@ type ReconcilerConfig struct {
 	// Estimator tunes the adaptive-deadline estimator when
 	// AdaptiveDeadline is set without a Tuner.
 	Estimator control.EstimatorConfig
+	// Metrics, when set, receives plane instrumentation (see
+	// NewPlaneMetrics); nil leaves every record site an untaken branch.
+	Metrics *PlaneMetrics
+	// Trace, when set, records round/ring/regeneration span events.
+	Trace *obs.Tracer
 }
 
 // RingReport summarizes one shard ring's activity within a round.
@@ -460,9 +466,22 @@ func (e *reconcileEnv) Apply(d core.Decision) (float64, error) {
 // the Reconciler, not the per-round env, so it survives across rounds.
 func (e *reconcileEnv) Tuner() *shard.BatchTuner { return &e.r.batchTuner }
 
+// ObserveWindow implements shard.WindowObserver: every pipelined commit
+// window the shared pass chooses lands in the merge-window histogram and
+// trace.
+func (e *reconcileEnv) ObserveWindow(w int) {
+	if m := e.r.cfg.Metrics; m != nil {
+		m.MergeWindow.Observe(float64(w))
+	}
+	if tr := e.r.cfg.Trace; tr != nil {
+		tr.Record(obs.Event{Kind: obs.EvMergeWindow, Round: e.r.round, Shard: -1, Arg: int64(w)})
+	}
+}
+
 var (
-	_ shard.BatchEnv    = (*reconcileEnv)(nil)
-	_ shard.WindowTuner = (*reconcileEnv)(nil)
+	_ shard.BatchEnv       = (*reconcileEnv)(nil)
+	_ shard.WindowTuner    = (*reconcileEnv)(nil)
+	_ shard.WindowObserver = (*reconcileEnv)(nil)
 )
 
 // decisionsOf converts staged moves to the shared reconcile currency.
@@ -566,7 +585,7 @@ type roundState struct {
 }
 
 // finalize accepts st as shard s's final state.
-func (c *roundState) finalize(s int, st *RingState, at time.Time) {
+func (r *Reconciler) finalize(c *roundState, s int, st *RingState, at time.Time) {
 	c.states[s] = st
 	c.reports[s].Hops = int(st.Hops)
 	c.reports[s].Staged = len(st.Staged)
@@ -574,6 +593,16 @@ func (c *roundState) finalize(s int, st *RingState, at time.Time) {
 	c.reports[s].Latency = at.Sub(c.injected[s])
 	c.tracks[s].done = true
 	c.pending--
+	if m := r.cfg.Metrics; m != nil {
+		m.RingPass.Observe(c.reports[s].Latency.Seconds())
+	}
+	if tr := r.cfg.Trace; tr != nil {
+		tr.Record(obs.Event{
+			Kind: obs.EvRingDone, Round: c.roundID, Shard: int16(s),
+			Arg: int64(st.Hops), Value: c.reports[s].Latency.Seconds(),
+			Attempt: c.tracks[s].attempt,
+		})
+	}
 }
 
 // regenerate rebuilds shard s's ring from the reconciler's copy after a
@@ -588,7 +617,7 @@ func (r *Reconciler) regenerate(c *roundState, s int) error {
 	tk := c.tracks[s]
 	st := tk.st
 	if int(tk.attempt) >= r.cfg.MaxAttempts {
-		c.finalize(s, st, time.Now())
+		r.finalize(c, s, st, time.Now())
 		return nil
 	}
 	tok, err := token.Decode(st.Token)
@@ -606,7 +635,7 @@ func (r *Reconciler) regenerate(c *roundState, s int) error {
 		if st.Hops >= st.Limit || tok.Len() == 0 {
 			// The pass completed but its report was lost, or nobody is
 			// left to visit: the copy is the ring's final state.
-			c.finalize(s, st, time.Now())
+			r.finalize(c, s, st, time.Now())
 			return nil
 		}
 		if tk.stuck > r.cfg.EvictAttempts {
@@ -627,12 +656,18 @@ func (r *Reconciler) regenerate(c *roundState, s int) error {
 				}
 				c.evicted[h] = true
 				c.reports[s].Evicted++
+				if m := r.cfg.Metrics; m != nil {
+					m.Evictions.Inc()
+				}
+				if tr := r.cfg.Trace; tr != nil {
+					tr.Record(obs.Event{Kind: obs.EvEvict, Round: c.roundID, Shard: int16(s), Arg: int64(h)})
+				}
 			} else {
 				tok.Remove(resume)
 			}
 			next, ok := tok.Successor(resume)
 			if !ok {
-				c.finalize(s, st, time.Now())
+				r.finalize(c, s, st, time.Now())
 				return nil
 			}
 			resume = next
@@ -649,6 +684,12 @@ func (r *Reconciler) regenerate(c *roundState, s int) error {
 		st.Attempt = tk.attempt
 		st.Token = tok.Encode()
 		c.reports[s].Regenerated++
+		if m := r.cfg.Metrics; m != nil {
+			m.Regens.Inc()
+		}
+		if tr := r.cfg.Trace; tr != nil {
+			tr.Record(obs.Event{Kind: obs.EvRegen, Round: c.roundID, Shard: int16(s), Attempt: tk.attempt})
+		}
 		if err := r.tr.Send(addr, Message{Type: MsgShardToken, VM: resume, Payload: st.Encode()}); err != nil {
 			// The holder's transport is gone: evict and move on.
 			tk.stuck = r.cfg.EvictAttempts + 1
@@ -698,6 +739,12 @@ func (r *Reconciler) witnessStale(c *roundState, s int, tk *shardTrack, attempt 
 	}
 	tk.staleSeen[attempt] = true
 	c.reports[s].Spurious++
+	if m := r.cfg.Metrics; m != nil {
+		m.Spurious.Inc()
+	}
+	if tr := r.cfg.Trace; tr != nil {
+		tr.Record(obs.Event{Kind: obs.EvSpurious, Round: c.roundID, Shard: int16(s), Attempt: attempt})
+	}
 	if r.est != nil {
 		r.est.Penalize(s)
 	}
@@ -744,7 +791,7 @@ func (r *Reconciler) collect(c *roundState) error {
 			}
 			if ev.done {
 				r.observeProgress(s, tk, ev.st, ev.at)
-				c.finalize(s, ev.st, ev.at)
+				r.finalize(c, s, ev.st, ev.at)
 				if r.est != nil && c.reports[s].Regenerated == 0 {
 					r.est.Relax(s)
 				}
@@ -753,6 +800,15 @@ func (r *Reconciler) collect(c *roundState) error {
 				tk.st = ev.st
 				tk.next = ev.next
 				tk.lastProgress = ev.at
+				if m := r.cfg.Metrics; m != nil {
+					m.Acks.Inc()
+				}
+				if tr := r.cfg.Trace; tr != nil {
+					tr.Record(obs.Event{
+						Kind: obs.EvTokenVisit, Round: c.roundID, Shard: int16(s),
+						Arg: int64(ev.st.Hops), Attempt: tk.attempt,
+					})
+				}
 			}
 		case now := <-ticker.C:
 			for s, tk := range c.tracks {
@@ -761,6 +817,9 @@ func (r *Reconciler) collect(c *roundState) error {
 				}
 				dl := r.shardDeadline(s)
 				c.reports[s].Deadline = dl
+				if m := r.cfg.Metrics; m != nil {
+					m.Deadline.At(s).Set(dl.Seconds())
+				}
 				if now.Sub(tk.lastProgress) < dl {
 					continue
 				}
@@ -781,6 +840,14 @@ func (r *Reconciler) collect(c *roundState) error {
 func (r *Reconciler) RunRound() (*RoundReport, error) {
 	r.round++
 	roundID := r.round
+	m, trc := r.cfg.Metrics, r.cfg.Trace
+	var started time.Time
+	if m != nil || trc != nil {
+		started = time.Now()
+	}
+	if trc != nil {
+		trc.Record(obs.Event{Kind: obs.EvRoundStart, Round: roundID, Shard: -1})
+	}
 
 	// 1. Partition the registry's current allocation, reusing the
 	// in-process plane's topology-aligned partitioner. Under
@@ -855,6 +922,16 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 	wg.Wait()
 	if len(dead) == len(hostIDs) {
 		return nil, fmt.Errorf("hypervisor: no agent acked the round %d shard assignment", roundID)
+	}
+	// Assignment-phase evictions are plane-level (no ring is running
+	// yet), so the events carry shard -1.
+	if m != nil {
+		m.Evictions.Add(uint64(len(dead)))
+	}
+	if trc != nil {
+		for h := range dead {
+			trc.Record(obs.Event{Kind: obs.EvEvict, Round: roundID, Shard: -1, Arg: int64(h)})
+		}
 	}
 
 	// 3. Inject one token per shard; the rings run concurrently. The
@@ -968,6 +1045,14 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 		for _, d := range applied {
 			rep.RealizedDelta += d.Delta
 		}
+		if trc != nil {
+			for _, d := range applied {
+				trc.Record(obs.Event{Kind: obs.EvVerdict, Code: obs.VerdictMerged, Round: roundID, Shard: int16(s), Arg: int64(d.VM), Value: d.Delta})
+			}
+			for k := 0; k < stale+dropped; k++ {
+				trc.Record(obs.Event{Kind: obs.EvVerdict, Code: obs.VerdictStale, Round: roundID, Shard: int16(s), Arg: -1})
+			}
+		}
 		if stale > 0 {
 			aborts = append(aborts, unmatched(commits, applied)...)
 		}
@@ -976,6 +1061,10 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 		proposals = append(proposals, ps...)
 	}
 
+	nProposed := 0
+	for s := 0; s < n; s++ {
+		nProposed += reports[s].Proposed
+	}
 	applied, rejected := shard.ReconcileProposals(env, r.cfg.MigrationCost, proposals)
 	rep.CrossApplied = len(applied)
 	rep.CrossRejected += len(rejected)
@@ -984,12 +1073,35 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 		rep.RealizedDelta += d.Delta
 	}
 	aborts = append(aborts, rejected...)
+	if trc != nil {
+		for _, d := range applied {
+			trc.Record(obs.Event{Kind: obs.EvVerdict, Code: obs.VerdictCrossApplied, Round: roundID, Shard: -1, Arg: int64(d.VM), Value: d.Delta})
+		}
+		for _, d := range rejected {
+			trc.Record(obs.Event{Kind: obs.EvVerdict, Code: obs.VerdictCrossRejected, Round: roundID, Shard: -1, Arg: int64(d.VM)})
+		}
+	}
 
 	// 6. Abort notifications: losers' dom0s drop stale cached state.
 	for _, d := range aborts {
 		if addr, ok := r.reg.Lookup(d.VM); ok {
 			_ = r.tr.Send(addr, Message{Type: MsgReconcileAbort, VM: d.VM, Host: d.Target})
 		}
+	}
+	if m != nil {
+		m.Rounds.Inc()
+		m.RoundLatency.Observe(time.Since(started).Seconds())
+		m.Shards.Set(float64(n))
+		m.Hops.Add(uint64(rep.TotalHops))
+		m.Migrations.Add(uint64(len(rep.Applied)))
+		m.RealizedDelta.Add(rep.RealizedDelta)
+		m.CrossProposals.Add(uint64(nProposed))
+		m.CrossApplied.Add(uint64(rep.CrossApplied))
+		m.CrossRejected.Add(uint64(rep.CrossRejected))
+		m.StaleRejected.Add(uint64(rep.StaleRejected))
+	}
+	if trc != nil {
+		trc.Record(obs.Event{Kind: obs.EvRoundEnd, Round: roundID, Shard: -1, Value: time.Since(started).Seconds()})
 	}
 	return rep, nil
 }

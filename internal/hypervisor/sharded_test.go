@@ -12,6 +12,7 @@ import (
 	"github.com/score-dc/score/internal/cluster"
 	"github.com/score-dc/score/internal/control"
 	"github.com/score-dc/score/internal/core"
+	"github.com/score-dc/score/internal/obs"
 	"github.com/score-dc/score/internal/shard"
 	"github.com/score-dc/score/internal/token"
 	"github.com/score-dc/score/internal/topology"
@@ -134,6 +135,9 @@ type planeOpts struct {
 	// adaptive derives per-shard deadlines from observed ack latency.
 	adaptive bool
 	estCfg   control.EstimatorConfig
+	// metrics and trace attach the observability plane to the reconciler.
+	metrics *PlaneMetrics
+	trace   *obs.Tracer
 }
 
 // buildShardPlane assembles a fat-tree instance with hotspot traffic and
@@ -234,6 +238,8 @@ func buildShardPlaneOpts(t testing.TB, k int, seed int64, scale float64, shards 
 			EvictAttempts:    o.evictAttempts,
 			AdaptiveDeadline: o.adaptive,
 			Estimator:        o.estCfg,
+			Metrics:          o.metrics,
+			Trace:            o.trace,
 		}, p.reg)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,180 @@
+package hypervisor
+
+import (
+	"testing"
+	"time"
+
+	"github.com/score-dc/score/internal/obs"
+	"github.com/score-dc/score/internal/token"
+)
+
+// TestChaosRoundReconstructibleFromTrace is the observability acceptance
+// test: a chaos run with injected token loss must be fully
+// reconstructible from the trace ring buffer alone. Folding the buffer
+// into round spans has to reproduce what RoundReport says happened —
+// regeneration counts, per-shard attempt numbers, hop counts, spurious
+// witnesses, merge verdicts and evictions — and the shared registry's
+// counters must agree with both.
+func TestChaosRoundReconstructibleFromTrace(t *testing.T) {
+	reg := obs.NewRegistry()
+	pm := NewPlaneMetrics(reg)
+	tr := obs.NewTracer(1 << 16)
+	plan := NewFaultPlan(FaultConfig{
+		Seed:      42,
+		DropEvery: 12,
+		Types:     []MsgType{MsgShardToken},
+	})
+	p := buildShardPlaneOpts(t, 4, 7, 10, 4, token.HighestLevelFirst{}, planeOpts{
+		faults:        plan,
+		shardDeadline: 50 * time.Millisecond,
+		metrics:       pm,
+		trace:         tr,
+	})
+	applied, reports := distributedRounds(t, p)
+	if len(applied) == 0 {
+		t.Fatal("no migrations; trace reconstruction vacuous")
+	}
+	if d := tr.Dropped(); d != 0 {
+		t.Fatalf("trace buffer overwrote %d events; reconstruction cannot be total", d)
+	}
+
+	spans := obs.Spans(tr.Snapshot())
+	if len(spans) != len(reports) {
+		t.Fatalf("trace folds into %d round spans, reconciler ran %d rounds", len(spans), len(reports))
+	}
+
+	totalRegens, totalSpurious := 0, 0
+	for i, rep := range reports {
+		sp := spans[i]
+		if sp.Round != rep.Round {
+			t.Fatalf("span %d carries round %d, report says %d", i, sp.Round, rep.Round)
+		}
+		if sp.StartNS == 0 || sp.EndNS == 0 || sp.Latency <= 0 {
+			t.Fatalf("round %d span missing start/end bracketing: %+v", rep.Round, sp)
+		}
+
+		// Fault recovery: regeneration totals, per-shard attempt numbers
+		// and evictions must be recoverable from the events alone.
+		if sp.Regens() != rep.Regenerated {
+			t.Fatalf("round %d: trace shows %d regenerations, report %d", rep.Round, sp.Regens(), rep.Regenerated)
+		}
+		if len(sp.Evicted) != len(rep.Evicted) {
+			t.Fatalf("round %d: trace evicted %v, report %v", rep.Round, sp.Evicted, rep.Evicted)
+		}
+		evicted := make(map[int64]bool, len(sp.Evicted))
+		for _, h := range sp.Evicted {
+			evicted[h] = true
+		}
+		for _, h := range rep.Evicted {
+			if !evicted[int64(h)] {
+				t.Fatalf("round %d: report evicted host %d absent from trace %v", rep.Round, h, sp.Evicted)
+			}
+		}
+		for _, ring := range rep.Rings {
+			ss := sp.Shard(ring.Shard)
+			if ss == nil {
+				t.Fatalf("round %d: shard %d has no trace span", rep.Round, ring.Shard)
+			}
+			if !ss.Done {
+				t.Fatalf("round %d shard %d: ring completed but trace has no ring_done", rep.Round, ring.Shard)
+			}
+			if ss.Hops != ring.Hops {
+				t.Fatalf("round %d shard %d: trace hops %d, report %d", rep.Round, ring.Shard, ss.Hops, ring.Hops)
+			}
+			if ss.Regens != ring.Regenerated {
+				t.Fatalf("round %d shard %d: trace regens %d, report %d", rep.Round, ring.Shard, ss.Regens, ring.Regenerated)
+			}
+			// Attempts start at 0 and advance once per regeneration, so
+			// the highest attempt number in the stream is the per-shard
+			// regeneration count.
+			if ss.LastAttempt != uint32(ring.Regenerated) {
+				t.Fatalf("round %d shard %d: trace last attempt %d, report regenerated %d",
+					rep.Round, ring.Shard, ss.LastAttempt, ring.Regenerated)
+			}
+			if ss.Spurious != ring.Spurious {
+				t.Fatalf("round %d shard %d: trace spurious %d, report %d", rep.Round, ring.Shard, ss.Spurious, ring.Spurious)
+			}
+		}
+
+		// Merge outcomes: every verdict event matches the report's
+		// accounting. Cross-rejections are traced only for proposals that
+		// reached reconciliation (eviction-dropped ones are not), so the
+		// equality below is exact in eviction-free rounds.
+		merged := 0
+		for _, ring := range rep.Rings {
+			merged += ring.Merged
+		}
+		if sp.Merged != merged {
+			t.Fatalf("round %d: trace merged %d, report %d", rep.Round, sp.Merged, merged)
+		}
+		if sp.Stale != rep.StaleRejected {
+			t.Fatalf("round %d: trace stale %d, report %d", rep.Round, sp.Stale, rep.StaleRejected)
+		}
+		if sp.CrossApplied != rep.CrossApplied {
+			t.Fatalf("round %d: trace cross-applied %d, report %d", rep.Round, sp.CrossApplied, rep.CrossApplied)
+		}
+		if len(rep.Evicted) == 0 && sp.CrossRejected != rep.CrossRejected {
+			t.Fatalf("round %d: trace cross-rejected %d, report %d", rep.Round, sp.CrossRejected, rep.CrossRejected)
+		}
+		totalRegens += rep.Regenerated
+		totalSpurious += rep.SpuriousRegens
+	}
+	if totalRegens == 0 {
+		t.Fatal("chaos schedule injected no regenerations; reconstruction untested")
+	}
+
+	// The registry's counters are the same story in aggregate.
+	if got := int(pm.Regens.Value()); got != totalRegens {
+		t.Fatalf("registry counted %d regenerations, reports %d", got, totalRegens)
+	}
+	if got := int(pm.Spurious.Value()); got != totalSpurious {
+		t.Fatalf("registry counted %d spurious regens, reports %d", got, totalSpurious)
+	}
+	if got := int(pm.Migrations.Value()); got != len(applied) {
+		t.Fatalf("registry counted %d migrations, reports applied %d", got, len(applied))
+	}
+	if got := int(pm.Rounds.Value()); got != len(reports) {
+		t.Fatalf("registry counted %d rounds, reconciler ran %d", got, len(reports))
+	}
+}
+
+// TestTraceEvictionVisible: a crashed dom0's eviction must surface in the
+// trace buffer — the evict event names the victim host in the same round
+// the report does.
+func TestTraceEvictionVisible(t *testing.T) {
+	tr := obs.NewTracer(1 << 16)
+	plan := NewFaultPlan(FaultConfig{Seed: 5})
+	p := buildShardPlaneOpts(t, 4, 11, 10, 4, token.RoundRobin{}, planeOpts{
+		faults:        plan,
+		probeTimeout:  25 * time.Millisecond,
+		shardDeadline: 300 * time.Millisecond,
+		trace:         tr,
+	})
+	victim := p.agents[0].Addr()
+	plan.Isolate(victim)
+
+	rep, err := p.rec.RunRound()
+	if err != nil {
+		t.Fatalf("crash round did not complete: %v", err)
+	}
+	if len(rep.Evicted) == 0 {
+		t.Skip("isolation produced no eviction this seed; nothing to reconstruct")
+	}
+	spans := obs.Spans(tr.Snapshot())
+	if len(spans) != 1 {
+		t.Fatalf("expected 1 round span, got %d", len(spans))
+	}
+	sp := spans[0]
+	if len(sp.Evicted) != len(rep.Evicted) {
+		t.Fatalf("trace evicted %v, report %v", sp.Evicted, rep.Evicted)
+	}
+	seen := make(map[int64]bool, len(sp.Evicted))
+	for _, h := range sp.Evicted {
+		seen[h] = true
+	}
+	for _, h := range rep.Evicted {
+		if !seen[int64(h)] {
+			t.Fatalf("report evicted host %d missing from trace %v", h, sp.Evicted)
+		}
+	}
+}

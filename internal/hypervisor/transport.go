@@ -156,6 +156,9 @@ type TCPConfig struct {
 	HeartbeatIdle time.Duration
 	// HeartbeatTimeout bounds the pong wait. Default 250ms.
 	HeartbeatTimeout time.Duration
+	// Metrics, when set, mirrors the send-path counters (and heartbeat
+	// failures) into the shared registry families; nil disables it.
+	Metrics *TransportMetrics
 }
 
 func withTCPDefaults(c TCPConfig) TCPConfig {
@@ -177,9 +180,10 @@ func withTCPDefaults(c TCPConfig) TCPConfig {
 // TCPStats counts a transport's send-path work: Sends is every frame
 // written, Dials the connections established for them, Reused the sends
 // that rode an existing pooled connection. Sends − Dials is the dial
-// overhead saved versus the dial-per-send baseline.
+// overhead saved versus the dial-per-send baseline. HeartbeatFails counts
+// parked connections that failed their pre-send end-to-end heartbeat.
 type TCPStats struct {
-	Sends, Dials, Reused int64
+	Sends, Dials, Reused, HeartbeatFails int64
 }
 
 // pooledConn is one idle outbound connection with its park time.
@@ -206,7 +210,7 @@ type TCPTransport struct {
 	idle     map[string][]pooledConn
 	accepted map[net.Conn]struct{}
 
-	sends, dials, reused atomic.Int64
+	sends, dials, reused, hbFails atomic.Int64
 }
 
 // NewTCPTransport listens on addr ("host:port", empty port picks one)
@@ -408,6 +412,10 @@ func (t *TCPTransport) getConn(addr string) (c net.Conn, fresh bool, err error) 
 			if t.heartbeat(pc.c) {
 				return pc.c, false, nil
 			}
+			t.hbFails.Add(1)
+			if m := t.cfg.Metrics; m != nil {
+				m.HeartbeatFails.Inc()
+			}
 		} else if connAlive(pc.c) {
 			return pc.c, false, nil
 		}
@@ -425,6 +433,9 @@ func (t *TCPTransport) getConn(addr string) (c net.Conn, fresh bool, err error) 
 		_ = tc.SetKeepAlivePeriod(30 * time.Second)
 	}
 	t.dials.Add(1)
+	if m := t.cfg.Metrics; m != nil {
+		m.Dials.Inc()
+	}
 	return conn, true, nil
 }
 
@@ -443,7 +454,7 @@ func (t *TCPTransport) putConn(addr string, c net.Conn) {
 
 // Stats snapshots the send-path counters.
 func (t *TCPTransport) Stats() TCPStats {
-	return TCPStats{Sends: t.sends.Load(), Dials: t.dials.Load(), Reused: t.reused.Load()}
+	return TCPStats{Sends: t.sends.Load(), Dials: t.dials.Load(), Reused: t.reused.Load(), HeartbeatFails: t.hbFails.Load()}
 }
 
 // Addr implements Transport.
@@ -463,6 +474,9 @@ var frameBufs = sync.Pool{New: func() any { return new([]byte) }}
 // historical dial-per-send path runs instead.
 func (t *TCPTransport) Send(to string, m Message) error {
 	t.sends.Add(1)
+	if tm := t.cfg.Metrics; tm != nil {
+		tm.Sends.Inc()
+	}
 	bp := frameBufs.Get().(*[]byte)
 	defer frameBufs.Put(bp)
 	buf := (*bp)[:0]
@@ -476,6 +490,9 @@ func (t *TCPTransport) Send(to string, m Message) error {
 			return fmt.Errorf("hypervisor: dial %s: %w", to, err)
 		}
 		t.dials.Add(1)
+		if tm := t.cfg.Metrics; tm != nil {
+			tm.Dials.Inc()
+		}
 		defer conn.Close()
 		_, err = conn.Write(buf)
 		return err
@@ -497,6 +514,9 @@ func (t *TCPTransport) Send(to string, m Message) error {
 			// Count reuse only for sends that actually rode a pooled
 			// connection — a stale pop whose write failed is not reuse.
 			t.reused.Add(1)
+			if tm := t.cfg.Metrics; tm != nil {
+				tm.Reused.Inc()
+			}
 		}
 		t.putConn(to, conn)
 		return nil

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// The obs-overhead benchmarks gate instrumentation cost in CI's bench smoke:
+// a regression here means every instrumented hot path got slower.
+
+func BenchmarkObsCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("score_bench_total", "c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsGaugeSet(b *testing.B) {
+	r := NewRegistry()
+	g := r.Gauge("score_bench_gauge", "g")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("score_bench_seconds", "h", DefLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-4)
+	}
+}
+
+func BenchmarkObsVecAt(b *testing.B) {
+	r := NewRegistry()
+	v := r.GaugeVec("score_bench_vec_gauge", "v", "shard")
+	v.At(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.At(i & 7).Set(1)
+	}
+}
+
+func BenchmarkObsTraceRecord(b *testing.B) {
+	tr := NewTracer(1 << 14)
+	e := Event{Kind: EvTokenVisit, T: 1, Round: 3, Shard: 2, Arg: 9, Attempt: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(e)
+	}
+}
+
+func BenchmarkObsExposition(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 8; i++ {
+		h := r.Histogram("score_bench_expo_seconds", "h", DefLatencyBuckets)
+		h.Observe(float64(i))
+	}
+	v := r.GaugeVec("score_bench_expo_gauge", "v", "shard")
+	for i := 0; i < 16; i++ {
+		v.At(i).Set(float64(i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.WritePrometheus(io.Discard)
+	}
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Handler returns the observability mux: /metrics (Prometheus text format),
+// /trace (JSON dump of the ring buffer, optional), and /debug/pprof/*.
+// Handlers are wired onto a private mux so importing obs never mutates
+// http.DefaultServeMux.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	if tr != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			events := tr.Snapshot()
+			type jsonEvent struct {
+				Kind    string  `json:"kind"`
+				T       int64   `json:"t_ns"`
+				Round   uint32  `json:"round"`
+				Shard   int16   `json:"shard"`
+				Attempt uint32  `json:"attempt,omitempty"`
+				Arg     int64   `json:"arg,omitempty"`
+				Value   float64 `json:"value,omitempty"`
+				Code    uint8   `json:"code,omitempty"`
+			}
+			out := make([]jsonEvent, len(events))
+			for i, e := range events {
+				out[i] = jsonEvent{
+					Kind: e.Kind.String(), T: e.T, Round: e.Round, Shard: e.Shard,
+					Attempt: e.Attempt, Arg: e.Arg, Value: e.Value, Code: e.Code,
+				}
+			}
+			json.NewEncoder(w).Encode(out)
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte("score observability\n/metrics\n/trace\n/debug/pprof/\n"))
+	})
+	return mux
+}
+
+// RegisterRuntime adds scrape-time gauges for Go runtime health. ReadMemStats
+// stops the world briefly, so these are computed per scrape, never polled.
+func RegisterRuntime(reg *Registry) {
+	reg.GaugeFunc("go_goroutines", "Number of live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	reg.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	reg.GaugeFunc("go_total_alloc_bytes", "Cumulative bytes allocated on the heap.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.TotalAlloc)
+	})
+	reg.GaugeFunc("go_gc_pause_total_seconds", "Cumulative GC stop-the-world pause time.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.PauseTotalNs) / 1e9
+	})
+}
+
+// Server is a live observability endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability endpoint on addr (e.g. ":9090" or
+// "127.0.0.1:0") and returns once the listener is bound, so a caller can
+// scrape immediately. Close shuts it down.
+func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg, tr), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -2,9 +2,11 @@ package shard
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/score-dc/score/internal/cluster"
 	"github.com/score-dc/score/internal/core"
+	"github.com/score-dc/score/internal/obs"
 	"github.com/score-dc/score/internal/token"
 )
 
@@ -45,6 +47,11 @@ type Config struct {
 	// MaxRounds caps Run; 0 means run until a round applies no
 	// migration (bounded by a generous safety cap).
 	MaxRounds int
+	// Metrics, when set, receives per-round instrumentation (see
+	// NewMetrics); nil leaves every record site an untaken branch.
+	Metrics *Metrics
+	// Trace, when set, records round/ring/verdict span events.
+	Trace *obs.Tracer
 }
 
 // ShardRound reports one shard ring's activity within a round.
@@ -122,6 +129,9 @@ type Coordinator struct {
 	// adopted recommendation otherwise.
 	curShards int
 	curGran   Granularity
+
+	// round numbers trace events; incremented once per RunRound.
+	round uint32
 }
 
 // NewCoordinator validates the configuration and binds it to an engine.
@@ -218,6 +228,15 @@ type shardOutcome struct {
 // run every shard's token ring concurrently against frozen state, then
 // merge staged moves and reconcile cross-shard proposals sequentially.
 func (c *Coordinator) RunRound() (*Round, error) {
+	m, tr := c.cfg.Metrics, c.cfg.Trace
+	c.round++
+	var start time.Time
+	if m != nil || tr != nil {
+		start = time.Now()
+	}
+	if tr != nil {
+		tr.Record(obs.Event{Kind: obs.EvRoundStart, Round: c.round, Shard: -1})
+	}
 	part, err := c.partition()
 	if err != nil {
 		return nil, err
@@ -235,6 +254,12 @@ func (c *Coordinator) RunRound() (*Round, error) {
 
 	outcomes := make([]*shardOutcome, n)
 	c.pool.Run(n, func(s int) {
+		if m != nil {
+			t0 := time.Now()
+			outcomes[s] = c.ringPass(s, part, views[s], policies[s])
+			m.RingPass.Observe(time.Since(t0).Seconds())
+			return
+		}
 		outcomes[s] = c.ringPass(s, part, views[s], policies[s])
 	})
 
@@ -262,16 +287,49 @@ func (c *Coordinator) RunRound() (*Round, error) {
 		}
 		round.Shards = append(round.Shards, o.stats)
 		proposals = append(proposals, o.proposals...)
+		if tr != nil {
+			tr.Record(obs.Event{Kind: obs.EvRingDone, Round: c.round, Shard: int16(s), Arg: int64(o.stats.Hops)})
+			for _, d := range applied {
+				tr.Record(obs.Event{Kind: obs.EvVerdict, Code: obs.VerdictMerged, Round: c.round, Shard: int16(s), Arg: int64(d.VM), Value: d.Delta})
+			}
+			for k := 0; k < stale; k++ {
+				tr.Record(obs.Event{Kind: obs.EvVerdict, Code: obs.VerdictStale, Round: c.round, Shard: int16(s), Arg: -1})
+			}
+		}
 	}
 
 	// Reconcile cross-shard proposals through the shared canonical-order
 	// re-validating pass (see ReconcileProposals).
+	nProposed := len(proposals)
 	applied, rejected := ReconcileProposals(env, cm, proposals)
 	round.CrossRejected = len(rejected)
 	round.CrossApplied = len(applied)
 	for _, d := range applied {
 		round.Applied = append(round.Applied, d)
 		round.RealizedDelta += d.Delta
+	}
+	if tr != nil {
+		for _, d := range applied {
+			tr.Record(obs.Event{Kind: obs.EvVerdict, Code: obs.VerdictCrossApplied, Round: c.round, Shard: -1, Arg: int64(d.VM), Value: d.Delta})
+		}
+		for _, d := range rejected {
+			tr.Record(obs.Event{Kind: obs.EvVerdict, Code: obs.VerdictCrossRejected, Round: c.round, Shard: -1, Arg: int64(d.VM)})
+		}
+	}
+	if m != nil {
+		m.Rounds.Inc()
+		m.RoundLatency.Observe(time.Since(start).Seconds())
+		m.Shards.Set(float64(n))
+		m.Hops.Add(uint64(round.TotalHops))
+		m.Migrations.Add(uint64(len(round.Applied)))
+		m.RealizedDelta.Add(round.RealizedDelta)
+		m.CrossProposals.Add(uint64(nProposed))
+		m.CrossApplied.Add(uint64(round.CrossApplied))
+		m.CrossRejected.Add(uint64(round.CrossRejected))
+		m.StaleRejected.Add(uint64(round.StaleRejected))
+	}
+	if tr != nil {
+		tr.Record(obs.Event{Kind: obs.EvRoundEnd, Round: c.round, Shard: -1, Value: time.Since(start).Seconds()})
 	}
 	return round, nil
 }

@@ -1,0 +1,58 @@
+package shard
+
+import (
+	"github.com/score-dc/score/internal/obs"
+)
+
+// Metrics is the scheduler's instrumentation handle. The families here are
+// shared by name with the distributed plane (hypervisor.PlaneMetrics
+// registers the same round/migration/cross-shard names), so whichever plane
+// runs, the operator sees one coherent set of series. A nil *Metrics
+// disables instrumentation at every record site.
+type Metrics struct {
+	// Rounds counts completed scheduling rounds; RoundLatency is their
+	// wall-clock distribution.
+	Rounds       *obs.Counter
+	RoundLatency *obs.Histogram
+	// RingPass is the per-shard token-ring pass latency (concurrent rings
+	// each contribute one sample per round).
+	RingPass *obs.Histogram
+	// Hops counts token hops across all rings.
+	Hops *obs.Counter
+	// Migrations counts applied migrations; RealizedDelta accumulates
+	// their summed ΔC (Eq. 5 cost reduction).
+	Migrations    *obs.Counter
+	RealizedDelta *obs.Gauge
+	// Cross-shard reconciliation outcomes: proposals queued by rings,
+	// applied after canonical-order re-validation, rejected by it.
+	CrossProposals *obs.Counter
+	CrossApplied   *obs.Counter
+	CrossRejected  *obs.Counter
+	// StaleRejected counts staged intra-shard moves dropped at merge time.
+	StaleRejected *obs.Counter
+	// MergeWindow is the distribution of pipelined commit-window sizes
+	// chosen by BatchTuner (samples only on planes with a BatchEnv).
+	MergeWindow *obs.Histogram
+	// Shards is the ring count of the latest round (the tuner's choice
+	// under auto-tuning).
+	Shards *obs.Gauge
+}
+
+// NewMetrics registers (or re-binds, get-or-create) the scheduler families
+// on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Rounds:         reg.Counter("score_rounds_total", "Scheduling rounds completed."),
+		RoundLatency:   reg.Histogram("score_round_latency_seconds", "Wall-clock latency of one scheduling round.", obs.DefLatencyBuckets),
+		RingPass:       reg.Histogram("score_ring_pass_seconds", "Per-shard token-ring pass latency.", obs.DefLatencyBuckets),
+		Hops:           reg.Counter("score_token_hops_total", "Token hops across all rings."),
+		Migrations:     reg.Counter("score_migrations_total", "Applied VM migrations."),
+		RealizedDelta:  reg.Gauge("score_realized_delta", "Cumulative realized communication-cost reduction (summed ΔC)."),
+		CrossProposals: reg.Counter("score_cross_proposals_total", "Cross-shard migration proposals queued by rings."),
+		CrossApplied:   reg.Counter("score_cross_applied_total", "Cross-shard proposals applied after re-validation."),
+		CrossRejected:  reg.Counter("score_cross_rejected_total", "Cross-shard proposals rejected by re-validation."),
+		StaleRejected:  reg.Counter("score_stale_rejected_total", "Staged intra-shard moves dropped at merge time."),
+		MergeWindow:    reg.Histogram("score_merge_window_size", "Pipelined merge-commit window sizes chosen by the tuner.", obs.SizeBuckets),
+		Shards:         reg.Gauge("score_shards", "Ring count of the latest round."),
+	}
+}

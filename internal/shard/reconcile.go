@@ -158,6 +158,20 @@ type WindowTuner interface {
 	Tuner() *BatchTuner
 }
 
+// WindowObserver is optionally implemented by a BatchEnv that wants to see
+// every pipelined commit-window size the shared passes choose — the
+// distributed plane feeds them into its merge-window histogram and trace.
+type WindowObserver interface {
+	ObserveWindow(w int)
+}
+
+// observeWindow notifies env of a chosen window, when it cares.
+func observeWindow(env BatchEnv, w int) {
+	if wo, ok := env.(WindowObserver); ok {
+		wo.ObserveWindow(w)
+	}
+}
+
 // tunerOf returns the env's persistent tuner, or a fresh per-pass one.
 func tunerOf(env BatchEnv) *BatchTuner {
 	if wt, ok := env.(WindowTuner); ok {
@@ -269,6 +283,7 @@ func mergeStagedBatched(env BatchEnv, cm float64, commits []core.Decision) (appl
 	tuner := tunerOf(env)
 	for i := 0; i < len(commits); {
 		w := batchWindow(env, commits[i:], tuner.window(len(commits)-i))
+		observeWindow(env, w)
 		exec := make([]core.Decision, 0, w)
 		for _, d := range commits[i : i+w] {
 			if env.Delta(d.VM, d.Target) <= cm || !env.Admissible(d.VM, d.Target) {
@@ -330,6 +345,7 @@ func reconcileProposalsBatched(env BatchEnv, cm float64, proposals []core.Decisi
 	tuner := tunerOf(env)
 	for i := 0; i < len(proposals); {
 		w := batchWindow(env, proposals[i:], tuner.window(len(proposals)-i))
+		observeWindow(env, w)
 		exec := make([]core.Decision, 0, w)
 		orig := make([]core.Decision, 0, w)
 		for _, pr := range proposals[i : i+w] {

@@ -135,6 +135,8 @@ func (r *Runner) buildAgentPlane() (*agentPlane, error) {
 		ShardDeadline:    time.Duration(r.cfg.DistributedDeadlineS * float64(time.Second)),
 		AdaptiveDeadline: r.cfg.AdaptiveDeadline,
 		EvictAttempts:    r.cfg.DistributedEvictAttempts,
+		Metrics:          r.ob.plane,
+		Trace:            r.ob.trace,
 	}
 	// Under auto-tuning the reconciler consults the controller — bound
 	// to the engine mirror's traffic matrix and cluster, which replay
@@ -178,6 +180,7 @@ func (r *Runner) runDistributed() (*Metrics, error) {
 
 	r.metrics.InitialCost = r.eng.TotalCost()
 	r.metrics.Cost.Append(0, r.metrics.InitialCost)
+	r.ob.sample(r.metrics.InitialCost, r.eng.Traffic())
 	r.net.Recompute(r.eng.Traffic(), cl)
 
 	perShard := map[int]*ShardStats{}
@@ -192,12 +195,6 @@ func (r *Runner) runDistributed() (*Metrics, error) {
 			hops = 1
 		}
 		now += float64(hops) * r.cfg.HopLatencyS
-		r.metrics.TokenHops += rep.TotalHops
-		r.metrics.CrossApplied += rep.CrossApplied
-		r.metrics.CrossProposed += rep.CrossApplied + rep.CrossRejected
-		r.metrics.StaleRejected += rep.StaleRejected
-		r.metrics.TokensRegenerated += rep.Regenerated
-		r.metrics.SpuriousRegens += rep.SpuriousRegens
 		r.metrics.ShardsChosen = append(r.metrics.ShardsChosen, rep.Shards)
 
 		// Mirror each committed move: model its transfer under the link
@@ -233,7 +230,7 @@ func (r *Runner) runDistributed() (*Metrics, error) {
 			}
 		}
 		r.appendRoundStats(round, len(rep.Applied))
-		r.metrics.Cost.Append(now, r.eng.TotalCost())
+		r.appendCost(now)
 
 		if len(rep.Applied) == 0 || now >= r.cfg.DurationS {
 			break
@@ -250,5 +247,6 @@ func (r *Runner) runDistributed() (*Metrics, error) {
 	}
 	r.metrics.FinalCost = r.eng.TotalCost()
 	r.finishUtilization(cl)
+	r.ob.finish(&r.metrics)
 	return &r.metrics, nil
 }

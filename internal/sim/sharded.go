@@ -28,7 +28,7 @@ func (r *Runner) controller() (*control.Controller, func()) {
 	if !r.cfg.AutoTune {
 		return nil, func() {}
 	}
-	ctrl := control.New(r.eng.Topology(), control.Config{})
+	ctrl := control.New(r.eng.Topology(), control.Config{Metrics: r.ob.ctrl})
 	detach := ctrl.Bind(r.eng.Traffic(), r.eng.Cluster())
 	return ctrl, detach
 }
@@ -56,16 +56,15 @@ func (r *Runner) modelMigration(from, target cluster.HostID) {
 		bg = t
 	}
 	mres := r.cfg.Model.Migrate(r.cfg.Workloads.Draw(r.rng), bg)
-	r.metrics.TotalMigrations++
 	r.metrics.TotalMigratedMB += mres.MigratedMB
 	r.metrics.MigrationTimesS = append(r.metrics.MigrationTimesS, mres.TotalS)
 	r.metrics.DowntimesMS = append(r.metrics.DowntimesMS, mres.DowntimeMS)
 }
 
 // appendRoundStats closes one partition/rings/merge round for the
-// Fig. 2-style iteration series.
+// Fig. 2-style iteration series (Metrics.Rounds itself is read back
+// from the registry's round counter at run end).
 func (r *Runner) appendRoundStats(round, applied int) {
-	r.metrics.Rounds = round
 	r.metrics.Iterations = append(r.metrics.Iterations, IterationStats{
 		Index:      round,
 		Migrations: applied,
@@ -134,6 +133,8 @@ func (r *Runner) runSharded() (*Metrics, error) {
 		Granularity: r.cfg.ShardGranularity,
 		Workers:     r.cfg.ShardWorkers,
 		NewPolicy:   r.shardPolicyFactory(),
+		Metrics:     r.ob.plane.Metrics,
+		Trace:       r.ob.trace,
 	}
 	if ctrl != nil {
 		scfg.Tuner = ctrl
@@ -146,6 +147,7 @@ func (r *Runner) runSharded() (*Metrics, error) {
 
 	r.metrics.InitialCost = r.eng.TotalCost()
 	r.metrics.Cost.Append(0, r.metrics.InitialCost)
+	r.ob.sample(r.metrics.InitialCost, r.eng.Traffic())
 	r.net.Recompute(r.eng.Traffic(), cl)
 
 	perShard := map[int]*ShardStats{}
@@ -160,9 +162,6 @@ func (r *Runner) runSharded() (*Metrics, error) {
 			hops = 1
 		}
 		now += float64(hops) * r.cfg.HopLatencyS
-		r.metrics.TokenHops += res.TotalHops
-		r.metrics.CrossApplied += res.CrossApplied
-		r.metrics.CrossProposed += res.CrossApplied + res.CrossRejected
 
 		// Per-migration modeling: durations, downtime and moved bytes
 		// under the link load of the round's starting allocation.
@@ -182,13 +181,12 @@ func (r *Runner) runSharded() (*Metrics, error) {
 		}
 		r.appendRoundStats(round, len(res.Applied))
 		r.metrics.ShardsChosen = append(r.metrics.ShardsChosen, len(res.Shards))
-		r.metrics.StaleRejected += res.StaleRejected
 		// Fold the round into the link loads incrementally: any traffic
 		// changelog first (over round-start positions), then the applied
 		// moves replayed in order — no full-pair Recompute per round.
 		r.net.Sync(r.eng.Traffic(), cl)
 		r.shiftApplied(res.Applied)
-		r.metrics.Cost.Append(now, r.eng.TotalCost())
+		r.appendCost(now)
 
 		if len(res.Applied) == 0 || now >= r.cfg.DurationS {
 			break
@@ -205,5 +203,6 @@ func (r *Runner) runSharded() (*Metrics, error) {
 	}
 	r.metrics.FinalCost = r.eng.TotalCost()
 	r.finishUtilization(cl)
+	r.ob.finish(&r.metrics)
 	return &r.metrics, nil
 }

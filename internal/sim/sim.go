@@ -18,6 +18,7 @@ import (
 	"github.com/score-dc/score/internal/core"
 	"github.com/score-dc/score/internal/migration"
 	"github.com/score-dc/score/internal/netsim"
+	"github.com/score-dc/score/internal/obs"
 	"github.com/score-dc/score/internal/shard"
 	"github.com/score-dc/score/internal/stats"
 	"github.com/score-dc/score/internal/token"
@@ -108,6 +109,15 @@ type Config struct {
 	// slow-but-alive hosts are never evicted while the deadline policy
 	// is what is under test.
 	DistributedEvictAttempts int
+	// Obs, when set, is the metrics registry the run records into —
+	// typically the one an obs.Serve endpoint scrapes. Nil gives the
+	// run a private registry; either way the registry is the source of
+	// truth for the scalar counters read back into Metrics at run end.
+	Obs *obs.Registry
+	// Trace, when set, receives typed round events (ring completions,
+	// regenerations, evictions, reconcile verdicts, compactions) in the
+	// obs ring buffer.
+	Trace *obs.Tracer
 }
 
 // DefaultConfig covers a scaled-down Fig. 3 style run.
@@ -230,7 +240,9 @@ type Runner struct {
 
 	migrating map[cluster.VMID]bool
 
+	ob       *runObs
 	metrics  Metrics
+	hops     int
 	hopsLeft int
 	iterMigs int
 	numVMs   int
@@ -254,6 +266,7 @@ func NewRunner(eng *core.Engine, pol token.Policy, cfg Config, rng *rand.Rand) (
 		des:       netsim.NewEngine(),
 		net:       netsim.NewNetwork(eng.Topology()),
 		migrating: make(map[cluster.VMID]bool),
+		ob:        newRunObs(cfg),
 	}
 	return r, nil
 }
@@ -280,6 +293,7 @@ func (r *Runner) Run() (*Metrics, error) {
 	r.tok = token.NewAtLevel(vms, uint8(r.eng.Topology().Depth()))
 	r.metrics.InitialCost = r.eng.TotalCost()
 	r.metrics.Cost.Append(0, r.metrics.InitialCost)
+	r.ob.sample(r.metrics.InitialCost, r.eng.Traffic())
 	r.net.Recompute(r.eng.Traffic(), cl)
 
 	if r.cfg.MaxIterations > 0 {
@@ -294,7 +308,7 @@ func (r *Runner) Run() (*Metrics, error) {
 	var sample func()
 	sample = func() {
 		r.net.Sync(r.eng.Traffic(), cl)
-		r.metrics.Cost.Append(r.des.Now(), r.eng.TotalCost())
+		r.appendCost(r.des.Now())
 		if r.des.Now()+r.cfg.SampleIntervalS <= r.cfg.DurationS {
 			r.des.After(r.cfg.SampleIntervalS, sample)
 		}
@@ -309,6 +323,7 @@ func (r *Runner) Run() (*Metrics, error) {
 	r.finishIteration() // flush a partial final pass
 	r.metrics.FinalCost = r.eng.TotalCost()
 	r.finishUtilization(cl)
+	r.ob.finish(&r.metrics)
 	return &r.metrics, nil
 }
 
@@ -324,12 +339,13 @@ func (r *Runner) hop(holder cluster.VMID) {
 	if r.hopsLeft > 0 {
 		r.hopsLeft--
 	}
-	r.metrics.TokenHops++
+	r.hops++
+	r.ob.plane.Hops.Inc()
 
 	// Failure injection: the token vanishes in flight and is
 	// regenerated after a timeout by the placement manager.
 	if r.cfg.TokenLossProb > 0 && r.rng.Float64() < r.cfg.TokenLossProb {
-		r.metrics.TokensRegenerated++
+		r.ob.plane.Regens.Inc()
 		r.des.After(r.cfg.RegenTimeoutS, func() {
 			if r.stopped {
 				return
@@ -353,7 +369,7 @@ func (r *Runner) hop(holder cluster.VMID) {
 	if !ok {
 		return // nothing to pass to
 	}
-	if r.metrics.TokenHops%r.numVMs == 0 {
+	if r.hops%r.numVMs == 0 {
 		r.finishIteration()
 	}
 	r.des.After(r.cfg.HopLatencyS, func() { r.hop(next) })
@@ -403,7 +419,7 @@ func (r *Runner) startMigration(dec core.Decision) {
 		r.net.ShiftPair(dec.VM, ed.Peer, dec.Target, hz, ed.Rate)
 	}
 	r.iterMigs++
-	r.metrics.TotalMigrations++
+	r.ob.plane.Migrations.Inc()
 	r.metrics.TotalMigratedMB += res.MigratedMB
 	r.metrics.MigrationTimesS = append(r.metrics.MigrationTimesS, res.TotalS)
 	r.metrics.DowntimesMS = append(r.metrics.DowntimesMS, res.DowntimeMS)

@@ -1,13 +1,14 @@
 // Scale benchmarks: the 100×-instance axis of the recorded perf
-// trajectory. Fat-tree instances at k=8/16/24 with 30 VMs per host
-// (3,840 / 30,720 / 103,680 VMs) exercise the arena-backed CSR traffic
-// matrix, the dense cluster records and the streaming scenario path end
-// to end. Run ascending (k=8 first) so each sub-benchmark's peak-RSS
-// probe — the process high-water mark — reflects its own instance:
+// trajectory. Fat-tree instances at k=8/16/24/32 with 30 VMs per host
+// (3,840 / 30,720 / 103,680 / 245,760 VMs) exercise the arena-backed
+// CSR traffic matrix, the dense cluster records and the streaming
+// scenario path end to end. Run ascending (k=8 first) so each
+// sub-benchmark's peak-RSS probe — the process high-water mark —
+// reflects its own instance:
 //
 //	go test -run '^$' -bench 'Round100k|SummaryFold100k' -benchmem -benchtime=1x
 //
-// cmd/scoreperf turns the output into BENCH_6.json and gates peak-RSS
+// cmd/scoreperf turns the output into BENCH_7.json and gates peak-RSS
 // regressions in CI.
 package score_test
 
@@ -26,8 +27,9 @@ import (
 )
 
 // scaleKs are the recorded trajectory points; k=24 is the 100k-VM
-// milestone (3456 hosts × 30 VMs).
-var scaleKs = []int{8, 16, 24}
+// milestone (3456 hosts × 30 VMs) and k=32 extends the series to
+// 8192 hosts × 30 VMs.
+var scaleKs = []int{8, 16, 24, 32}
 
 const scaleVMsPerHost = 30
 
