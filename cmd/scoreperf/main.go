@@ -12,6 +12,12 @@
 //
 //	go test ... | scoreperf -check BENCH_6.json -metric peak-rss-mb \
 //	    -match k=24 -tolerance 0.20
+//
+// By default the trailing -N GOMAXPROCS suffix is stripped so snapshots
+// compare across machines. -keep-gomaxprocs instead folds it into the
+// name (BenchmarkRound100k/k=24/gomaxprocs=4), which is how recorded
+// multi-core runs (GOMAXPROCS=1/4/8) are stored as distinct trajectory
+// points in one snapshot.
 package main
 
 import (
@@ -56,9 +62,11 @@ func run() error {
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional increase before -check fails")
 	note := flag.String("note", "", "free-form note stored in the snapshot")
 	command := flag.String("command", "", "the go test invocation stored in the snapshot")
+	keepGomaxprocs := flag.Bool("keep-gomaxprocs", false,
+		"fold the trailing -N GOMAXPROCS suffix into the name as /gomaxprocs=N instead of stripping it")
 	flag.Parse()
 
-	benches, err := parseBench(os.Stdin)
+	benches, err := parseBench(os.Stdin, *keepGomaxprocs)
 	if err != nil {
 		return err
 	}
@@ -93,8 +101,10 @@ func run() error {
 //	BenchmarkRound100k/k=8-16  1  123456 ns/op  12 B/op  3 allocs/op  45.6 heap-mb
 //
 // The trailing -N GOMAXPROCS suffix is stripped from the name so
-// snapshots compare across machines.
-func parseBench(r io.Reader) ([]Benchmark, error) {
+// snapshots compare across machines — unless keepGomaxprocs is set, in
+// which case it becomes a /gomaxprocs=N name segment (recorded
+// multi-core runs keep each core count as its own trajectory point).
+func parseBench(r io.Reader, keepGomaxprocs bool) ([]Benchmark, error) {
 	var out []Benchmark
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -110,7 +120,11 @@ func parseBench(r io.Reader) ([]Benchmark, error) {
 		name := fields[0]
 		if i := strings.LastIndex(name, "-"); i > 0 {
 			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
+				if keepGomaxprocs {
+					name = name[:i] + "/gomaxprocs=" + name[i+1:]
+				} else {
+					name = name[:i]
+				}
 			}
 		}
 		b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchGomaxprocsSuffix(t *testing.T) {
+	input := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkRound100k/k=24-8         \t       1\t 405152108 ns/op\t  32832232 B/op\t      3550 allocs/op",
+		"BenchmarkShardedTokenPass-4       \t     100\t   1234567 ns/op",
+		"BenchmarkNoSuffix                 \t      10\t       999 ns/op",
+		"PASS",
+	}, "\n")
+
+	stripped, err := parseBench(strings.NewReader(input), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stripped) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(stripped))
+	}
+	if stripped[0].Name != "BenchmarkRound100k/k=24" ||
+		stripped[1].Name != "BenchmarkShardedTokenPass" ||
+		stripped[2].Name != "BenchmarkNoSuffix" {
+		t.Fatalf("stripped names wrong: %q, %q, %q",
+			stripped[0].Name, stripped[1].Name, stripped[2].Name)
+	}
+	if stripped[0].Metrics["ns/op"] != 405152108 || stripped[0].Metrics["allocs/op"] != 3550 {
+		t.Fatalf("metrics wrong: %v", stripped[0].Metrics)
+	}
+
+	kept, err := parseBench(strings.NewReader(input), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept[0].Name != "BenchmarkRound100k/k=24/gomaxprocs=8" ||
+		kept[1].Name != "BenchmarkShardedTokenPass/gomaxprocs=4" ||
+		kept[2].Name != "BenchmarkNoSuffix" {
+		t.Fatalf("gomaxprocs-tagged names wrong: %q, %q, %q",
+			kept[0].Name, kept[1].Name, kept[2].Name)
+	}
+}

@@ -394,10 +394,22 @@ func (c *Cluster) HostOf(vm VMID) HostID {
 // keeping their allocation reads as cheap as the cluster's own fast
 // path.
 func (c *Cluster) DenseAllocSnapshot() (base VMID, alloc []HostID, ok bool) {
+	return c.DenseAllocSnapshotInto(nil)
+}
+
+// DenseAllocSnapshotInto is DenseAllocSnapshot writing into buf when its
+// capacity suffices, so round loops that re-snapshot every round reuse
+// one buffer instead of paying an O(|V|) allocation each time. The
+// returned alloc aliases buf (or a fresh slice when buf was too small);
+// ok-false leaves buf untouched.
+func (c *Cluster) DenseAllocSnapshotInto(buf []HostID) (base VMID, alloc []HostID, ok bool) {
 	if c.recsOff || c.recs == nil {
 		return 0, nil, false
 	}
-	alloc = make([]HostID, len(c.recs))
+	if cap(buf) < len(c.recs) {
+		buf = make([]HostID, len(c.recs))
+	}
+	alloc = buf[:len(c.recs)]
 	for i := range c.recs {
 		if r := &c.recs[i]; r.reg {
 			alloc[i] = r.host
@@ -406,6 +418,26 @@ func (c *Cluster) DenseAllocSnapshot() (base VMID, alloc []HostID, ok bool) {
 		}
 	}
 	return c.recBase, alloc, true
+}
+
+// ForEachPlaced calls fn for every placed VM in ascending ID order,
+// without materializing an ID slice or an allocation snapshot — the
+// zero-copy walk for consumers (shard partitioning) that rebuild
+// placement-derived structures in bulk.
+func (c *Cluster) ForEachPlaced(fn func(VMID, HostID)) {
+	if !c.recsOff && c.recs != nil {
+		for i := range c.recs {
+			if r := &c.recs[i]; r.reg && r.host != NoHost {
+				fn(c.recBase+VMID(i), r.host)
+			}
+		}
+		return
+	}
+	for _, vm := range c.VMs() {
+		if h := c.HostOf(vm); h != NoHost {
+			fn(vm, h)
+		}
+	}
 }
 
 // VMsOn returns the VMs currently placed on host. The returned slice is

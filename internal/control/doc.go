@@ -35,17 +35,24 @@
 //     fixed default.
 //
 // Cost profile (measured on BenchmarkSummaryFold100k/k=24, the 103,680-VM
-// instance, ~6.4 ms per Recommendation with 8 preceding rate mutations):
-// the planner dominates, not the changelog fold. ~98% of the cycles sit
-// under Plan — roughly half in Plan's own candidate scoring (replaying
-// the contiguous-block unit mapping per shard count, sorting rack-pair
-// rates) and half in Summary.Cells materializing the sorted hot-pair
-// slice Plan consumes. The incremental fold itself (ChangesSince +
-// Summary.AddEdge) is ~2%: eight mutations touch eight summary cells and
-// the O(changes · degree) bound keeps it negligible at every recorded k.
-// Optimization effort at this scale therefore belongs in Plan — caching
-// Cells between unchanged generations or pruning the shard-count
-// candidate set — not in the fold.
+// instance, ~0.4 ms per Recommendation with 8 preceding rate mutations —
+// down from ~6.4 ms before the cell cache and candidate pruning landed in
+// BENCH_8): the two historical sinks are both gone. Summary.Cells no
+// longer re-sorts per query — the sorted cell view is cached and a
+// round's rate churn on existing rack pairs folds into it in place (one
+// binary search per mutation); only structural changes (a new pair, a
+// pair decaying to zero, a changelog-overflow Reset) invalidate it, and
+// the next query pays one sort rebuild. Plan no longer scores every
+// shard-count candidate against the full rack-pair matrix — the cells
+// collapse once into off-diagonal unit-pair aggregates and candidates
+// are scanned downward from the unit count, returning at the first
+// admissible cross-share (planner_bench_test.go: ~46 µs cache-hit,
+// ~220 µs forced rebuild on a 128-rack summary with 3k cells, zero
+// steady-state allocations). The incremental fold (ChangesSince +
+// Summary.AddEdge) remains O(changes · degree) and negligible at every
+// recorded k. Equivalence of the cached view with a from-scratch rebuild
+// — exact float bits, exact order, under interleaved rate/move churn and
+// the overflow-rebuild path — is pinned by planner_cache_test.go.
 //
 // A Controller bundles the three pieces behind the shard.Tuner interface
 // consumed by both decision planes: the in-process shard.Coordinator

@@ -70,10 +70,22 @@ func Plan(cfg PlannerConfig, s *Summary) Recommendation {
 	}
 
 	// Replay the partitioner's contiguous-block unit→shard mapping
-	// against the rack-pair aggregates: for each candidate count n, sum
-	// the rate that would cross shard boundaries, and keep the largest n
-	// whose cross share fits the cap. n = 1 is always admissible
-	// (cross share zero).
+	// against the rack-pair aggregates and keep the largest candidate
+	// count n whose cross-boundary rate share fits the cap. n = 1 is
+	// always admissible (cross share zero).
+	//
+	// Two structural facts prune the scoring. First, unitOf is constant
+	// across candidates, so the cells collapse once into off-diagonal
+	// *unit*-pair aggregates (≤ units² entries, typically far fewer) and
+	// every candidate is scored against those instead of the full
+	// rack-pair matrix — O(cells + candidates·unitPairs), not
+	// O(candidates·cells). Second, cross(n) for any n is a subset-sum of
+	// those off-diagonal aggregates, so if their full sum already fits
+	// the cap every candidate is admissible and n = units wins outright;
+	// otherwise scanning downward returns at the first admissible count,
+	// skipping every dominated smaller candidate. Aggregation order is
+	// first occurrence over the canonically sorted cells, so the float
+	// sums stay deterministic run to run.
 	cells := s.Cells()
 	unitOf := func(rack int) int {
 		if g == shard.ByRack {
@@ -81,18 +93,46 @@ func Plan(cfg PlannerConfig, s *Summary) Recommendation {
 		}
 		return s.PodOfRack(rack)
 	}
-	best := 1
-	for n := 2; n <= units; n++ {
+	if s.planIdx == nil {
+		s.planIdx = make(map[uint64]int32)
+	}
+	clear(s.planIdx)
+	s.planKeys = s.planKeys[:0]
+	s.planRates = s.planRates[:0]
+	for _, c := range cells {
+		ua, ub := unitOf(c.RackA), unitOf(c.RackB)
+		if ua == ub {
+			continue // same unit → same block for every n, never cross
+		}
+		k := pairKey(ua, ub)
+		i, ok := s.planIdx[k]
+		if !ok {
+			i = int32(len(s.planKeys))
+			s.planIdx[k] = i
+			s.planKeys = append(s.planKeys, k)
+			s.planRates = append(s.planRates, 0)
+		}
+		s.planRates[i] += c.Rate
+	}
+	var crossAll float64
+	for _, r := range s.planRates {
+		crossAll += r
+	}
+	limit := cfg.MaxCrossShare * total
+	if crossAll <= limit {
+		return Recommendation{Shards: units, Granularity: g}
+	}
+	for n := units - 1; n >= 2; n-- {
 		var cross float64
-		for _, c := range cells {
-			ua, ub := unitOf(c.RackA), unitOf(c.RackB)
+		for i, k := range s.planKeys {
+			ua, ub := int(k>>32), int(uint32(k))
 			if ua*n/units != ub*n/units {
-				cross += c.Rate
+				cross += s.planRates[i]
 			}
 		}
-		if cross <= cfg.MaxCrossShare*total {
-			best = n
+		if cross <= limit {
+			return Recommendation{Shards: n, Granularity: g}
 		}
 	}
-	return Recommendation{Shards: best, Granularity: g}
+	return Recommendation{Shards: 1, Granularity: g}
 }

@@ -1,0 +1,61 @@
+package control
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/score-dc/score/internal/topology"
+)
+
+// plannerBenchSummary builds a k=16 fat-tree summary (128 racks) with a
+// few thousand populated rack-pair cells.
+func plannerBenchSummary(b *testing.B) (*Summary, [][2]int) {
+	b.Helper()
+	topo, err := topology.NewFatTree(16, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewSummary(topo)
+	rng := rand.New(rand.NewSource(20140630))
+	pairs := make([][2]int, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		ra, rb := rng.Intn(s.Racks()), rng.Intn(s.Racks())
+		s.AddEdge(ra, rb, 1+rng.Float64()*100)
+		pairs = append(pairs, [2]int{ra, rb})
+	}
+	return s, pairs
+}
+
+// BenchmarkPlanSteadyState is the planner's cache-hit path: a round's
+// handful of rate deltas folded into the sorted cell view in place,
+// then a full shard recommendation. This is the per-round cost the
+// control plane pays in the steady rate-churn state.
+func BenchmarkPlanSteadyState(b *testing.B) {
+	s, pairs := plannerBenchSummary(b)
+	cfg := PlannerConfig{}
+	s.Cells() // prime the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 8; j++ {
+			p := pairs[(i*8+j)%len(pairs)]
+			s.AddEdge(p[0], p[1], 0.001) // existing pair: in-place fold
+		}
+		_ = Plan(cfg, s)
+	}
+}
+
+// BenchmarkPlanRebuild is the cache-miss path: every iteration drops
+// the materialized cell view (what a structural change — new pair,
+// decay to zero, changelog-overflow reset — costs) so Plan pays the
+// full sort-based rebuild.
+func BenchmarkPlanRebuild(b *testing.B) {
+	s, _ := plannerBenchSummary(b)
+	cfg := PlannerConfig{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		forceCellRebuild(s)
+		_ = Plan(cfg, s)
+	}
+}

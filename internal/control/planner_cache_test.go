@@ -1,0 +1,118 @@
+package control
+
+import (
+	"testing"
+
+	"github.com/score-dc/score/internal/cluster"
+)
+
+// forceCellRebuild drops the summary's materialized cell cache so the
+// next Cells call rebuilds from the rate map with one sort — the path a
+// cache miss takes.
+func forceCellRebuild(s *Summary) {
+	s.cells = s.cells[:0]
+	s.cellsValid = false
+}
+
+// TestCellsCacheEquivalenceUnderChurn: the in-place-folded cell cache
+// must stay byte-identical (exact float bits, exact order) to a
+// from-scratch rebuild of the same rate map, under interleaved rate
+// churn (in-place folds), placement moves (structural invalidation),
+// and long query gaps that overflow the traffic changelog and take the
+// controller's full-rebuild path. The planner and the top-k hotspot
+// view must agree between the two representations as well.
+func TestCellsCacheEquivalenceUnderChurn(t *testing.T) {
+	topo, cl, tm, ctrl, rng := churnFixture(t, 4, 321)
+	vms := cl.VMs()
+	randVM := func() cluster.VMID { return vms[rng.Intn(len(vms))] }
+	cfg := PlannerConfig{}
+	for step := 1; step <= 3000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 6: // rate churn: the cache's in-place fold path
+			tm.Set(randVM(), randVM(), 0.1+rng.Float64()*50)
+		case op < 7:
+			tm.Add(randVM(), randVM(), rng.Float64()*10)
+		case op < 8: // decay to zero: structural delete → invalidation
+			tm.Set(randVM(), randVM(), 0)
+		default: // placement move: structural rack-pair shift
+			_ = cl.Move(randVM(), cluster.HostID(rng.Intn(topo.Hosts())))
+		}
+		// Irregular queries keep some folds incremental; the long gaps
+		// (no query for hundreds of steps) overflow the changelog so the
+		// Reset + refold rebuild path feeds the cache too.
+		if step%11 == 0 {
+			_ = ctrl.Recommendation()
+		}
+		if step%250 != 0 {
+			continue
+		}
+		s := ctrl.SummaryForTest()
+		cached := append([]HotPair(nil), s.Cells()...)
+		recCached := Plan(cfg, s)
+		hotCached := s.HotPairs(8)
+		forceCellRebuild(s)
+		rebuilt := s.Cells()
+		if len(cached) != len(rebuilt) {
+			t.Fatalf("step %d: cached %d cells, rebuild %d", step, len(cached), len(rebuilt))
+		}
+		for i := range cached {
+			if cached[i] != rebuilt[i] { // exact: same racks, same float bits
+				t.Fatalf("step %d: cell %d cached %+v vs rebuilt %+v",
+					step, i, cached[i], rebuilt[i])
+			}
+		}
+		if recRebuilt := Plan(cfg, s); recCached != recRebuilt {
+			t.Fatalf("step %d: plan from cache %+v vs from rebuild %+v",
+				step, recCached, recRebuilt)
+		}
+		hotRebuilt := s.HotPairs(8)
+		if len(hotCached) != len(hotRebuilt) {
+			t.Fatalf("step %d: top-k sizes %d vs %d", step, len(hotCached), len(hotRebuilt))
+		}
+		for i := range hotCached {
+			if hotCached[i] != hotRebuilt[i] {
+				t.Fatalf("step %d: hot pair %d cached %+v vs rebuilt %+v",
+					step, i, hotCached[i], hotRebuilt[i])
+			}
+		}
+	}
+}
+
+// TestCellsCacheSurvivesOverflowRebuild: push more mutations than the
+// traffic changelog holds between two queries, so the controller takes
+// its Summary.Reset + full-refold path, then verify the refolded cache
+// is byte-identical to a forced from-scratch rebuild.
+func TestCellsCacheSurvivesOverflowRebuild(t *testing.T) {
+	_, _, tm, ctrl, rng := churnFixture(t, 4, 7)
+	vms := ctrl.cl.VMs()
+	for i := 0; i < 200; i++ {
+		tm.Set(vms[rng.Intn(len(vms))], vms[rng.Intn(len(vms))], 1+rng.Float64()*10)
+	}
+	_ = ctrl.Recommendation() // builds and caches
+	s := ctrl.SummaryForTest()
+	before := append([]HotPair(nil), s.Cells()...)
+	if len(before) == 0 {
+		t.Fatal("fixture produced no cells")
+	}
+	// Overflow the changelog (capacity 4096) without an intervening
+	// query: the next Recommendation cannot fold deltas and must rebuild.
+	for i := 0; i < 5000; i++ {
+		tm.Set(vms[rng.Intn(len(vms))], vms[rng.Intn(len(vms))], 1+rng.Float64()*10)
+	}
+	_ = ctrl.Recommendation()
+	after := append([]HotPair(nil), s.Cells()...)
+	if len(after) == 0 {
+		t.Fatal("overflow rebuild produced no cells")
+	}
+	forceCellRebuild(s)
+	rebuilt := s.Cells()
+	if len(after) != len(rebuilt) {
+		t.Fatalf("cache holds %d cells, forced rebuild %d", len(after), len(rebuilt))
+	}
+	for i := range after {
+		if after[i] != rebuilt[i] {
+			t.Fatalf("cell %d after overflow rebuild %+v vs forced rebuild %+v",
+				i, after[i], rebuilt[i])
+		}
+	}
+}

@@ -72,6 +72,52 @@ func (e *Engine) NewView() *AllocView {
 	return v
 }
 
+// ResetView re-primes an existing view for a fresh decision phase,
+// reusing its buffers: the overlay deltas are zeroed, staged commits
+// dropped, and the dense allocation mirror re-snapshotted in place. A
+// reset view is indistinguishable from a NewView one — round loops keep
+// per-shard views alive across rounds and pay O(hosts + |V|) stores
+// instead of O(hosts + |V|) fresh allocations each round. A nil or
+// foreign view falls back to NewView.
+func (e *Engine) ResetView(v *AllocView) *AllocView {
+	if v == nil || v.eng != e {
+		return e.NewView()
+	}
+	e.ensureAccounting()
+	n := e.cl.NumHosts()
+	if len(v.slotD) != n {
+		v.slotD = make([]int32, n)
+		v.ramD = make([]int32, n)
+		v.cpuD = make([]int32, n)
+		v.netD = make([]float64, n)
+	} else {
+		clear(v.slotD)
+		clear(v.ramD)
+		clear(v.cpuD)
+		clear(v.netD)
+	}
+	if len(v.probed) != len(e.probed) {
+		v.probed = make([]uint32, len(e.probed))
+		v.probeEpoch = 0
+	}
+	// probed marks are epoch-scoped: stale entries from prior rounds can
+	// never equal a yet-unused epoch, so the scratch carries over as-is.
+	v.commits = v.commits[:0]
+	v.rank = v.rank[:0]
+	var ok bool
+	if v.denseBase, v.dense, ok = e.cl.DenseAllocSnapshotInto(v.dense); ok {
+		v.moved = nil
+		return v
+	}
+	v.dense = nil
+	if v.moved == nil {
+		v.moved = make(map[cluster.VMID]cluster.HostID)
+	} else {
+		clear(v.moved)
+	}
+	return v
+}
+
 // HostOf returns where the view places vm: its staged position if this
 // view moved it, otherwise the frozen cluster allocation.
 func (v *AllocView) HostOf(vm cluster.VMID) cluster.HostID {

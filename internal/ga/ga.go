@@ -15,12 +15,33 @@
 // mutation, memetic local search) fan out over the internal/shard worker
 // pool; selection and child seeds are drawn sequentially, making results
 // identical for every worker count.
+//
+// # Delta-encoded population
+//
+// The population is stored delta-encoded: each individual is a bounded
+// diff list against a shared base packing (the live allocation at first,
+// re-anchored by periodic rebase), falling back to a private dense
+// genome only when its diff count exceeds a quarter of the instance. As
+// the population converges — which the elitist loop drives it to —
+// individuals differ from the incumbent in a handful of placements, so
+// storing and copying whole genomes per generation is almost all
+// redundant traffic. Breeding still operates densely: a worker
+// materializes the parents into reused scratch, runs the identical
+// crossover/mutation/search/fitness code with the identical RNG draw
+// sequence, and encodes the child back, so the encoding is invisible to
+// the optimization (bit-identical populations for a fixed seed,
+// enforced by TestDeltaDenseEquivalence via Config.DenseGenomes).
+// Elites are immutable and shared across generations rather than
+// copied. Rebase is deterministic: when more than half the population
+// has overflowed to dense, the best individual becomes the new base and
+// everyone re-encodes against it.
 package ga
 
 import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"github.com/score-dc/score/internal/cluster"
 	"github.com/score-dc/score/internal/core"
@@ -73,6 +94,16 @@ type Config struct {
 	// from the caller's RNG, and each child breeds with its own
 	// seed-derived RNG.
 	Workers int
+	// DenseGenomes disables the delta encoding: every individual stores
+	// a full dense genome, as the implementation originally did. The
+	// optimization itself is unaffected — populations are bit-identical
+	// either way — so this exists for equivalence tests and as a
+	// debugging escape hatch, not as a tuning knob.
+	DenseGenomes bool
+
+	// observeGen, when set (in-package tests only), is called after each
+	// generation's population is complete, before the termination check.
+	observeGen func(gen int, in *instance, pop []*indiv, fit []float64)
 }
 
 // DefaultConfig returns laptop-scale parameters with the paper's
@@ -129,13 +160,178 @@ type instance struct {
 	pairsB   []int32
 	rates    []float64
 	numHosts int
-	// adj[i] lists (peer index, rate) for VM i, for local search.
-	adj [][]edge
+	// CSR adjacency for local search: adjArr[adjOff[i]:adjOff[i+1]]
+	// lists (peer index, rate) for VM i — one arena instead of one slice
+	// per VM.
+	adjOff []int32
+	adjArr []edge
+	// CSR rack→hosts table (ascending host IDs, the order
+	// Topology.HostsInRack returns) — the search operators probe
+	// same-rack spillover hosts millions of times per run, and the
+	// topology's accessor allocates a fresh slice per call.
+	rackOff []int32
+	rackArr []cluster.HostID
+
+	// base is the shared packing the population's diff lists are encoded
+	// against; maxDiffs is the bound past which an individual falls back
+	// to a private dense genome (≤ 0 forces dense — Config.DenseGenomes).
+	base     []cluster.HostID
+	maxDiffs int
+
+	// scratch is a free list of breeding scratch sets, bounded by worker
+	// concurrency. A plain mutex-guarded stack (not sync.Pool) keeps the
+	// allocation count deterministic for AllocsPerRun regression tests.
+	scratchMu sync.Mutex
+	scratch   []*breedScratch
 }
 
 type edge struct {
 	peer int32
 	rate float64
+}
+
+// adjOf returns VM vi's adjacency row.
+func (in *instance) adjOf(vi int) []edge { return in.adjArr[in.adjOff[vi]:in.adjOff[vi+1]] }
+
+// hostsInRack returns the rack's hosts without allocating.
+func (in *instance) hostsInRack(rack int) []cluster.HostID {
+	if rack < 0 || rack+1 >= len(in.rackOff) {
+		return nil
+	}
+	return in.rackArr[in.rackOff[rack]:in.rackOff[rack+1]]
+}
+
+// diffEntry is one delta-encoded placement: genome[idx] = host.
+type diffEntry struct {
+	idx  int32
+	host cluster.HostID
+}
+
+// indiv is one individual of the delta-encoded population: a diff list
+// against the instance's shared base packing, or a private dense genome
+// when the diff bound was exceeded. Individuals are immutable once
+// created — elites are shared between generations, never copied.
+type indiv struct {
+	diffs []diffEntry      // ascending idx; meaningful only when dense == nil
+	dense []cluster.HostID // fallback representation
+}
+
+// materialize writes iv's full genome into dst (len == |V|).
+func (in *instance) materialize(dst []cluster.HostID, iv *indiv) {
+	if iv.dense != nil {
+		copy(dst, iv.dense)
+		return
+	}
+	copy(dst, in.base)
+	for _, d := range iv.diffs {
+		dst[d.idx] = d.host
+	}
+}
+
+// encode stores genome as an individual: a diff list against the shared
+// base when it fits the bound, a private dense copy otherwise. The
+// caller keeps ownership of genome (it is scratch).
+func (in *instance) encode(genome []cluster.HostID) *indiv {
+	if in.maxDiffs > 0 {
+		nd := 0
+		for i, h := range genome {
+			if h != in.base[i] {
+				nd++
+				if nd > in.maxDiffs {
+					break
+				}
+			}
+		}
+		if nd <= in.maxDiffs {
+			diffs := make([]diffEntry, 0, nd)
+			for i, h := range genome {
+				if h != in.base[i] {
+					diffs = append(diffs, diffEntry{idx: int32(i), host: h})
+				}
+			}
+			return &indiv{diffs: diffs}
+		}
+	}
+	return &indiv{dense: append([]cluster.HostID(nil), genome...)}
+}
+
+// rebase re-anchors the population on newBase: every individual is
+// re-encoded against it (placements unchanged, so fitness is untouched).
+// Called when most of the population has overflowed to dense — after
+// convergence pulls individuals toward the incumbent, their diffs
+// against the new anchor are small again.
+func (in *instance) rebase(newBase []cluster.HostID, pop []*indiv) {
+	// Densify the diff-encoded minority against the old base first — the
+	// diffs are meaningless once the anchor moves.
+	for i, iv := range pop {
+		if iv.dense == nil {
+			g := make([]cluster.HostID, len(in.base))
+			in.materialize(g, iv)
+			pop[i] = &indiv{dense: g}
+		}
+	}
+	in.base = append([]cluster.HostID(nil), newBase...)
+	sc := in.getScratch()
+	for i, iv := range pop {
+		in.materialize(sc.child, iv)
+		pop[i] = in.encode(sc.child)
+	}
+	in.putScratch(sc)
+}
+
+// breedScratch is one worker's reusable breeding state: dense genome
+// buffers for the child and second parent, rack-take flags, capacity
+// tallies for repair/search, and a re-seedable RNG (a fresh
+// rand.New per child costs ~5 KB of generator state; Seed resets the
+// same state to the identical draw sequence for free).
+type breedScratch struct {
+	child, parent []cluster.HostID
+	take          []bool
+	slots         []int
+	ram           []int
+	cpu           []int
+	perm          []int
+	rng           *rand.Rand
+}
+
+func (in *instance) getScratch() *breedScratch {
+	in.scratchMu.Lock()
+	if n := len(in.scratch); n > 0 {
+		sc := in.scratch[n-1]
+		in.scratch = in.scratch[:n-1]
+		in.scratchMu.Unlock()
+		return sc
+	}
+	in.scratchMu.Unlock()
+	n := len(in.vms)
+	return &breedScratch{
+		child:  make([]cluster.HostID, n),
+		parent: make([]cluster.HostID, n),
+		take:   make([]bool, in.topo.Racks()),
+		slots:  make([]int, in.numHosts),
+		ram:    make([]int, in.numHosts),
+		cpu:    make([]int, in.numHosts),
+		perm:   make([]int, n),
+		rng:    rand.New(rand.NewSource(0)),
+	}
+}
+
+func (in *instance) putScratch(sc *breedScratch) {
+	in.scratchMu.Lock()
+	in.scratch = append(in.scratch, sc)
+	in.scratchMu.Unlock()
+}
+
+// tally recomputes the capacity ledgers from genome into the scratch.
+func (in *instance) tally(genome []cluster.HostID, sc *breedScratch) {
+	clear(sc.slots)
+	clear(sc.ram)
+	clear(sc.cpu)
+	for i, h := range genome {
+		sc.slots[h]++
+		sc.ram[h] += in.ramMB[i]
+		sc.cpu[h] += in.cpuMilli[i]
+	}
 }
 
 func (in *instance) evaluate(genome []cluster.HostID) float64 {
@@ -208,29 +404,48 @@ func Optimize(eng *core.Engine, cfg Config, rng *rand.Rand) (Result, error) {
 
 	pool := shard.NewPool(cfg.Workers)
 
-	pop := make([][]cluster.HostID, cfg.Population)
+	// The live allocation anchors the delta encoding: it is the shared
+	// base, and individuals store bounded diffs against it until a
+	// deterministic rebase re-anchors on a better incumbent.
+	in.base = seed
+	in.maxDiffs = n / 4
+	if cfg.DenseGenomes {
+		in.maxDiffs = 0 // encode always falls back to dense storage
+	}
+
+	pop := make([]*indiv, cfg.Population)
 	fit := make([]float64, cfg.Population)
-	pop[0] = seed // current allocation as one individual
+	pop[0] = in.encode(seed) // current allocation as one individual
 	// A locally optimal descendant of the live allocation joins the
 	// population: the workload's locality structure is anchored on the
 	// initial racks, so this basin is often competitive with dense
 	// repackings and must be represented for the GA to dominate any
 	// local-migration scheme.
-	pop[1] = append([]cluster.HostID(nil), seed...)
-	in.polish(pop[1])
+	scratch0 := in.getScratch()
+	copy(scratch0.child, seed)
+	in.polish(scratch0.child)
+	pop[1] = in.encode(scratch0.child)
 	greedy := 2 + int(float64(cfg.Population)*cfg.GreedySeedFraction)
 	for i := 2; i < cfg.Population; i++ {
 		if i <= greedy {
-			pop[i] = in.greedyPack(rng)
+			in.greedyPack(scratch0.child, rng, scratch0)
 		} else {
-			pop[i] = in.randomDense(rng)
+			in.randomDense(scratch0.child, rng, scratch0)
 		}
+		pop[i] = in.encode(scratch0.child)
 	}
-	pool.Run(cfg.Population, func(i int) { fit[i] = in.evaluate(pop[i]) })
+	in.putScratch(scratch0)
+	pool.Run(cfg.Population, func(i int) {
+		sc := in.getScratch()
+		in.materialize(sc.child, pop[i])
+		fit[i] = in.evaluate(sc.child)
+		in.putScratch(sc)
+	})
 
 	res := Result{}
 	bestIdx := argmin(fit)
-	best := append([]cluster.HostID(nil), pop[bestIdx]...)
+	best := make([]cluster.HostID, n)
+	in.materialize(best, pop[bestIdx])
 	bestCost := fit[bestIdx]
 	res.History = append(res.History, bestCost)
 
@@ -238,22 +453,34 @@ func Optimize(eng *core.Engine, cfg Config, rng *rand.Rand) (Result, error) {
 	// the expensive part (crossover + mutation + memetic search +
 	// fitness) then fans out over the pool with a per-child RNG.
 	type childSpec struct {
-		pa, pb []cluster.HostID // pb nil = clone pa
+		pa, pb *indiv // pb nil = clone pa
 		mutate bool
 		seed   int64
 	}
 
 	for gen := 0; gen < cfg.MaxGenerations; gen++ {
-		next := make([][]cluster.HostID, cfg.Population)
+		next := make([]*indiv, cfg.Population)
 		nextFit := make([]float64, cfg.Population)
 		// Elitism: best individuals carry over with known fitness.
+		// Individuals are immutable, so elites are shared, not copied.
 		order := sortedByFitness(fit)
+		if in.maxDiffs > 0 {
+			dense := 0
+			for _, iv := range pop {
+				if iv.dense != nil {
+					dense++
+				}
+			}
+			if dense > cfg.Population/2 {
+				in.rebase(best, pop)
+			}
+		}
 		elite := cfg.Elite
 		if elite > len(order) {
 			elite = len(order)
 		}
 		for e := 0; e < elite; e++ {
-			next[e] = append([]cluster.HostID(nil), pop[order[e]]...)
+			next[e] = pop[order[e]]
 			nextFit[e] = fit[order[e]]
 		}
 		specs := make([]childSpec, cfg.Population-elite)
@@ -268,27 +495,30 @@ func Optimize(eng *core.Engine, cfg Config, rng *rand.Rand) (Result, error) {
 		}
 		pool.Run(len(specs), func(j int) {
 			sp := specs[j]
-			crng := rand.New(rand.NewSource(sp.seed))
-			var child []cluster.HostID
+			sc := in.getScratch()
+			sc.rng.Seed(sp.seed)
+			in.materialize(sc.child, sp.pa)
 			if sp.pb != nil {
-				child = in.crossover(sp.pa, sp.pb, crng)
-			} else {
-				child = append([]cluster.HostID(nil), sp.pa...)
+				in.crossover(sc, sp.pb)
 			}
 			if sp.mutate {
-				in.mutate(child, cfg.MaxSwaps, crng)
+				in.mutate(sc.child, cfg.MaxSwaps, sc.rng, sc)
 			}
-			in.localSearch(child, cfg.LocalSearchVMs, crng)
-			next[elite+j] = child
-			nextFit[elite+j] = in.evaluate(child)
+			in.localSearch(sc.child, cfg.LocalSearchVMs, sc.rng, sc)
+			next[elite+j] = in.encode(sc.child)
+			nextFit[elite+j] = in.evaluate(sc.child)
+			in.putScratch(sc)
 		})
 		pop, fit = next, nextFit
 		if i := argmin(fit); fit[i] < bestCost {
 			bestCost = fit[i]
-			copy(best, pop[i])
+			in.materialize(best, pop[i])
 		}
 		res.History = append(res.History, bestCost)
 		res.Generations = gen + 1
+		if cfg.observeGen != nil {
+			cfg.observeGen(gen, in, pop, fit)
+		}
 		if gen+1 >= cfg.MinGenerations &&
 			stopConverged(res.History, cfg.StopGenerations, cfg.StopRelImprovement) {
 			break
@@ -327,7 +557,7 @@ func (in *instance) polish(genome []cluster.HostID) {
 	}
 	delta := func(vi int, from, to cluster.HostID) float64 {
 		var d float64
-		for _, e := range in.adj[vi] {
+		for _, e := range in.adjOf(vi) {
 			hp := genome[e.peer]
 			d += 2 * e.rate * (in.cost.Prefix(in.topo.Level(hp, from)) - in.cost.Prefix(in.topo.Level(hp, to)))
 		}
@@ -336,7 +566,7 @@ func (in *instance) polish(genome []cluster.HostID) {
 	for pass := 0; pass < 50; pass++ {
 		moved := false
 		for vi := range genome {
-			if len(in.adj[vi]) == 0 {
+			if len(in.adjOf(vi)) == 0 {
 				continue
 			}
 			from := genome[vi]
@@ -349,10 +579,10 @@ func (in *instance) polish(genome []cluster.HostID) {
 					best, bestD = h, d
 				}
 			}
-			for _, e := range in.adj[vi] {
+			for _, e := range in.adjOf(vi) {
 				hp := genome[e.peer]
 				consider(hp)
-				for _, alt := range in.topo.HostsInRack(in.topo.RackOf(hp)) {
+				for _, alt := range in.hostsInRack(in.topo.RackOf(hp)) {
 					consider(alt)
 				}
 			}
@@ -426,6 +656,23 @@ func buildInstance(eng *core.Engine) (*instance, []cluster.HostID, error) {
 		in.hostRAM[h] = host.RAMMB
 		in.hostCPU[h] = host.CPUMilli
 	}
+	// Rack→hosts CSR (hosts ascending within each rack, matching
+	// Topology.HostsInRack order).
+	racks := in.topo.Racks()
+	in.rackOff = make([]int32, racks+1)
+	for h := 0; h < in.numHosts; h++ {
+		in.rackOff[in.topo.RackOf(cluster.HostID(h))+1]++
+	}
+	for r := 0; r < racks; r++ {
+		in.rackOff[r+1] += in.rackOff[r]
+	}
+	in.rackArr = make([]cluster.HostID, in.numHosts)
+	fill := make([]int32, racks)
+	for h := 0; h < in.numHosts; h++ {
+		r := in.topo.RackOf(cluster.HostID(h))
+		in.rackArr[in.rackOff[r]+fill[r]] = cluster.HostID(h)
+		fill[r]++
+	}
 	// Pairs touching VMs outside the cluster are excluded from both the
 	// fitness pair list and the adjacency below, keeping the two cost
 	// views consistent.
@@ -444,20 +691,17 @@ func buildInstance(eng *core.Engine) (*instance, []cluster.HostID, error) {
 		in.rates = append(in.rates, rates[i])
 	}
 	// Per-VM adjacency for local search, straight off the matrix's CSR
-	// rows (peers in ascending ID order).
-	in.adj = make([][]edge, len(in.vms))
+	// rows (peers in ascending ID order), packed into one CSR arena of
+	// our own: each valid pair appears in exactly two rows.
+	in.adjOff = make([]int32, len(in.vms)+1)
+	in.adjArr = make([]edge, 0, 2*len(in.pairsA))
 	for i, vm := range in.vms {
-		row := tm.NeighborEdges(vm)
-		if len(row) == 0 {
-			continue
-		}
-		adj := make([]edge, 0, len(row))
-		for _, ed := range row {
+		for _, ed := range tm.NeighborEdges(vm) {
 			if j, ok := idx[ed.Peer]; ok {
-				adj = append(adj, edge{peer: j, rate: ed.Rate})
+				in.adjArr = append(in.adjArr, edge{peer: j, rate: ed.Rate})
 			}
 		}
-		in.adj[i] = adj
+		in.adjOff[i+1] = int32(len(in.adjArr))
 	}
 	return in, seed, nil
 }
@@ -466,21 +710,15 @@ func buildInstance(eng *core.Engine) (*instance, []cluster.HostID, error) {
 // host (the hosts of their peers, plus same-rack spillover), respecting
 // capacity. This memetic step is the workhorse that pulls the population
 // toward dense, co-located optima.
-func (in *instance) localSearch(genome []cluster.HostID, k int, rng *rand.Rand) {
+func (in *instance) localSearch(genome []cluster.HostID, k int, rng *rand.Rand, sc *breedScratch) {
 	if k <= 0 || len(in.vms) == 0 {
 		return
 	}
-	slots := make([]int, in.numHosts)
-	ram := make([]int, in.numHosts)
-	cpu := make([]int, in.numHosts)
-	for i, h := range genome {
-		slots[h]++
-		ram[h] += in.ramMB[i]
-		cpu[h] += in.cpuMilli[i]
-	}
+	in.tally(genome, sc)
+	slots, ram, cpu := sc.slots, sc.ram, sc.cpu
 	delta := func(vi int, from, to cluster.HostID) float64 {
 		var d float64
-		for _, e := range in.adj[vi] {
+		for _, e := range in.adjOf(vi) {
 			hp := genome[e.peer]
 			d += 2 * e.rate * (in.cost.Prefix(in.topo.Level(hp, from)) - in.cost.Prefix(in.topo.Level(hp, to)))
 		}
@@ -488,7 +726,7 @@ func (in *instance) localSearch(genome []cluster.HostID, k int, rng *rand.Rand) 
 	}
 	for n := 0; n < k; n++ {
 		vi := rng.Intn(len(in.vms))
-		if len(in.adj[vi]) == 0 {
+		if len(in.adjOf(vi)) == 0 {
 			continue
 		}
 		from := genome[vi]
@@ -501,10 +739,10 @@ func (in *instance) localSearch(genome []cluster.HostID, k int, rng *rand.Rand) 
 				best, bestD = h, d
 			}
 		}
-		for _, e := range in.adj[vi] {
+		for _, e := range in.adjOf(vi) {
 			hp := genome[e.peer]
 			consider(hp)
-			for _, alt := range in.topo.HostsInRack(in.topo.RackOf(hp)) {
+			for _, alt := range in.hostsInRack(in.topo.RackOf(hp)) {
 				consider(alt)
 			}
 		}
@@ -521,14 +759,23 @@ func (in *instance) localSearch(genome []cluster.HostID, k int, rng *rand.Rand) 
 }
 
 // randomDense packs a random VM permutation onto hosts sequentially from
-// a random offset — the paper's "densely-packed VM distributions".
-func (in *instance) randomDense(rng *rand.Rand) []cluster.HostID {
-	genome := make([]cluster.HostID, len(in.vms))
-	slots := make([]int, in.numHosts)
-	ram := make([]int, in.numHosts)
-	cpu := make([]int, in.numHosts)
+// a random offset — the paper's "densely-packed VM distributions" —
+// written into the caller's genome buffer.
+func (in *instance) randomDense(genome []cluster.HostID, rng *rand.Rand, sc *breedScratch) {
+	clear(sc.slots)
+	clear(sc.ram)
+	clear(sc.cpu)
+	slots, ram, cpu := sc.slots, sc.ram, sc.cpu
 	h := rng.Intn(in.numHosts)
-	for _, vi := range rng.Perm(len(in.vms)) {
+	// In-scratch Fisher–Yates with rand.Perm's exact construction, so the
+	// draw sequence (one Intn per element) is unchanged.
+	perm := sc.perm
+	for i := range perm {
+		j := rng.Intn(i + 1)
+		perm[i] = perm[j]
+		perm[j] = i
+	}
+	for _, vi := range perm {
 		for tries := 0; tries < in.numHosts; tries++ {
 			if in.roomFor(vi, h, slots, ram, cpu) {
 				break
@@ -540,19 +787,19 @@ func (in *instance) randomDense(rng *rand.Rand) []cluster.HostID {
 		ram[h] += in.ramMB[vi]
 		cpu[h] += in.cpuMilli[vi]
 	}
-	return genome
 }
 
 // greedyPack co-locates the heaviest-rate pairs first, a constructive
-// seed that is already close to dense-optimal for sparse matrices.
-func (in *instance) greedyPack(rng *rand.Rand) []cluster.HostID {
-	genome := make([]cluster.HostID, len(in.vms))
+// seed that is already close to dense-optimal for sparse matrices,
+// written into the caller's genome buffer.
+func (in *instance) greedyPack(genome []cluster.HostID, rng *rand.Rand, sc *breedScratch) {
 	for i := range genome {
 		genome[i] = cluster.NoHost
 	}
-	slots := make([]int, in.numHosts)
-	ram := make([]int, in.numHosts)
-	cpu := make([]int, in.numHosts)
+	clear(sc.slots)
+	clear(sc.ram)
+	clear(sc.cpu)
+	slots, ram, cpu := sc.slots, sc.ram, sc.cpu
 	fits := func(vi int, h int) bool {
 		return in.roomFor(vi, h, slots, ram, cpu)
 	}
@@ -579,7 +826,7 @@ func (in *instance) greedyPack(rng *rand.Rand) []cluster.HostID {
 		return -1
 	}
 	sameRackHost := func(h int, vi int) int {
-		for _, alt := range in.topo.HostsInRack(in.topo.RackOf(cluster.HostID(h))) {
+		for _, alt := range in.hostsInRack(in.topo.RackOf(cluster.HostID(h))) {
 			if fits(vi, int(alt)) {
 				return int(alt)
 			}
@@ -626,31 +873,32 @@ func (in *instance) greedyPack(rng *rand.Rand) []cluster.HostID {
 			}
 		}
 	}
-	return genome
 }
 
 // crossover is EAX-inspired: it preserves co-location "edges" by
-// inheriting whole racks from the second parent into a copy of the
-// first, then repairing capacity violations.
-func (in *instance) crossover(a, b []cluster.HostID, rng *rand.Rand) []cluster.HostID {
-	child := append([]cluster.HostID(nil), a...)
-	racks := in.topo.Racks()
-	take := make([]bool, racks)
+// inheriting whole racks from the second parent into the first (already
+// materialized in sc.child), then repairing capacity violations. The
+// second parent is materialized into sc.parent; the RNG draw sequence
+// (one coin per rack, then repair's) is identical to the historical
+// dense implementation.
+func (in *instance) crossover(sc *breedScratch, pb *indiv) {
+	child := sc.child
+	take := sc.take
 	for r := range take {
-		take[r] = rng.Intn(2) == 0
+		take[r] = sc.rng.Intn(2) == 0
 	}
-	for i, hb := range b {
+	in.materialize(sc.parent, pb)
+	for i, hb := range sc.parent {
 		if take[in.topo.RackOf(hb)] {
 			child[i] = hb
 		}
 	}
-	in.repair(child, rng)
-	return child
+	in.repair(child, sc.rng, sc)
 }
 
 // mutate swaps the hosts of k random VM pairs (the paper's "swapping a
 // random number of VMs between racks").
-func (in *instance) mutate(genome []cluster.HostID, maxSwaps int, rng *rand.Rand) {
+func (in *instance) mutate(genome []cluster.HostID, maxSwaps int, rng *rand.Rand, sc *breedScratch) {
 	if maxSwaps < 1 {
 		maxSwaps = 1
 	}
@@ -660,20 +908,14 @@ func (in *instance) mutate(genome []cluster.HostID, maxSwaps int, rng *rand.Rand
 		genome[i], genome[j] = genome[j], genome[i]
 	}
 	// Swapping VMs of unequal RAM can break RAM capacity; repair.
-	in.repair(genome, rng)
+	in.repair(genome, rng, sc)
 }
 
 // repair moves VMs off over-capacity hosts onto the nearest host with
 // room (same rack first, then anywhere), keeping genomes feasible.
-func (in *instance) repair(genome []cluster.HostID, rng *rand.Rand) {
-	slots := make([]int, in.numHosts)
-	ram := make([]int, in.numHosts)
-	cpu := make([]int, in.numHosts)
-	for i, h := range genome {
-		slots[h]++
-		ram[h] += in.ramMB[i]
-		cpu[h] += in.cpuMilli[i]
-	}
+func (in *instance) repair(genome []cluster.HostID, rng *rand.Rand, sc *breedScratch) {
+	in.tally(genome, sc)
+	slots, ram, cpu := sc.slots, sc.ram, sc.cpu
 	for i, h := range genome {
 		hi := int(h)
 		over := slots[hi] > in.slots[hi] || ram[hi] > in.hostRAM[hi] ||
@@ -683,7 +925,7 @@ func (in *instance) repair(genome []cluster.HostID, rng *rand.Rand) {
 		}
 		// Evict this VM to relieve the violation.
 		target := -1
-		for _, alt := range in.topo.HostsInRack(in.topo.RackOf(h)) {
+		for _, alt := range in.hostsInRack(in.topo.RackOf(h)) {
 			ai := int(alt)
 			if ai != hi && in.roomFor(i, ai, slots, ram, cpu) {
 				target = ai

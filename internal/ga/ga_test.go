@@ -150,21 +150,26 @@ func TestGreedySeedFeasible(t *testing.T) {
 	if !in.feasible(seed) {
 		t.Fatal("live allocation reported infeasible")
 	}
+	sc := in.getScratch()
+	sc.rng = rng // operators draw from the scratch RNG
+	g := make([]cluster.HostID, len(seed))
+	r := make([]cluster.HostID, len(seed))
 	for i := 0; i < 10; i++ {
-		g := in.greedyPack(rng)
+		in.greedyPack(g, rng, sc)
 		if !in.feasible(g) {
 			t.Fatalf("greedy genome %d infeasible", i)
 		}
-		r := in.randomDense(rng)
+		in.randomDense(r, rng, sc)
 		if !in.feasible(r) {
 			t.Fatalf("random-dense genome %d infeasible", i)
 		}
-		child := in.crossover(g, r, rng)
-		if !in.feasible(child) {
+		copy(sc.child, g)
+		in.crossover(sc, in.encode(r))
+		if !in.feasible(sc.child) {
 			t.Fatalf("crossover child %d infeasible", i)
 		}
-		in.mutate(child, 4, rng)
-		if !in.feasible(child) {
+		in.mutate(sc.child, 4, rng, sc)
+		if !in.feasible(sc.child) {
 			t.Fatalf("mutated genome %d infeasible", i)
 		}
 	}

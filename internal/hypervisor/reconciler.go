@@ -1013,6 +1013,28 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 		rep.Evicted = append(rep.Evicted, h)
 	}
 	slices.Sort(rep.Evicted)
+	// Filter evicted hosts up front, then warm every capacity probe the
+	// whole merge will issue — all shards' staged moves plus the
+	// cross-shard proposals — in one wave, so neither the per-shard
+	// MergeStaged passes nor the closing ReconcileProposals pay their own
+	// serial probe warm-up.
+	shardCommits := make([][]core.Decision, n)
+	shardDropped := make([]int, n)
+	shardProps := make([][]core.Decision, n)
+	shardPropsDropped := make([]int, n)
+	for s := 0; s < n; s++ {
+		st := states[s]
+		if st == nil {
+			continue
+		}
+		// Moves by VMs stranded on evicted hosts cannot commit (their
+		// dom0 is unresponsive) and moves onto evicted hosts must not:
+		// drop both before the merge instead of stalling on their probes.
+		shardCommits[s], shardDropped[s] = dropEvicted(env, c.evicted, decisionsOf(st.Staged))
+		shardProps[s], shardPropsDropped[s] = dropEvicted(env, c.evicted, decisionsOf(st.Proposals))
+	}
+	shard.PrefetchDecisions(env, append(append([][]core.Decision{}, shardCommits...), shardProps...)...)
+
 	var proposals []core.Decision
 	var aborts []core.Decision
 	for s := 0; s < n; s++ {
@@ -1025,15 +1047,10 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 		if reports[s].Regenerated > 0 && states[s] != nil {
 			rep.Recovered++
 		}
-		st := states[s]
-		if st == nil {
+		if states[s] == nil {
 			continue
 		}
-		// Moves by VMs stranded on evicted hosts cannot commit (their
-		// dom0 is unresponsive) and moves onto evicted hosts must not:
-		// drop both before the merge instead of stalling on their
-		// probes.
-		commits, dropped := dropEvicted(env, c.evicted, decisionsOf(st.Staged))
+		commits, dropped := shardCommits[s], shardDropped[s]
 		rep.StaleRejected += dropped
 		applied, stale, err := shard.MergeStaged(env, r.cfg.MigrationCost, commits)
 		if err != nil {
@@ -1056,9 +1073,8 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 		if stale > 0 {
 			aborts = append(aborts, unmatched(commits, applied)...)
 		}
-		ps, droppedProps := dropEvicted(env, c.evicted, decisionsOf(st.Proposals))
-		rep.CrossRejected += droppedProps
-		proposals = append(proposals, ps...)
+		rep.CrossRejected += shardPropsDropped[s]
+		proposals = append(proposals, shardProps[s]...)
 	}
 
 	nProposed := 0

@@ -119,10 +119,23 @@ type Coordinator struct {
 
 	// part is the live partition, maintained incrementally from cluster
 	// allocation-change observations instead of being rebuilt O(|V|)
-	// every round. It is dropped (nil) on bulk rewrites (Restore) and
-	// lazily rebuilt by the next round.
-	part   *Partition
-	detach func()
+	// every round. A bulk rewrite (Restore) marks it stale; the next
+	// round refills the existing rings in place (the shard shape is a
+	// topology property, unaffected by placement rewrites).
+	part      *Partition
+	partStale bool
+	detach    func()
+
+	// Per-shard round scratch, reused across rounds: decision views,
+	// ring tokens, policies, outcomes. Views are reset (not rebuilt) each
+	// round, which removes the dominant O(shards · (hosts + |V|))
+	// per-round allocation; entries are extended when the tuner raises
+	// the shard count. Reuse is safe because RunRound is sequential and
+	// each ring touches only its own index.
+	views    []*core.AllocView
+	toks     []*token.Token
+	policies []token.Policy
+	outcomes []*shardOutcome
 
 	// curShards/curGran are the parameters the live partition was built
 	// with — cfg values for a fixed coordinator, the tuner's latest
@@ -173,9 +186,9 @@ func (c *Coordinator) onAllocChange(vm cluster.VMID, from, to cluster.HostID) {
 	}
 }
 
-// onAllocReset drops the partition after a bulk rewrite (Restore); the
-// next round rebuilds it from scratch.
-func (c *Coordinator) onAllocReset() { c.part = nil }
+// onAllocReset marks the partition stale after a bulk rewrite (Restore);
+// the next round refills its rings from the new allocation.
+func (c *Coordinator) onAllocReset() { c.partStale = true }
 
 // Close unregisters the coordinator's cluster observer. The coordinator
 // must not be used afterwards.
@@ -213,7 +226,10 @@ func (c *Coordinator) partition() (*Partition, error) {
 			return nil, err
 		}
 		c.part = part
+	} else if c.partStale {
+		c.part.Refill(c.eng.Cluster())
 	}
+	c.partStale = false
 	return c.part, nil
 }
 
@@ -242,25 +258,33 @@ func (c *Coordinator) RunRound() (*Round, error) {
 		return nil, err
 	}
 	n := part.Shards()
-	// Views and policies are created sequentially (view creation primes
+	// Views and policies are prepared sequentially (view reset primes
 	// the engine's shared accounting; policy construction may consume a
-	// caller RNG), then used strictly concurrently.
-	views := make([]*core.AllocView, n)
-	policies := make([]token.Policy, n)
+	// caller RNG), then used strictly concurrently. All per-shard state
+	// is round scratch reset in place — after the first round at a given
+	// shard count, a round allocates no view, token or outcome storage.
+	for len(c.views) < n {
+		c.views = append(c.views, nil)
+		c.toks = append(c.toks, new(token.Token))
+		c.policies = append(c.policies, nil)
+		c.outcomes = append(c.outcomes, new(shardOutcome))
+	}
+	views := c.views[:n]
+	policies := c.policies[:n]
+	outcomes := c.outcomes[:n]
 	for s := 0; s < n; s++ {
-		views[s] = c.eng.NewView()
+		views[s] = c.eng.ResetView(views[s])
 		policies[s] = c.cfg.NewPolicy(s)
 	}
 
-	outcomes := make([]*shardOutcome, n)
 	c.pool.Run(n, func(s int) {
 		if m != nil {
 			t0 := time.Now()
-			outcomes[s] = c.ringPass(s, part, views[s], policies[s])
+			c.ringPass(s, part, views[s], policies[s], outcomes[s])
 			m.RingPass.Observe(time.Since(t0).Seconds())
 			return
 		}
-		outcomes[s] = c.ringPass(s, part, views[s], policies[s])
+		c.ringPass(s, part, views[s], policies[s], outcomes[s])
 	})
 
 	round := &Round{Shards: make([]ShardRound, 0, n), Granularity: c.curGran}
@@ -359,17 +383,26 @@ func (c *Coordinator) Run() (*Result, error) {
 // ringPass runs one shard's token ring to completion: every shard VM is
 // visited once (one pass, |V_s| hops), decisions are staged in the
 // shard's view, and the token moves by the shard's policy — the
-// Section V-A loop scoped to one shard.
-func (c *Coordinator) ringPass(s int, part *Partition, view *core.AllocView, pol token.Policy) *shardOutcome {
+// Section V-A loop scoped to one shard. The outcome o is round scratch
+// reset in place; its proposal storage is reused across rounds.
+func (c *Coordinator) ringPass(s int, part *Partition, view *core.AllocView, pol token.Policy, o *shardOutcome) {
 	vms := part.VMs(s)
-	o := &shardOutcome{stats: ShardRound{Shard: s, VMs: len(vms)}}
+	o.stats = ShardRound{Shard: s, VMs: len(vms)}
+	o.commits = nil
+	o.proposals = o.proposals[:0]
 	if len(vms) == 0 {
-		return o
+		return
 	}
 	depth := uint8(c.eng.Topology().Depth())
-	tok := token.NewAtLevel(vms, depth)
+	tok := c.toks[s].Fill(vms, depth)
 	tm := c.eng.Traffic()
 	_, levelFree := pol.(token.LevelFree)
+	var levels map[cluster.VMID]uint8
+	if !levelFree {
+		// One map per ring, cleared per hop — policies fold the view
+		// into the token and never retain it across Next calls.
+		levels = make(map[cluster.VMID]uint8)
+	}
 	holder := vms[0]
 	for hop := 0; hop < len(vms); hop++ {
 		o.stats.Hops++
@@ -385,9 +418,8 @@ func (c *Coordinator) ringPass(s int, part *Partition, view *core.AllocView, pol
 		}
 		hv := token.HolderView{Holder: holder}
 		if !levelFree {
-			neigh := tm.NeighborEdges(holder)
-			levels := make(map[cluster.VMID]uint8, len(neigh))
-			for _, ed := range neigh {
+			clear(levels)
+			for _, ed := range tm.NeighborEdges(holder) {
 				levels[ed.Peer] = uint8(view.PairLevel(holder, ed.Peer))
 			}
 			hv.OwnLevel = uint8(view.VMLevel(holder))
@@ -400,5 +432,4 @@ func (c *Coordinator) ringPass(s int, part *Partition, view *core.AllocView, pol
 		holder = next
 	}
 	o.commits = view.Commits()
-	return o
 }

@@ -114,27 +114,24 @@ func NewPartition(topo topology.Topology, cl *cluster.Cluster, g Granularity, sh
 	if err != nil {
 		return nil, err
 	}
-	// Each shard's VM list is its ring order and must ascend by ID. The
-	// dense allocation mirror yields IDs in ascending order by
-	// construction; the sparse fallback pays VMs()'s sort.
-	if base, alloc, ok := cl.DenseAllocSnapshot(); ok {
-		for i, h := range alloc {
-			if h == cluster.NoHost {
-				continue
-			}
-			s := p.ShardOfHost(h)
-			p.vms[s] = append(p.vms[s], base+cluster.VMID(i))
-		}
-		return p, nil
-	}
-	for _, vm := range cl.VMs() {
-		h := cl.HostOf(vm)
-		if h == cluster.NoHost {
-			continue
-		}
-		p.vms[p.ShardOfHost(h)] = append(p.vms[p.ShardOfHost(h)], vm)
-	}
+	p.Refill(cl)
 	return p, nil
+}
+
+// Refill rebuilds the partition's VM rings from the cluster's current
+// allocation, reusing the ring storage — the recovery path after a bulk
+// allocation rewrite (Restore) when the shard shape itself is unchanged,
+// O(|V|) stores with no per-round allocation once the rings have grown
+// to size. Each shard's VM list is its ring order and must ascend by ID;
+// ForEachPlaced walks in ascending ID order by construction.
+func (p *Partition) Refill(cl *cluster.Cluster) {
+	for s := range p.vms {
+		p.vms[s] = p.vms[s][:0]
+	}
+	cl.ForEachPlaced(func(vm cluster.VMID, h cluster.HostID) {
+		s := p.ShardOfHost(h)
+		p.vms[s] = append(p.vms[s], vm)
+	})
 }
 
 // Shards returns the effective shard count.

@@ -228,6 +228,34 @@ func batchWindow(env BatchEnv, ds []core.Decision, cap int) int {
 	return w
 }
 
+// PrefetchDecisions warms env's capacity state for every distinct
+// target across all the decision groups in one probe wave; envs without
+// batching ignore it. Merge drivers call it once before a multi-shard
+// merge so the probes behind every window of every pass — each shard's
+// MergeStaged and the closing ReconcileProposals — overlap in a single
+// wave instead of serializing one wave per pass. The per-pass prefetch
+// still runs and skips the now-warm hosts, so passes invoked directly
+// keep their own warm-up.
+func PrefetchDecisions(env Env, groups ...[]core.Decision) {
+	be, ok := env.(BatchEnv)
+	if !ok {
+		return
+	}
+	seen := map[cluster.HostID]bool{}
+	var targets []cluster.HostID
+	for _, ds := range groups {
+		for _, d := range ds {
+			if !seen[d.Target] {
+				seen[d.Target] = true
+				targets = append(targets, d.Target)
+			}
+		}
+	}
+	if len(targets) > 0 {
+		be.Prefetch(targets)
+	}
+}
+
 // prefetchTargets warms the distinct capacity-probe targets of ds.
 func prefetchTargets(env BatchEnv, ds []core.Decision) {
 	seen := map[cluster.HostID]bool{}

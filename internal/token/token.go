@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"github.com/score-dc/score/internal/cluster"
@@ -45,12 +46,31 @@ func New(ids []cluster.VMID) *Token { return NewAtLevel(ids, 0) }
 // NewAtLevel builds a token with every entry's level preset, typically
 // to the topology depth so "unknown" reads as "assume hottest".
 func NewAtLevel(ids []cluster.VMID, level uint8) *Token {
-	t := &Token{entries: make([]Entry, len(ids))}
+	// Fill sorts and drops duplicates defensively; IDs are unique by
+	// construction.
+	return new(Token).Fill(ids, level)
+}
+
+// Fill re-initializes t over ids with every level preset — NewAtLevel
+// semantics reusing the entry storage, the per-round reset path for
+// schedulers that keep per-ring tokens alive across rounds. Returns t.
+func (t *Token) Fill(ids []cluster.VMID, level uint8) *Token {
+	if cap(t.entries) < len(ids) {
+		t.entries = make([]Entry, len(ids))
+	}
+	t.entries = t.entries[:len(ids)]
 	for i, id := range ids {
 		t.entries[i] = Entry{ID: id, Level: level}
 	}
-	sort.Slice(t.entries, func(i, j int) bool { return t.entries[i].ID < t.entries[j].ID })
-	// Drop duplicates defensively; IDs are unique by construction.
+	slices.SortFunc(t.entries, func(a, b Entry) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
 	t.entries = dedup(t.entries)
 	return t
 }
