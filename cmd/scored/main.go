@@ -1,0 +1,137 @@
+// Command scored runs the resident S-CORE placement service: a daemon
+// owning a live cluster and traffic matrix, continuously re-optimizing
+// placement with auto-tuned scheduling rounds while VMs and traffic
+// observations stream in over an HTTP/JSON API.
+//
+// Usage:
+//
+//	scored [-addr HOST:PORT] [-topo fattree|canonical] [-k N]
+//	       [-racks N] [-hosts-per-rack N] [-slots N] [-ram-mb N]
+//	       [-cpu-milli N] [-nic-mbps RATE] [-cm COST]
+//	       [-round-interval DUR] [-ingest-queue N] [-enqueue-timeout DUR]
+//	       [-workers N] [-snapshot PATH] [-snapshot-on-exit]
+//	       [-restore PATH] [-trace-events N]
+//
+// The listener carries the placement API under /v1/ and the
+// observability plane (/metrics, /trace, /debug/pprof/) side by side.
+// With -round-interval 0 the daemon never schedules on its own; rounds
+// run only on POST /v1/rounds. -restore boots from a snapshot written
+// by POST /v1/snapshot (or -snapshot-on-exit), resuming placement,
+// traffic, tuner hysteresis, and round numbering; the topology and
+// host flags are then ignored in favor of the recorded plant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/obs"
+	"github.com/score-dc/score/internal/serve"
+	"github.com/score-dc/score/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scored:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:9090", "listen address for the API + observability plane")
+	topoFlag := flag.String("topo", "fattree", "topology family: fattree or canonical")
+	k := flag.Int("k", 4, "fat-tree arity (fattree)")
+	racks := flag.Int("racks", 16, "racks (canonical)")
+	hostsPerRack := flag.Int("hosts-per-rack", 5, "hosts per rack (canonical)")
+	slots := flag.Int("slots", 16, "VM slots per host")
+	ramMB := flag.Int("ram-mb", 32768, "guest RAM per host, MB")
+	cpuMilli := flag.Int("cpu-milli", 0, "CPU millicores per host (0 disables CPU admission)")
+	nicMbps := flag.Float64("nic-mbps", 1000, "host NIC speed, Mb/s")
+	cm := flag.Float64("cm", 0, "migration cost c_m (Theorem 1)")
+	roundInterval := flag.Duration("round-interval", time.Second, "background round pacing; 0 = manual rounds only")
+	ingestQueue := flag.Int("ingest-queue", 256, "bounded op-queue depth")
+	enqueueTimeout := flag.Duration("enqueue-timeout", 50*time.Millisecond, "how long a full queue blocks a request before 503")
+	workers := flag.Int("workers", 0, "shard worker pool size (0 = GOMAXPROCS)")
+	snapshotPath := flag.String("snapshot", "", "default target for POST /v1/snapshot")
+	snapshotOnExit := flag.Bool("snapshot-on-exit", false, "write a snapshot to -snapshot on clean shutdown")
+	restorePath := flag.String("restore", "", "boot from this snapshot instead of an empty cluster")
+	traceEvents := flag.Int("trace-events", 1<<14, "round-trace ring capacity (0 disables tracing)")
+	flag.Parse()
+
+	if *snapshotOnExit && *snapshotPath == "" {
+		return fmt.Errorf("-snapshot-on-exit needs -snapshot")
+	}
+	cfg := serve.Config{
+		MigrationCost:  *cm,
+		RoundInterval:  *roundInterval,
+		IngestQueue:    *ingestQueue,
+		EnqueueTimeout: *enqueueTimeout,
+		Workers:        *workers,
+		SnapshotPath:   *snapshotPath,
+	}
+	if *traceEvents > 0 {
+		cfg.Trace = obs.NewTracer(*traceEvents)
+	}
+
+	var d *serve.Daemon
+	var err error
+	if *restorePath != "" {
+		d, err = serve.Restore(*restorePath, cfg)
+	} else {
+		switch *topoFlag {
+		case "fattree":
+			cfg.Topology = serve.TopologySpec{Kind: "fattree", K: *k, HostLinkMbps: *nicMbps}
+		case "canonical":
+			canon := topology.ScaledCanonicalConfig(*racks, *hostsPerRack)
+			cfg.Topology = serve.TopologySpec{Kind: "canonical", Canonical: &canon}
+		default:
+			return fmt.Errorf("unknown topology %q", *topoFlag)
+		}
+		topo, terr := cfg.Topology.Build()
+		if terr != nil {
+			return terr
+		}
+		cfg.Hosts = cluster.UniformHosts(topo.Hosts(), *slots, *ramMB, *nicMbps)
+		if *cpuMilli > 0 {
+			for i := range cfg.Hosts {
+				cfg.Hosts[i].CPUMilli = *cpuMilli
+			}
+		}
+		d, err = serve.New(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	obs.RegisterRuntime(d.Registry())
+
+	srv, err := d.Serve(*addr)
+	if err != nil {
+		d.Close()
+		return err
+	}
+	mode := "auto"
+	if *roundInterval <= 0 {
+		mode = "manual"
+	}
+	log.Printf("scored: serving on %s (%d-VM plant, %s rounds)", srv.Addr(), len(d.PlacementSnapshot()), mode)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("scored: %s, shutting down", s)
+	srv.Close()
+	if *snapshotOnExit {
+		if path, serr := d.Snapshot(""); serr != nil {
+			log.Printf("scored: exit snapshot failed: %v", serr)
+		} else {
+			log.Printf("scored: state snapshotted to %s", path)
+		}
+	}
+	return d.Close()
+}

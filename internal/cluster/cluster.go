@@ -560,6 +560,72 @@ func (c *Cluster) Move(vm VMID, host HostID) error {
 	return nil
 }
 
+// Remove unplaces (if needed) and unregisters vm — the lifecycle
+// counterpart of AddVM, used by a resident placement service when a
+// tenant destroys an instance. The unplacement is observer-notified
+// (from = current host, to = NoHost) before the record is dropped, so
+// incremental consumers (engine accounting, shard partitions, control
+// summaries) fold the departure like any other allocation change.
+// Callers that also track the VM's traffic should clear its matrix row
+// (traffic.Matrix.ClearVM) before calling Remove, while the VM is still
+// placed, so pending rate deltas fold at the correct rack.
+func (c *Cluster) Remove(vm VMID) error {
+	ram, cpu, ok := c.demand(vm)
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownVM, vm)
+	}
+	if cur := c.HostOf(vm); cur != NoHost {
+		c.removeFromHost(vm, cur)
+		c.ramUsed[cur] -= ram
+		c.cpuUsed[cur] -= cpu
+		c.setHostOf(vm, NoHost)
+		c.notifyChange(vm, cur, NoHost)
+	}
+	if !c.recsOff {
+		c.recs[int64(vm)-int64(c.recBase)] = vmRec{}
+	} else {
+		delete(c.vms, vm)
+		delete(c.vmHost, vm)
+	}
+	c.numVMs--
+	return nil
+}
+
+// Respec changes vm's declared resource demand in place — the "re-spec"
+// lifecycle operation (resize without re-placement). The new demand must
+// fit the VM's current host (its own old demand excluded); an unplaced
+// VM re-specs unconditionally. Placement is untouched, so no observer
+// fires: observers track allocation, which does not change.
+func (c *Cluster) Respec(vm VMID, ramMB, cpuMilli int) error {
+	oldRAM, oldCPU, ok := c.demand(vm)
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownVM, vm)
+	}
+	if ramMB < 0 || cpuMilli < 0 {
+		return fmt.Errorf("cluster: VM %d has negative resource demand", vm)
+	}
+	if ramMB > math.MaxInt32 || cpuMilli > math.MaxInt32 {
+		return fmt.Errorf("cluster: VM %d resource demand overflows 32 bits", vm)
+	}
+	if h := c.HostOf(vm); h != NoHost {
+		if c.FreeRAMMB(h)+oldRAM < ramMB {
+			return fmt.Errorf("%w: host %d for VM %d", ErrNoCapacity, h, vm)
+		}
+		if c.hosts[h].CPUMilli > 0 && c.FreeCPUMilli(h)+oldCPU < cpuMilli {
+			return fmt.Errorf("%w: host %d for VM %d", ErrNoCapacity, h, vm)
+		}
+		c.ramUsed[h] += ramMB - oldRAM
+		c.cpuUsed[h] += cpuMilli - oldCPU
+	}
+	if !c.recsOff {
+		r := &c.recs[int64(vm)-int64(c.recBase)]
+		r.ramMB, r.cpuMilli = int32(ramMB), int32(cpuMilli)
+	} else {
+		c.vms[vm] = VM{ID: vm, RAMMB: ramMB, CPUMilli: cpuMilli}
+	}
+	return nil
+}
+
 func (c *Cluster) removeFromHost(vm VMID, host HostID) {
 	set := c.hostVMs[host]
 	for i, id := range set {

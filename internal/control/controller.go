@@ -272,6 +272,34 @@ func (c *Controller) Snapshot() Snapshot {
 	}
 }
 
+// PersistedState is the controller's durable decision state — the
+// hysteresis loop of Recommendation. The hotspot summary itself is
+// derived state (rebuilt from the traffic matrix + placement on Bind)
+// and the latency estimator is wire-measurement state that a restarted
+// service re-learns, so neither is persisted; without the hysteresis
+// triple, though, a freshly restored controller would re-adopt its
+// first plan immediately instead of resuming the StableRounds streak,
+// and its subsequent recommendations could diverge from the
+// uninterrupted run's.
+type PersistedState struct {
+	Current    Recommendation `json:"current"`
+	CurrentSet bool           `json:"current_set"`
+	Pending    Recommendation `json:"pending"`
+	Streak     int            `json:"streak"`
+}
+
+// PersistedState captures the hysteresis state for snapshotting.
+func (c *Controller) PersistedState() PersistedState {
+	return PersistedState{Current: c.cur, CurrentSet: c.curSet, Pending: c.pending, Streak: c.streak}
+}
+
+// RestorePersisted reinstates snapshot state captured by PersistedState.
+// Call after Bind: the summary is already rebuilt from the restored
+// matrix and placement, and only the hysteresis triple needs seeding.
+func (c *Controller) RestorePersisted(s PersistedState) {
+	c.cur, c.curSet, c.pending, c.streak = s.Current, s.CurrentSet, s.Pending, s.Streak
+}
+
 // SummaryForTest exposes the live summary to equivalence tests.
 func (c *Controller) SummaryForTest() *Summary {
 	c.sync()

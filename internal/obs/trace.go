@@ -35,6 +35,10 @@ const (
 	EvVerdict
 	// EvCompaction records a traffic-matrix arena compaction.
 	EvCompaction
+	// EvIngest records one applied ingest batch in the resident service;
+	// Arg is the number of rate samples the batch carried, Code an
+	// ingestOp* discriminator from internal/serve.
+	EvIngest
 )
 
 // Verdict codes carried in Event.Code for EvVerdict events.
@@ -67,6 +71,8 @@ func (k EventKind) String() string {
 		return "verdict"
 	case EvCompaction:
 		return "compaction"
+	case EvIngest:
+		return "ingest"
 	}
 	return "unknown"
 }

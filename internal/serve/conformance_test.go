@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/obs"
+)
+
+// testConfig is a k=4 fat-tree (16 hosts) with 4 slots per host, in
+// manual round mode unless the mutator says otherwise.
+func testConfig(mut func(*Config)) Config {
+	cfg := Config{
+		Topology: TopologySpec{Kind: "fattree", K: 4, HostLinkMbps: 1000},
+		Hosts:    cluster.UniformHosts(16, 4, 4096, 1000),
+		Trace:    obs.NewTracer(1 << 12),
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return cfg
+}
+
+func newTestDaemon(t *testing.T, mut func(*Config)) *Daemon {
+	t.Helper()
+	d, err := New(testConfig(mut))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+// do sends one request through the daemon's mux and decodes the JSON
+// reply (when out is non-nil).
+func do(t *testing.T, h http.Handler, method, path, body string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, path, nil)
+	} else {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil && rec.Code < 300 && rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: decoding reply %q: %v", method, path, rec.Body.String(), err)
+		}
+	}
+	return rec
+}
+
+func TestAPIConformance(t *testing.T) {
+	d := newTestDaemon(t, nil)
+	h := d.Handler()
+
+	// Fill host 0 (4 slots) so pinned admits can hit capacity.
+	for i := 0; i < 4; i++ {
+		if rec := do(t, h, "POST", "/v1/vms", `{"ram_mb":64,"host":0}`, nil); rec.Code != 201 {
+			t.Fatalf("seed admit %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+	}
+
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"admit auto", "POST", "/v1/vms", `{"ram_mb":64,"cpu_milli":100}`, 201},
+		{"admit pinned", "POST", "/v1/vms", `{"id":100,"ram_mb":64,"host":5}`, 201},
+		{"admit duplicate id", "POST", "/v1/vms", `{"id":100,"ram_mb":64}`, 409},
+		{"admit id zero", "POST", "/v1/vms", `{"id":0,"ram_mb":64}`, 400},
+		{"admit full host", "POST", "/v1/vms", `{"ram_mb":64,"host":0}`, 409},
+		{"admit unknown host", "POST", "/v1/vms", `{"ram_mb":64,"host":99}`, 404},
+		{"admit negative ram", "POST", "/v1/vms", `{"ram_mb":-1}`, 400},
+		{"admit oversized ram", "POST", "/v1/vms", `{"ram_mb":1000000}`, 409},
+		{"admit malformed json", "POST", "/v1/vms", `{"ram_mb":`, 400},
+		{"admit unknown field", "POST", "/v1/vms", `{"ram_mb":64,"bogus":1}`, 400},
+		{"admit trailing data", "POST", "/v1/vms", `{"ram_mb":64}{}`, 400},
+		{"admit wrong method", "GET", "/v1/vms", "", 405},
+		{"get vm", "GET", "/v1/vms/100", "", 200},
+		{"get unknown vm", "GET", "/v1/vms/999", "", 404},
+		{"get bad vm id", "GET", "/v1/vms/abc", "", 404},
+		{"respec", "PATCH", "/v1/vms/100", `{"ram_mb":128}`, 200},
+		{"respec nothing", "PATCH", "/v1/vms/100", `{}`, 400},
+		{"respec unknown vm", "PATCH", "/v1/vms/999", `{"ram_mb":1}`, 404},
+		{"respec negative", "PATCH", "/v1/vms/100", `{"ram_mb":-5}`, 400},
+		{"observe", "POST", "/v1/observe", `{"source":"t","samples":[{"a":100,"b":1,"rate_mbps":10}]}`, 200},
+		{"observe empty batch", "POST", "/v1/observe", `{"source":"t","samples":[]}`, 400},
+		{"observe malformed", "POST", "/v1/observe", `{"samples":`, 400},
+		{"observe wrong method", "GET", "/v1/observe", "", 405},
+		{"rounds", "POST", "/v1/rounds", `{"rounds":1}`, 200},
+		{"rounds empty body", "POST", "/v1/rounds", "", 200},
+		{"rounds wrong method", "GET", "/v1/rounds", "", 405},
+		{"status", "GET", "/v1/status", "", 200},
+		{"status wrong method", "POST", "/v1/status", "", 405},
+		{"snapshot no path", "POST", "/v1/snapshot", "", 400},
+		{"metrics exposed", "GET", "/metrics", "", 200},
+		{"trace exposed", "GET", "/trace", "", 200},
+		{"unknown path", "GET", "/v1/nope", "", 404},
+		{"delete vm", "DELETE", "/v1/vms/100", "", 204},
+		{"delete gone vm", "DELETE", "/v1/vms/100", "", 404},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := do(t, h, tc.method, tc.path, tc.body, nil)
+			if rec.Code != tc.want {
+				t.Fatalf("%s %s: got %d (%s), want %d", tc.method, tc.path, rec.Code, strings.TrimSpace(rec.Body.String()), tc.want)
+			}
+		})
+	}
+}
+
+// TestObservePartialRejection checks the per-sample rejection contract:
+// one bad sample is counted, the rest of its batch still applies.
+func TestObservePartialRejection(t *testing.T) {
+	d := newTestDaemon(t, nil)
+	h := d.Handler()
+	for i := 0; i < 3; i++ {
+		do(t, h, "POST", "/v1/vms", `{"ram_mb":64}`, nil)
+	}
+	var rep observeReply
+	body := `{"source":"t","samples":[
+		{"a":1,"b":2,"rate_mbps":10},
+		{"a":1,"b":1,"rate_mbps":5},
+		{"a":1,"b":999,"rate_mbps":5},
+		{"a":2,"b":3,"rate_mbps":-1},
+		{"a":2,"b":3,"rate_mbps":20}]}`
+	if rec := do(t, h, "POST", "/v1/observe", body, &rep); rec.Code != 200 {
+		t.Fatalf("observe: %d %s", rec.Code, rec.Body.String())
+	}
+	if rep.Applied != 2 || rep.Rejected != 3 {
+		t.Fatalf("observe reply = %+v, want applied 2 rejected 3", rep)
+	}
+	var st statusReply
+	do(t, h, "GET", "/v1/status", "", &st)
+	if st.Pairs != 2 {
+		t.Fatalf("status pairs = %d, want 2", st.Pairs)
+	}
+	if st.Ingest.Samples != 2 || st.Ingest.SamplesRejected != 3 {
+		t.Fatalf("ingest stats = %+v", st.Ingest)
+	}
+}
+
+// TestStatusAndRounds drives a hot cross-rack pair and checks that a
+// stepped round migrates it together and the status plane reflects it.
+func TestStatusAndRounds(t *testing.T) {
+	d := newTestDaemon(t, nil)
+	h := d.Handler()
+	// Two VMs pinned to different pods, talking hard.
+	do(t, h, "POST", "/v1/vms", `{"id":1,"ram_mb":64,"host":0}`, nil)
+	do(t, h, "POST", "/v1/vms", `{"id":2,"ram_mb":64,"host":15}`, nil)
+	do(t, h, "POST", "/v1/observe", `{"source":"t","samples":[{"a":1,"b":2,"rate_mbps":400}]}`, nil)
+
+	var st StepResult
+	if rec := do(t, h, "POST", "/v1/rounds", `{"rounds":-1}`, &st); rec.Code != 200 {
+		t.Fatalf("rounds: %d %s", rec.Code, rec.Body.String())
+	}
+	if !st.Quiesced || st.Applied == 0 {
+		t.Fatalf("step result %+v: want quiesced with at least one migration", st)
+	}
+	alloc := d.PlacementSnapshot()
+	if alloc[1] != alloc[2] && d.topo.RackOf(alloc[1]) != d.topo.RackOf(alloc[2]) {
+		t.Fatalf("hot pair still split across racks: %v", alloc)
+	}
+	var status statusReply
+	do(t, h, "GET", "/v1/status", "", &status)
+	if status.Rounds == 0 || len(status.History) == 0 {
+		t.Fatalf("status after rounds = %+v", status)
+	}
+	if status.Mode != "manual" {
+		t.Fatalf("mode = %q, want manual", status.Mode)
+	}
+	last := status.History[len(status.History)-1]
+	if last.Cost != st.Cost {
+		t.Fatalf("history cost %g != step cost %g", last.Cost, st.Cost)
+	}
+	// The metrics endpoint carries the shared cost gauge.
+	rec := do(t, h, "GET", "/metrics", "", nil)
+	if !strings.Contains(rec.Body.String(), "score_communication_cost") {
+		t.Fatal("metrics exposition lacks score_communication_cost")
+	}
+	if !strings.Contains(rec.Body.String(), "score_ingest_batches_total") {
+		t.Fatal("metrics exposition lacks score_ingest_batches_total")
+	}
+}
+
+// TestConcurrentMutationVsRoundInFlight hammers lifecycle ops while
+// rounds run in the background — the handler-vs-round interleaving the
+// state loop must serialize.
+func TestConcurrentMutationVsRoundInFlight(t *testing.T) {
+	d := newTestDaemon(t, func(cfg *Config) {
+		cfg.RoundInterval = time.Millisecond
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := cluster.VMID(1000 * (w + 1))
+			for i := 0; i < 30; i++ {
+				a, b := base+cluster.VMID(2*i), base+cluster.VMID(2*i+1)
+				for _, id := range []cluster.VMID{a, b} {
+					if _, _, err := d.Admit(AdmitRequest{ID: id, HasID: true, RAMMB: 64}); err != nil {
+						t.Errorf("admit %d: %v", id, err)
+						return
+					}
+				}
+				if _, _, err := d.Observe("w", []RateSample{{A: a, B: b, RateMbps: float64(10 + i)}}); err != nil && err != ErrBacklogged {
+					t.Errorf("observe: %v", err)
+					return
+				}
+				if err := d.RemoveVM(a); err != nil {
+					t.Errorf("remove %d: %v", a, err)
+					return
+				}
+				if err := d.RemoveVM(b); err != nil {
+					t.Errorf("remove %d: %v", b, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := d.PlacementSnapshot(); len(n) != 0 {
+		t.Fatalf("%d VMs leaked past their remove", len(n))
+	}
+}
+
+// TestBackpressure verifies the 503 contract: with a tiny queue and a
+// stalled consumer the daemon drops, counts, and keeps replying.
+func TestBackpressure(t *testing.T) {
+	d := newTestDaemon(t, func(cfg *Config) {
+		cfg.IngestQueue = 1
+		cfg.EnqueueTimeout = time.Millisecond
+	})
+	h := d.Handler()
+	do(t, h, "POST", "/v1/vms", `{"id":1,"ram_mb":64}`, nil)
+	do(t, h, "POST", "/v1/vms", `{"id":2,"ram_mb":64}`, nil)
+
+	// Stall the loop with a run-until-quiescent step op... the plant
+	// quiesces fast, so instead park many concurrent observes: with a
+	// 1-deep queue some must time out.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	codes := map[int]int{}
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := do(t, h, "POST", "/v1/observe", `{"source":"t","samples":[{"a":1,"b":2,"rate_mbps":10}]}`, nil)
+			mu.Lock()
+			codes[rec.Code]++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if codes[200]+codes[503] != 64 {
+		t.Fatalf("unexpected reply codes: %v", codes)
+	}
+	if codes[503] > 0 {
+		if got := d.m.backpressure.Value(); got < uint64(codes[503]) {
+			t.Fatalf("backpressure counter %d < %d observed 503s", got, codes[503])
+		}
+	}
+	// The daemon still serves after the burst.
+	if rec := do(t, h, "GET", "/v1/status", "", nil); rec.Code != 200 {
+		t.Fatalf("status after backpressure burst: %d", rec.Code)
+	}
+}
+
+// TestClosedDaemonRefuses checks the shutdown contract.
+func TestClosedDaemonRefuses(t *testing.T) {
+	d := newTestDaemon(t, nil)
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, _, err := d.Admit(AdmitRequest{RAMMB: 64}); err != ErrClosed {
+		t.Fatalf("admit after close: %v, want ErrClosed", err)
+	}
+	rec := do(t, d.Handler(), "POST", "/v1/vms", `{"ram_mb":64}`, nil)
+	if rec.Code != 503 {
+		t.Fatalf("admit after close over HTTP: %d, want 503", rec.Code)
+	}
+}
+
+// TestServeBindsListener exercises the bound-listener path end to end.
+func TestServeBindsListener(t *testing.T) {
+	d := newTestDaemon(t, nil)
+	srv, err := d.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/v1/status", srv.Addr()))
+	if err != nil {
+		t.Fatalf("GET /v1/status: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,76 @@
+// Package serve is the resident placement service behind cmd/scored:
+// a daemon that owns a live cluster.Cluster + traffic.Matrix and keeps
+// the S-CORE scheduling plant (core.Engine, control.Controller,
+// shard.Coordinator) running against them while the workload streams
+// in — the deployment mode the paper's Section V describes, where the
+// algorithm "runs continuously" against measured traffic instead of
+// replaying a canned scenario.
+//
+// # Concurrency model
+//
+// One state-loop goroutine owns every mutation. HTTP handlers convert
+// requests into ops and submit them over a bounded channel; the loop
+// applies them in arrival order (batched per lock acquisition) and, in
+// auto mode, interleaves scheduling rounds from a ticker. Read-only
+// endpoints take a read lock and touch only non-folding accessors, so
+// GETs never contend with ingest beyond the lock itself.
+//
+// # Backpressure contract
+//
+// The op queue is bounded (Config.IngestQueue). A submission that finds
+// it full blocks for Config.EnqueueTimeout and is then dropped with
+// ErrBacklogged, surfaced as HTTP 503 (with Retry-After) and counted in
+// score_ingest_backpressure_total. The contract is exact: a 2xx reply
+// means the operation was applied to the live state before the reply
+// was written; a 503 means it was dropped and counted, and the client
+// owns the retry. Nothing is ever silently lost in between.
+//
+// # Streaming ingest
+//
+// POST /v1/observe carries one source's batch of absolute rate samples
+// (sFlow-style): each {a, b, rate_mbps} replaces the pair's previous
+// rate via traffic.Matrix.Set, so re-announcing an unchanged rate is a
+// no-op delta for every changelog consumer and a zero-valued sample
+// retires the pair. Batches are capped at 4096 samples. Samples naming
+// unplaced or unknown endpoints, self-pairs, or non-finite rates are
+// rejected individually and reported in the reply — one bad sample
+// does not poison its batch.
+//
+// # HTTP API
+//
+//	POST   /v1/vms        admit a VM {id?, ram_mb, cpu_milli, host?};
+//	                      omitted id auto-issues, omitted host best-fits
+//	GET    /v1/vms/{id}   current spec + placement
+//	PATCH  /v1/vms/{id}   re-spec {ram_mb?, cpu_milli?} in place
+//	DELETE /v1/vms/{id}   retire the VM and its traffic row
+//	POST   /v1/observe    fold a rate-sample batch {source, samples}
+//	POST   /v1/rounds     step {rounds} scheduling rounds (manual mode);
+//	                      rounds <= 0 runs until a round applies nothing
+//	GET    /v1/status     counters, cost, round history tail
+//	POST   /v1/snapshot   persist state {path?}
+//
+// plus the observability plane (/metrics, /trace, /debug/pprof/) from
+// internal/obs on the same listener. Errors map uniformly: unknown IDs
+// 404, capacity/placement conflicts 409, backpressure 503, malformed
+// bodies (strict decoding — unknown fields rejected) 400.
+//
+// # Rounds
+//
+// With Config.RoundInterval > 0 the loop runs a scheduling round per
+// tick, skipping ticks while the plant is quiescent (last round applied
+// nothing and no state changed since). With RoundInterval == 0 rounds
+// run only on POST /v1/rounds — the deterministic mode the equivalence
+// and snapshot tests drive, where the daemon is a replayable function
+// of its op sequence.
+//
+// # Snapshot / restore
+//
+// A snapshot is versioned JSON holding the constructive topology spec,
+// hosts, VM registry + placement, the traffic matrix with rates as raw
+// IEEE-754 bits, the controller's hysteresis triple, the round counter,
+// and the next auto-issued VM ID. Everything else is derived state and
+// is rebuilt on Restore. Restoring yields a daemon whose subsequent
+// rounds decide exactly as the uninterrupted run's would: same
+// placement, bit-identical rates, same tuner recommendation stream,
+// continuous round numbering.
+package serve

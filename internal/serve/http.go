@@ -1,0 +1,369 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/score-dc/score/internal/cluster"
+	"github.com/score-dc/score/internal/obs"
+)
+
+// maxBody bounds request bodies; the largest legitimate payload is an
+// observation batch of maxBatchSamples entries.
+const maxBody = 1 << 20
+
+// maxBatchSamples caps one observation batch — the batching contract:
+// a source coalesces its samples into batches of at most this size.
+const maxBatchSamples = 4096
+
+// Handler returns the daemon's HTTP mux: the /v1 placement API plus the
+// observability plane (/metrics, /trace, /debug/pprof/) on the same
+// listener. Routing is manual (method switches per path) — the module
+// targets Go 1.21, before ServeMux learned method patterns.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/vms", d.handleVMs)
+	mux.HandleFunc("/v1/vms/", d.handleVMByID)
+	mux.HandleFunc("/v1/observe", d.handleObserve)
+	mux.HandleFunc("/v1/rounds", d.handleRounds)
+	mux.HandleFunc("/v1/status", d.handleStatus)
+	mux.HandleFunc("/v1/snapshot", d.handleSnapshot)
+	mux.Handle("/", obs.Handler(d.reg, d.tr))
+	return mux
+}
+
+// Server is a live daemon endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. "127.0.0.1:0") and serves the daemon's mux,
+// returning once the listener is bound.
+func (d *Daemon) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: d.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server (the daemon keeps running; Close it separately).
+func (s *Server) Close() error { return s.srv.Close() }
+
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorReply{Error: msg})
+}
+
+// opStatus maps a daemon error to its HTTP status: unknown IDs are 404,
+// capacity and placement conflicts 409, backpressure and shutdown 503
+// (the dropped-and-counted contract), anything else a 400.
+func opStatus(err error) int {
+	switch {
+	case errors.Is(err, cluster.ErrUnknownVM), errors.Is(err, cluster.ErrUnknownHost):
+		return http.StatusNotFound
+	case errors.Is(err, cluster.ErrNoCapacity), errors.Is(err, cluster.ErrAlreadyHosts):
+		return http.StatusConflict
+	case errors.Is(err, ErrBacklogged), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// decodeJSON strictly decodes one JSON object into dst; unknown fields
+// and trailing garbage are conformance failures, not noise to ignore.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	if dec.More() {
+		writeErr(w, http.StatusBadRequest, "bad request body: trailing data")
+		return false
+	}
+	return true
+}
+
+type admitBody struct {
+	ID       *uint32 `json:"id"`
+	RAMMB    int     `json:"ram_mb"`
+	CPUMilli int     `json:"cpu_milli"`
+	Host     *int32  `json:"host"`
+}
+
+type vmReply struct {
+	ID       uint32 `json:"id"`
+	RAMMB    int    `json:"ram_mb"`
+	CPUMilli int    `json:"cpu_milli"`
+	Host     int32  `json:"host"`
+}
+
+func (d *Daemon) handleVMs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST /v1/vms")
+		return
+	}
+	var body admitBody
+	if !decodeJSON(w, r, &body) {
+		return
+	}
+	if body.RAMMB < 0 || body.CPUMilli < 0 {
+		writeErr(w, http.StatusBadRequest, "negative resource demand")
+		return
+	}
+	req := AdmitRequest{RAMMB: body.RAMMB, CPUMilli: body.CPUMilli}
+	if body.ID != nil {
+		if *body.ID == 0 {
+			writeErr(w, http.StatusBadRequest, "VM id 0 is reserved")
+			return
+		}
+		req.ID, req.HasID = cluster.VMID(*body.ID), true
+	}
+	if body.Host != nil {
+		req.Host, req.HasHost = cluster.HostID(*body.Host), true
+	}
+	id, host, err := d.Admit(req)
+	if err != nil {
+		writeErr(w, opStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, vmReply{ID: uint32(id), RAMMB: body.RAMMB, CPUMilli: body.CPUMilli, Host: int32(host)})
+}
+
+type respecBody struct {
+	RAMMB    *int `json:"ram_mb"`
+	CPUMilli *int `json:"cpu_milli"`
+}
+
+func (d *Daemon) handleVMByID(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/vms/")
+	n, err := strconv.ParseUint(rest, 10, 32)
+	if err != nil || n == 0 {
+		writeErr(w, http.StatusNotFound, "bad VM id "+strconv.Quote(rest))
+		return
+	}
+	id := cluster.VMID(n)
+	switch r.Method {
+	case http.MethodGet:
+		d.mu.RLock()
+		vm, err := d.cl.VM(id)
+		host := d.cl.HostOf(id)
+		d.mu.RUnlock()
+		if err != nil {
+			writeErr(w, opStatus(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, vmReply{ID: uint32(vm.ID), RAMMB: vm.RAMMB, CPUMilli: vm.CPUMilli, Host: int32(host)})
+	case http.MethodDelete:
+		if err := d.RemoveVM(id); err != nil {
+			writeErr(w, opStatus(err), err.Error())
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodPatch:
+		var body respecBody
+		if !decodeJSON(w, r, &body) {
+			return
+		}
+		if body.RAMMB == nil && body.CPUMilli == nil {
+			writeErr(w, http.StatusBadRequest, "nothing to change")
+			return
+		}
+		if err := d.Respec(id, body.RAMMB, body.CPUMilli); err != nil {
+			writeErr(w, opStatus(err), err.Error())
+			return
+		}
+		d.mu.RLock()
+		vm, verr := d.cl.VM(id)
+		host := d.cl.HostOf(id)
+		d.mu.RUnlock()
+		if verr != nil {
+			writeErr(w, opStatus(verr), verr.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, vmReply{ID: uint32(vm.ID), RAMMB: vm.RAMMB, CPUMilli: vm.CPUMilli, Host: int32(host)})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "GET, DELETE or PATCH /v1/vms/{id}")
+	}
+}
+
+type sampleBody struct {
+	A        uint32  `json:"a"`
+	B        uint32  `json:"b"`
+	RateMbps float64 `json:"rate_mbps"`
+}
+
+type observeBody struct {
+	Source  string       `json:"source"`
+	Samples []sampleBody `json:"samples"`
+}
+
+type observeReply struct {
+	Applied  int `json:"applied"`
+	Rejected int `json:"rejected"`
+}
+
+func (d *Daemon) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST /v1/observe")
+		return
+	}
+	var body observeBody
+	if !decodeJSON(w, r, &body) {
+		return
+	}
+	if len(body.Samples) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty sample batch")
+		return
+	}
+	if len(body.Samples) > maxBatchSamples {
+		writeErr(w, http.StatusBadRequest, "batch exceeds "+strconv.Itoa(maxBatchSamples)+" samples")
+		return
+	}
+	samples := make([]RateSample, len(body.Samples))
+	for i, s := range body.Samples {
+		samples[i] = RateSample{A: cluster.VMID(s.A), B: cluster.VMID(s.B), RateMbps: s.RateMbps}
+	}
+	applied, rejected, err := d.Observe(body.Source, samples)
+	if err != nil {
+		writeErr(w, opStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, observeReply{Applied: applied, Rejected: rejected})
+}
+
+type roundsBody struct {
+	Rounds int `json:"rounds"`
+}
+
+func (d *Daemon) handleRounds(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST /v1/rounds")
+		return
+	}
+	body := roundsBody{Rounds: 1}
+	if r.ContentLength != 0 {
+		if !decodeJSON(w, r, &body) {
+			return
+		}
+	}
+	st, err := d.Step(body.Rounds)
+	if err != nil {
+		writeErr(w, opStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+type ingestStats struct {
+	Batches         uint64 `json:"batches"`
+	Samples         uint64 `json:"samples"`
+	SamplesRejected uint64 `json:"samples_rejected"`
+	Backpressure    uint64 `json:"backpressure"`
+}
+
+type statusReply struct {
+	VMs      int            `json:"vms"`
+	Hosts    int            `json:"hosts"`
+	Pairs    int            `json:"pairs"`
+	Rounds   uint64         `json:"rounds"`
+	Cost     float64        `json:"cost"`
+	Quiesced bool           `json:"quiesced"`
+	Mode     string         `json:"mode"`
+	Ingest   ingestStats    `json:"ingest"`
+	History  []RoundSummary `json:"history"`
+}
+
+// statusHistory caps the history tail a status reply carries; the full
+// ring stays available in-process via History.
+const statusHistory = 32
+
+func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET /v1/status")
+		return
+	}
+	d.mu.RLock()
+	rep := statusReply{
+		VMs:    d.cl.NumVMs(),
+		Hosts:  d.cl.NumHosts(),
+		Pairs:  d.tm.NumPairs(),
+		Rounds: d.coord.Rounds(),
+		// Cost is the value sampled at the end of the latest round; the
+		// live figure would require folding engine accounting, which
+		// only the state loop may do.
+		Cost:     d.lastCost,
+		Quiesced: d.quiesced,
+		Mode:     "manual",
+	}
+	d.mu.RUnlock()
+	if d.cfg.RoundInterval > 0 {
+		rep.Mode = "auto"
+	}
+	rep.Ingest = ingestStats{
+		Batches:         d.m.ingestBatches.Value(),
+		Samples:         d.m.ingestSamples.Value(),
+		SamplesRejected: d.m.ingestRejected.Value(),
+		Backpressure:    d.m.backpressure.Value(),
+	}
+	hist := d.History()
+	if len(hist) > statusHistory {
+		hist = hist[len(hist)-statusHistory:]
+	}
+	rep.History = hist
+	writeJSON(w, http.StatusOK, rep)
+}
+
+type snapshotBody struct {
+	Path string `json:"path"`
+}
+
+type snapshotReply struct {
+	Path string `json:"path"`
+}
+
+func (d *Daemon) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST /v1/snapshot")
+		return
+	}
+	var body snapshotBody
+	if r.ContentLength != 0 {
+		if !decodeJSON(w, r, &body) {
+			return
+		}
+	}
+	path, err := d.Snapshot(body.Path)
+	if err != nil {
+		writeErr(w, opStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotReply{Path: path})
+}

@@ -200,6 +200,15 @@ func (c *Coordinator) Close() {
 	c.part = nil
 }
 
+// Rounds returns how many rounds this coordinator has run — the counter
+// that tags trace events. SetRounds seeds it, so a coordinator restored
+// from a service snapshot numbers its rounds continuously with the run
+// it resumes instead of restarting at 1.
+func (c *Coordinator) Rounds() uint64 { return uint64(c.round) }
+
+// SetRounds seeds the round counter (see Rounds).
+func (c *Coordinator) SetRounds(n uint64) { c.round = uint32(n) }
+
 // partition returns the live partition, building it on first use, after
 // a reset, or after the tuner's recommendation changed. The tuner is
 // consulted once per round (here): an unchanged recommendation keeps the

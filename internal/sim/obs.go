@@ -14,6 +14,15 @@ import (
 	"github.com/score-dc/score/internal/traffic"
 )
 
+// CostGauge returns the communication-cost gauge family shared by the
+// batch Runner and the resident service (internal/serve): both report
+// into the same series name, so dashboards don't fork on deployment
+// mode. The registry's get-or-create semantics make repeated calls
+// return the same gauge.
+func CostGauge(reg *obs.Registry) *obs.Gauge {
+	return reg.Gauge("score_communication_cost", "Global communication cost C^A (Eq. 2) at the latest sample.")
+}
+
 // runObs bundles one run's instrumentation handles. Every runner has
 // one: when Config.Obs is nil the run records into a private registry,
 // so the Metrics read-back below works whether or not an exposition
@@ -54,7 +63,7 @@ func newRunObs(cfg Config) *runObs {
 		trace:       cfg.Trace,
 		plane:       hypervisor.NewPlaneMetrics(reg),
 		ctrl:        control.NewMetrics(reg),
-		cost:        reg.Gauge("score_communication_cost", "Global communication cost C^A (Eq. 2) at the latest sample."),
+		cost:        CostGauge(reg),
 		trafBytes:   reg.Gauge("score_traffic_bytes", "Traffic-matrix adjacency storage footprint."),
 		trafPairs:   reg.Gauge("score_traffic_pairs", "Communicating VM pairs in the traffic matrix."),
 		trafOvf:     reg.Gauge("score_traffic_overflow_rows", "Matrix rows living in the arena overflow region."),

@@ -457,6 +457,31 @@ func (m *Matrix) Add(u, v cluster.VMID, rateMbps float64) {
 	m.Set(u, v, m.Rate(u, v)+rateMbps)
 }
 
+// ClearVM removes every edge incident to u — the traffic-side half of a
+// VM's destruction. Each pair removal goes through the logged Set(0)
+// path, one changelog entry and one generation step per edge, so
+// incremental consumers (engine accounting, control summaries) fold the
+// departure exactly instead of rebuilding. Callers destroying a placed
+// VM should clear its row before unplacing it, while pending deltas can
+// still be located at the VM's host. Returns the number of pairs
+// removed.
+func (m *Matrix) ClearVM(u cluster.VMID) int {
+	row := m.NeighborEdges(u)
+	if len(row) == 0 {
+		return 0
+	}
+	// The row is matrix-owned and shrinks as edges are removed: snapshot
+	// the peer IDs first.
+	peers := make([]cluster.VMID, len(row))
+	for i, e := range row {
+		peers[i] = e.Peer
+	}
+	for _, p := range peers {
+		m.Set(u, p, 0)
+	}
+	return len(peers)
+}
+
 // Rate returns λ(u, v), 0 when the VMs do not communicate.
 func (m *Matrix) Rate(u, v cluster.VMID) float64 {
 	if u == v {
