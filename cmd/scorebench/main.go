@@ -47,7 +47,7 @@ func run() error {
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()
 		obs.RegisterRuntime(reg)
-		srv, err := obs.Serve(*metricsAddr, reg, nil)
+		srv, err := obs.Serve(*metricsAddr, reg, nil, nil)
 		if err != nil {
 			return err
 		}

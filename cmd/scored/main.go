@@ -10,21 +10,25 @@
 //	       [-cpu-milli N] [-nic-mbps RATE] [-cm COST]
 //	       [-round-interval DUR] [-ingest-queue N] [-enqueue-timeout DUR]
 //	       [-workers N] [-snapshot PATH] [-snapshot-on-exit]
-//	       [-restore PATH] [-trace-events N]
+//	       [-restore PATH] [-trace-events N] [-audit-events N]
+//	       [-flight-dir DIR] [-log-level LEVEL]
 //
 // The listener carries the placement API under /v1/ and the
-// observability plane (/metrics, /trace, /debug/pprof/) side by side.
-// With -round-interval 0 the daemon never schedules on its own; rounds
-// run only on POST /v1/rounds. -restore boots from a snapshot written
-// by POST /v1/snapshot (or -snapshot-on-exit), resuming placement,
-// traffic, tuner hysteresis, and round numbering; the topology and
-// host flags are then ignored in favor of the recorded plant.
+// observability plane (/metrics, /trace, /audit, /debug/pprof/) side by
+// side. With -round-interval 0 the daemon never schedules on its own;
+// rounds run only on POST /v1/rounds. -restore boots from a snapshot
+// written by POST /v1/snapshot (or -snapshot-on-exit), resuming
+// placement, traffic, tuner hysteresis, and round numbering; the
+// topology and host flags are then ignored in favor of the recorded
+// plant. -audit-events sizes the decision-provenance ring served at
+// /v1/audit; -flight-dir arms the anomaly-triggered flight recorder
+// (and POST /v1/flightrecorder) writing bundles under that directory.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -62,7 +66,17 @@ func run() error {
 	snapshotOnExit := flag.Bool("snapshot-on-exit", false, "write a snapshot to -snapshot on clean shutdown")
 	restorePath := flag.String("restore", "", "boot from this snapshot instead of an empty cluster")
 	traceEvents := flag.Int("trace-events", 1<<14, "round-trace ring capacity (0 disables tracing)")
+	auditEvents := flag.Int("audit-events", 1<<14, "decision-audit ring capacity (0 disables /v1/audit)")
+	flightDir := flag.String("flight-dir", "", "arm the flight recorder, writing anomaly bundles under this directory")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
 
 	if *snapshotOnExit && *snapshotPath == "" {
 		return fmt.Errorf("-snapshot-on-exit needs -snapshot")
@@ -74,9 +88,16 @@ func run() error {
 		EnqueueTimeout: *enqueueTimeout,
 		Workers:        *workers,
 		SnapshotPath:   *snapshotPath,
+		Logger:         logger,
 	}
 	if *traceEvents > 0 {
 		cfg.Trace = obs.NewTracer(*traceEvents)
+	}
+	if *auditEvents > 0 {
+		cfg.Audit = obs.NewAuditRing(*auditEvents)
+	}
+	if *flightDir != "" {
+		cfg.Flight = &obs.FlightConfig{Dir: *flightDir, Logger: logger}
 	}
 
 	var d *serve.Daemon
@@ -119,18 +140,19 @@ func run() error {
 	if *roundInterval <= 0 {
 		mode = "manual"
 	}
-	log.Printf("scored: serving on %s (%d-VM plant, %s rounds)", srv.Addr(), len(d.PlacementSnapshot()), mode)
+	logger.Info("serving", "addr", srv.Addr(), "vms", len(d.PlacementSnapshot()), "mode", mode,
+		"audit", *auditEvents > 0, "flight", *flightDir != "")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
-	log.Printf("scored: %s, shutting down", s)
+	logger.Info("shutting down", "signal", s.String())
 	srv.Close()
 	if *snapshotOnExit {
 		if path, serr := d.Snapshot(""); serr != nil {
-			log.Printf("scored: exit snapshot failed: %v", serr)
+			logger.Error("exit snapshot failed", "err", serr)
 		} else {
-			log.Printf("scored: state snapshotted to %s", path)
+			logger.Info("state snapshotted", "path", path)
 		}
 	}
 	return d.Close()

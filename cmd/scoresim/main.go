@@ -58,7 +58,8 @@ func run() error {
 	adaptiveDeadline := flag.Bool("adaptive-deadline", false, "distributed plane: derive per-shard recovery deadlines from observed ack latency (EWMA + k·stddev) instead of -dist-deadline")
 	delayProb := flag.Float64("delay", 0, "distributed plane: probability a shard-token hop is delayed on the wire")
 	delayS := flag.Float64("delay-s", 0.02, "distributed plane: injected hop delay in real seconds (with -delay)")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /trace and /debug/pprof/ on this address for the run's duration (e.g. :9090)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /trace, /audit and /debug/pprof/ on this address for the run's duration (e.g. :9090)")
+	auditDump := flag.String("audit-dump", "", "write the run's decision-audit ring as JSON to this path at exit")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -115,16 +116,21 @@ func run() error {
 	}
 
 	simCfg := score.DefaultSimConfig()
+	var auditRing *obs.AuditRing
+	if *metricsAddr != "" || *auditDump != "" {
+		auditRing = obs.NewAuditRing(1 << 16)
+		simCfg.Audit = auditRing
+	}
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()
 		obs.RegisterRuntime(reg)
 		tr := obs.NewTracer(1 << 16)
-		srv, err := obs.Serve(*metricsAddr, reg, tr)
+		srv, err := obs.Serve(*metricsAddr, reg, tr, auditRing)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("observability: http://%s/metrics (trace at /trace, pprof at /debug/pprof/)\n", srv.Addr())
+		fmt.Printf("observability: http://%s/metrics (trace at /trace, audit at /audit, pprof at /debug/pprof/)\n", srv.Addr())
 		simCfg.Obs = reg
 		simCfg.Trace = tr
 	}
@@ -215,6 +221,22 @@ func run() error {
 			continue
 		}
 		fmt.Printf("  pass %d: %d migrations (%.1f%%)\n", it.Index, it.Migrations, 100*it.Ratio)
+	}
+	if *auditDump != "" {
+		f, err := os.Create(*auditDump)
+		if err != nil {
+			return err
+		}
+		recs := auditRing.Snapshot()
+		if err := obs.WriteAuditJSON(f, recs); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("audit: %d decision records written to %s (%d dropped by the ring)\n",
+			len(recs), *auditDump, auditRing.Dropped())
 	}
 	return nil
 }

@@ -75,6 +75,10 @@ type ReconcilerConfig struct {
 	Metrics *PlaneMetrics
 	// Trace, when set, records round/ring/regeneration span events.
 	Trace *obs.Tracer
+	// Audit, when set, receives one decision-provenance record per
+	// staged move's merge/reconcile verdict, with the hop/attempt it
+	// was staged under carried over the wire (see obs.AuditRing).
+	Audit *obs.AuditRing
 }
 
 // RingReport summarizes one shard ring's activity within a round.
@@ -493,24 +497,42 @@ func decisionsOf(ms []StagedMove) []core.Decision {
 	return out
 }
 
+// auditMetaOf lifts the provenance the staged moves carried over the
+// wire into the shared pass's meta form; nil when auditing is off.
+func auditMetaOf(ms []StagedMove, s int) []shard.AuditMeta {
+	out := make([]shard.AuditMeta, len(ms))
+	for i, m := range ms {
+		out[i] = shard.AuditMeta{Hop: m.Hop, Attempt: m.Attempt, Shard: int16(s)}
+	}
+	return out
+}
+
 // dropEvicted filters out moves that involve a host evicted this round —
 // the VM's current dom0 is unresponsive, or the move lands on one —
-// returning the survivors and the dropped count. Without the filter the
-// merge would stall one probe timeout per dead endpoint.
-func dropEvicted(env *reconcileEnv, evicted map[cluster.HostID]bool, ds []core.Decision) ([]core.Decision, int) {
+// returning the survivors and the dropped count. meta, when non-nil, is
+// filtered in lockstep so audit provenance stays aligned. Without the
+// filter the merge would stall one probe timeout per dead endpoint.
+func dropEvicted(env *reconcileEnv, evicted map[cluster.HostID]bool, ds []core.Decision, meta []shard.AuditMeta) ([]core.Decision, []shard.AuditMeta, int) {
 	if len(evicted) == 0 {
-		return ds, 0
+		return ds, meta, 0
 	}
 	keep := ds[:0]
+	var keepMeta []shard.AuditMeta
+	if meta != nil {
+		keepMeta = meta[:0]
+	}
 	dropped := 0
-	for _, d := range ds {
+	for i, d := range ds {
 		if evicted[d.Target] || evicted[env.HostOf(d.VM)] {
 			dropped++
 			continue
 		}
 		keep = append(keep, d)
+		if meta != nil {
+			keepMeta = append(keepMeta, meta[i])
+		}
 	}
-	return keep, dropped
+	return keep, keepMeta, dropped
 }
 
 // unmatched returns the commits that did not land (by VM/From/Target),
@@ -1019,23 +1041,32 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 	// MergeStaged passes nor the closing ReconcileProposals pay their own
 	// serial probe warm-up.
 	shardCommits := make([][]core.Decision, n)
+	shardCommitMeta := make([][]shard.AuditMeta, n)
 	shardDropped := make([]int, n)
 	shardProps := make([][]core.Decision, n)
+	shardPropMeta := make([][]shard.AuditMeta, n)
 	shardPropsDropped := make([]int, n)
+	auditing := r.cfg.Audit != nil
 	for s := 0; s < n; s++ {
 		st := states[s]
 		if st == nil {
 			continue
 		}
+		var cMeta, pMeta []shard.AuditMeta
+		if auditing {
+			cMeta = auditMetaOf(st.Staged, s)
+			pMeta = auditMetaOf(st.Proposals, s)
+		}
 		// Moves by VMs stranded on evicted hosts cannot commit (their
 		// dom0 is unresponsive) and moves onto evicted hosts must not:
 		// drop both before the merge instead of stalling on their probes.
-		shardCommits[s], shardDropped[s] = dropEvicted(env, c.evicted, decisionsOf(st.Staged))
-		shardProps[s], shardPropsDropped[s] = dropEvicted(env, c.evicted, decisionsOf(st.Proposals))
+		shardCommits[s], shardCommitMeta[s], shardDropped[s] = dropEvicted(env, c.evicted, decisionsOf(st.Staged), cMeta)
+		shardProps[s], shardPropMeta[s], shardPropsDropped[s] = dropEvicted(env, c.evicted, decisionsOf(st.Proposals), pMeta)
 	}
 	shard.PrefetchDecisions(env, append(append([][]core.Decision{}, shardCommits...), shardProps...)...)
 
 	var proposals []core.Decision
+	var propMeta []shard.AuditMeta
 	var aborts []core.Decision
 	for s := 0; s < n; s++ {
 		rep.TotalHops += reports[s].Hops
@@ -1052,7 +1083,11 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 		}
 		commits, dropped := shardCommits[s], shardDropped[s]
 		rep.StaleRejected += dropped
-		applied, stale, err := shard.MergeStaged(env, r.cfg.MigrationCost, commits)
+		var au *shard.AuditPass
+		if auditing {
+			au = &shard.AuditPass{Ring: r.cfg.Audit, Round: roundID, Meta: shardCommitMeta[s]}
+		}
+		applied, stale, err := shard.MergeStaged(env, r.cfg.MigrationCost, commits, au)
 		if err != nil {
 			return nil, fmt.Errorf("hypervisor: shard %d merge: %w", s, err)
 		}
@@ -1075,13 +1110,20 @@ func (r *Reconciler) RunRound() (*RoundReport, error) {
 		}
 		rep.CrossRejected += shardPropsDropped[s]
 		proposals = append(proposals, shardProps[s]...)
+		if auditing {
+			propMeta = append(propMeta, shardPropMeta[s]...)
+		}
 	}
 
 	nProposed := 0
 	for s := 0; s < n; s++ {
 		nProposed += reports[s].Proposed
 	}
-	applied, rejected := shard.ReconcileProposals(env, r.cfg.MigrationCost, proposals)
+	var pau *shard.AuditPass
+	if auditing {
+		pau = &shard.AuditPass{Ring: r.cfg.Audit, Round: roundID, Meta: propMeta}
+	}
+	applied, rejected := shard.ReconcileProposals(env, r.cfg.MigrationCost, proposals, pau)
 	rep.CrossApplied = len(applied)
 	rep.CrossRejected += len(rejected)
 	rep.Applied = append(rep.Applied, applied...)

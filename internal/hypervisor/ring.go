@@ -21,6 +21,11 @@ type StagedMove struct {
 	// Delta is the staged ΔC, computed against the ring's frozen view.
 	Delta float64
 	RAMMB int32
+	// Hop is the 0-based token visit the move was staged at and Attempt
+	// the ring regeneration it was staged under — decision provenance
+	// carried to the reconciler's audit records.
+	Hop     int32
+	Attempt uint32
 	// Rates is the VM's adjacency row, sorted by peer ID.
 	Rates []traffic.Edge
 }
@@ -62,6 +67,8 @@ func appendStagedMoves(buf []byte, ms []StagedMove) []byte {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(m.To))
 		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.Delta))
 		buf = binary.BigEndian.AppendUint32(buf, uint32(m.RAMMB))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(m.Hop))
+		buf = binary.BigEndian.AppendUint32(buf, m.Attempt)
 		buf = binary.BigEndian.AppendUint32(buf, uint32(rateEdgesSize(m.Rates)))
 		buf = AppendRateEdges(buf, m.Rates)
 	}
@@ -77,25 +84,27 @@ func decodeStagedMoves(buf []byte) ([]StagedMove, []byte, error) {
 	if n == 0 {
 		return nil, buf, nil
 	}
-	// Each move occupies at least 28 bytes: bound-check the untrusted
+	// Each move occupies at least 36 bytes: bound-check the untrusted
 	// count before sizing the allocation from it.
-	if n < 0 || n > len(buf)/28 {
+	if n < 0 || n > len(buf)/36 {
 		return nil, nil, ErrShortMessage
 	}
 	out := make([]StagedMove, 0, n)
 	for i := 0; i < n; i++ {
-		if len(buf) < 28 {
+		if len(buf) < 36 {
 			return nil, nil, ErrShortMessage
 		}
 		m := StagedMove{
-			VM:    cluster.VMID(binary.BigEndian.Uint32(buf)),
-			From:  cluster.HostID(int32(binary.BigEndian.Uint32(buf[4:]))),
-			To:    cluster.HostID(int32(binary.BigEndian.Uint32(buf[8:]))),
-			Delta: math.Float64frombits(binary.BigEndian.Uint64(buf[12:])),
-			RAMMB: int32(binary.BigEndian.Uint32(buf[20:])),
+			VM:      cluster.VMID(binary.BigEndian.Uint32(buf)),
+			From:    cluster.HostID(int32(binary.BigEndian.Uint32(buf[4:]))),
+			To:      cluster.HostID(int32(binary.BigEndian.Uint32(buf[8:]))),
+			Delta:   math.Float64frombits(binary.BigEndian.Uint64(buf[12:])),
+			RAMMB:   int32(binary.BigEndian.Uint32(buf[20:])),
+			Hop:     int32(binary.BigEndian.Uint32(buf[24:])),
+			Attempt: binary.BigEndian.Uint32(buf[28:]),
 		}
-		rl := int(binary.BigEndian.Uint32(buf[24:]))
-		buf = buf[28:]
+		rl := int(binary.BigEndian.Uint32(buf[32:]))
+		buf = buf[36:]
 		if len(buf) < rl {
 			return nil, nil, ErrShortMessage
 		}
@@ -133,7 +142,7 @@ func (s *RingState) AppendEncode(buf []byte) []byte {
 func stagedMovesSize(ms []StagedMove) int {
 	n := 4
 	for i := range ms {
-		n += 28 + rateEdgesSize(ms[i].Rates)
+		n += 36 + rateEdgesSize(ms[i].Rates)
 	}
 	return n
 }

@@ -102,9 +102,12 @@ func (a *Agent) decideShard(holder cluster.VMID, holderHost cluster.HostID, ramM
 		return ev
 	}
 
+	// st.Hops is still the pre-visit count here (processShardToken
+	// increments it after deciding), so it is the 0-based hop index.
 	mv := StagedMove{
 		VM: holder, From: holderHost, To: best,
-		Delta: bestDelta, RAMMB: int32(ramMB), Rates: rates,
+		Delta: bestDelta, RAMMB: int32(ramMB),
+		Hop: st.Hops, Attempt: st.Attempt, Rates: rates,
 	}
 	if asg.ShardOfHost(best) == int(st.Shard) {
 		st.Staged = append(st.Staged, mv)

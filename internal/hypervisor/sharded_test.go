@@ -135,9 +135,11 @@ type planeOpts struct {
 	// adaptive derives per-shard deadlines from observed ack latency.
 	adaptive bool
 	estCfg   control.EstimatorConfig
-	// metrics and trace attach the observability plane to the reconciler.
+	// metrics, trace and audit attach the observability plane to the
+	// reconciler.
 	metrics *PlaneMetrics
 	trace   *obs.Tracer
+	audit   *obs.AuditRing
 }
 
 // buildShardPlane assembles a fat-tree instance with hotspot traffic and
@@ -240,6 +242,7 @@ func buildShardPlaneOpts(t testing.TB, k int, seed int64, scale float64, shards 
 			Estimator:        o.estCfg,
 			Metrics:          o.metrics,
 			Trace:            o.trace,
+			Audit:            o.audit,
 		}, p.reg)
 		if err != nil {
 			t.Fatal(err)

@@ -1,6 +1,7 @@
 package hypervisor
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -19,6 +20,7 @@ func TestChaosRoundReconstructibleFromTrace(t *testing.T) {
 	reg := obs.NewRegistry()
 	pm := NewPlaneMetrics(reg)
 	tr := obs.NewTracer(1 << 16)
+	ar := obs.NewAuditRing(1 << 16)
 	plan := NewFaultPlan(FaultConfig{
 		Seed:      42,
 		DropEvery: 12,
@@ -29,6 +31,7 @@ func TestChaosRoundReconstructibleFromTrace(t *testing.T) {
 		shardDeadline: 50 * time.Millisecond,
 		metrics:       pm,
 		trace:         tr,
+		audit:         ar,
 	})
 	applied, reports := distributedRounds(t, p)
 	if len(applied) == 0 {
@@ -135,6 +138,64 @@ func TestChaosRoundReconstructibleFromTrace(t *testing.T) {
 	}
 	if got := int(pm.Rounds.Value()); got != len(reports) {
 		t.Fatalf("registry counted %d rounds, reconciler ran %d", got, len(reports))
+	}
+
+	// Decision provenance: the applied-migration set of every round must
+	// be reconstructible from the audit ring alone — each committed move
+	// matched by exactly one applied-verdict record whose re-validated ΔC
+	// equals the realized delta bit-for-bit.
+	if d := ar.Dropped(); d != 0 {
+		t.Fatalf("audit ring overwrote %d records; reconstruction cannot be total", d)
+	}
+	type moveKey struct {
+		vm       uint32
+		from, to int32
+		bits     uint64
+	}
+	for _, rep := range reports {
+		recs := ar.Select(-1, int64(rep.Round))
+		decided := len(rep.Applied) + rep.StaleRejected + rep.CrossRejected
+		if len(recs) == 0 && decided > 0 {
+			t.Fatalf("round %d made %d decisions but left no audit records", rep.Round, decided)
+		}
+		want := make(map[moveKey]int, len(rep.Applied))
+		for _, d := range rep.Applied {
+			want[moveKey{uint32(d.VM), int32(d.From), int32(d.Target), math.Float64bits(d.Delta)}]++
+		}
+		got := 0
+		for _, r := range recs {
+			if !r.Applied() {
+				continue
+			}
+			got++
+			k := moveKey{r.VM, r.From, r.To, r.FinalBits}
+			if want[k] == 0 {
+				t.Fatalf("round %d: audit record vm=%d %d→%d ΔC=%v (%s) has no bit-exact committed move",
+					rep.Round, r.VM, r.From, r.To, r.FinalDelta(), obs.VerdictString(r.Verdict))
+			}
+			want[k]--
+		}
+		if got != len(rep.Applied) {
+			t.Fatalf("round %d: audit ring explains %d applied moves, reconciler committed %d",
+				rep.Round, got, len(rep.Applied))
+		}
+
+		// Token-visit provenance under chaos: every record carries a
+		// non-negative hop, and its attempt number never exceeds the
+		// regeneration count of the ring that staged it.
+		regenBy := make(map[int16]int, len(rep.Rings))
+		for _, ring := range rep.Rings {
+			regenBy[int16(ring.Shard)] = ring.Regenerated
+		}
+		for _, r := range recs {
+			if r.Hop < 0 {
+				t.Fatalf("round %d: audit record vm=%d missing token hop", rep.Round, r.VM)
+			}
+			if int(r.Attempt) > regenBy[r.Shard] {
+				t.Fatalf("round %d shard %d: audit attempt %d exceeds ring regenerations %d",
+					rep.Round, r.Shard, r.Attempt, regenBy[r.Shard])
+			}
+		}
 	}
 }
 

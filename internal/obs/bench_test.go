@@ -3,6 +3,7 @@ package obs
 import (
 	"io"
 	"testing"
+	"time"
 )
 
 // The obs-overhead benchmarks gate instrumentation cost in CI's bench smoke:
@@ -51,6 +52,31 @@ func BenchmarkObsTraceRecord(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr.Record(e)
+	}
+}
+
+func BenchmarkObsAuditAppend(b *testing.B) {
+	ar := NewAuditRing(1 << 14)
+	rec := AuditRecord{
+		T: 1, StagedBits: 0x3fb999999999999a, FinalBits: 0x3fb999999999999a,
+		VM: 7, Round: 3, Attempt: 1, Hop: 4, From: 2, To: 9, Shard: 1,
+		Verdict: VerdictMerged,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ar.Append(rec)
+	}
+}
+
+func BenchmarkObsHTTPObserve(b *testing.B) {
+	r := NewRegistry()
+	hm := NewHTTPMetrics(r)
+	ri := hm.route("/v1/bench")
+	start := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ri.inflight.Add(1)
+		ri.Observe(start)
 	}
 }
 

@@ -1,8 +1,9 @@
 // Package obs is the repo's dependency-free observability plane: a
-// zero-allocation metrics registry, a fixed-capacity round tracer, and an
-// HTTP endpoint exposing Prometheus text format plus net/http/pprof. It is
-// the metrics surface the resident placement service (cmd/scored, see
-// ROADMAP) will mount; today scoresim and scorebench mount it behind
+// zero-allocation metrics registry, a fixed-capacity round tracer, a
+// per-migration audit ring, an anomaly-triggered flight recorder, and an
+// HTTP endpoint exposing Prometheus text format, the trace and audit
+// rings as JSON, and net/http/pprof. cmd/scored mounts the full surface
+// on its API listener; scoresim and scorebench mount it behind
 // -metrics-addr.
 //
 // # Registry
@@ -68,4 +69,33 @@
 // (~tens of ns, 0 allocs) to leave on. Spans folds a Snapshot into per-round,
 // per-shard aggregates; the chaos suite uses it to reconstruct a lossy round
 // (regen counts, attempt numbers, evicted hosts) from the trace alone.
+//
+// # Audit records
+//
+// AuditRing is the decision-provenance plane: one fixed-size AuditRecord
+// per staged migration decision, appended by the shared merge/reconcile
+// passes in internal/shard — so the in-process Coordinator and the
+// distributed Reconciler emit identical provenance by construction.
+// Each record carries the round, shard, token attempt and hop the
+// decision was made at, the VM and source→destination hosts, the staged
+// ΔC and the re-validated (applied: realized) ΔC as exact float64 bit
+// patterns, and a verdict (merged, stale, cross_applied,
+// cross_rejected). Append is 0 allocs/op (TestAuditAppendAllocFree) and
+// a nil ring disables auditing with a single untaken branch. The ring is
+// queryable as JSON at /audit (and scored's /v1/audit) filtered by
+// ?vm= and ?round=; AuditJSONRecord round-trips records bit-exactly via
+// staged_bits/final_bits alongside the human-readable float renderings.
+//
+// # Flight recorder
+//
+// FlightRecorder is the incident-capture plane: armed threshold rules
+// (round-latency window mean exceeding k times its own EWMA, a counter
+// advancing — the backpressure-503 trigger, a gauge rising — the
+// cost-increase trigger) are polled on a fixed cadence, and any firing
+// rule bundles the registry exposition, the trace ring, the audit-ring
+// tail, and pprof heap+CPU captures into one timestamped directory with
+// a meta.json manifest. Bundles are bounded in count (oldest pruned
+// first) and automatic captures are rate-limited by MinGap, so a
+// flapping rule cannot fill a disk; a manual Force — scored's
+// POST /v1/flightrecorder — bypasses the rate limit but not the bound.
 package obs

@@ -187,7 +187,7 @@ func TestExpositionFormat(t *testing.T) {
 	tr := NewTracer(64)
 	tr.Record(Event{Kind: EvRoundStart, Round: 1})
 
-	srv := httptest.NewServer(Handler(reg, tr))
+	srv := httptest.NewServer(Handler(reg, tr, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/metrics")
@@ -249,7 +249,7 @@ func TestExpositionFormat(t *testing.T) {
 func TestServeBindsAndCloses(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("score_srv_total", "c").Inc()
-	s, err := Serve("127.0.0.1:0", reg, nil)
+	s, err := Serve("127.0.0.1:0", reg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,45 +2,129 @@ package obs
 
 import (
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"time"
 )
 
-// Handler returns the observability mux: /metrics (Prometheus text format),
-// /trace (JSON dump of the ring buffer, optional), and /debug/pprof/*.
+// TraceJSONEvent is the JSON wire form of one trace event.
+type TraceJSONEvent struct {
+	Kind    string  `json:"kind"`
+	T       int64   `json:"t_ns"`
+	Round   uint32  `json:"round"`
+	Shard   int16   `json:"shard"`
+	Attempt uint32  `json:"attempt,omitempty"`
+	Arg     int64   `json:"arg,omitempty"`
+	Value   float64 `json:"value,omitempty"`
+	Code    uint8   `json:"code,omitempty"`
+}
+
+// traceViews renders events for encoding (never nil).
+func traceViews(events []Event) []TraceJSONEvent {
+	out := make([]TraceJSONEvent, len(events))
+	for i, e := range events {
+		out[i] = TraceJSONEvent{
+			Kind: e.Kind.String(), T: e.T, Round: e.Round, Shard: e.Shard,
+			Attempt: e.Attempt, Arg: e.Arg, Value: e.Value, Code: e.Code,
+		}
+	}
+	return out
+}
+
+// WriteTraceJSON encodes events as a JSON array — the /trace wire form,
+// shared with flight-recorder bundles.
+func WriteTraceJSON(w io.Writer, events []Event) error {
+	return json.NewEncoder(w).Encode(traceViews(events))
+}
+
+// WriteAuditJSON encodes audit records as a JSON array — the /audit and
+// /v1/audit wire form, shared with flight-recorder bundles and the
+// scoresim dump.
+func WriteAuditJSON(w io.Writer, recs []AuditRecord) error {
+	return json.NewEncoder(w).Encode(JSONViews(recs))
+}
+
+// queryInt64 parses an optional non-negative integer query parameter;
+// absent or empty yields def, garbage yields an error flag.
+func queryInt64(r *http.Request, key string, def int64) (int64, bool) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def, true
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// ServeTrace answers one /trace request: the ring's retained events,
+// optionally filtered by ?round=N and/or ?shard=S. Round-scoped events
+// recorded with Shard -1 (round start/end, reconcile verdicts) pass a
+// shard filter only when it asks for -1 explicitly via shard being
+// absent — a positive shard filter selects that ring's events alone.
+func ServeTrace(w http.ResponseWriter, r *http.Request, tr *Tracer) {
+	round, okR := queryInt64(r, "round", -1)
+	shard, okS := queryInt64(r, "shard", -1)
+	if !okR || !okS {
+		http.Error(w, "round and shard must be non-negative integers", http.StatusBadRequest)
+		return
+	}
+	events := tr.Snapshot()
+	if round >= 0 || shard >= 0 {
+		kept := events[:0]
+		for _, e := range events {
+			if round >= 0 && int64(e.Round) != round {
+				continue
+			}
+			if shard >= 0 && int64(e.Shard) != shard {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		events = kept
+	}
+	w.Header().Set("Content-Type", "application/json")
+	WriteTraceJSON(w, events)
+}
+
+// ServeAudit answers one /audit request: the ring's retained records,
+// optionally filtered by ?vm=N and/or ?round=N.
+func ServeAudit(w http.ResponseWriter, r *http.Request, ar *AuditRing) {
+	vm, okV := queryInt64(r, "vm", -1)
+	round, okR := queryInt64(r, "round", -1)
+	if !okV || !okR {
+		http.Error(w, "vm and round must be non-negative integers", http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	WriteAuditJSON(w, ar.Select(vm, round))
+}
+
+// Handler returns the observability mux: /metrics (Prometheus text
+// format), /trace (JSON ring dump, ?round=&shard= filtered), /audit
+// (JSON decision-provenance dump, ?vm=&round= filtered), and
+// /debug/pprof/*. tr and ar are optional; their routes vanish when nil.
 // Handlers are wired onto a private mux so importing obs never mutates
 // http.DefaultServeMux.
-func Handler(reg *Registry, tr *Tracer) http.Handler {
+func Handler(reg *Registry, tr *Tracer, ar *AuditRing) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
 	})
 	if tr != nil {
-		mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			events := tr.Snapshot()
-			type jsonEvent struct {
-				Kind    string  `json:"kind"`
-				T       int64   `json:"t_ns"`
-				Round   uint32  `json:"round"`
-				Shard   int16   `json:"shard"`
-				Attempt uint32  `json:"attempt,omitempty"`
-				Arg     int64   `json:"arg,omitempty"`
-				Value   float64 `json:"value,omitempty"`
-				Code    uint8   `json:"code,omitempty"`
-			}
-			out := make([]jsonEvent, len(events))
-			for i, e := range events {
-				out[i] = jsonEvent{
-					Kind: e.Kind.String(), T: e.T, Round: e.Round, Shard: e.Shard,
-					Attempt: e.Attempt, Arg: e.Arg, Value: e.Value, Code: e.Code,
-				}
-			}
-			json.NewEncoder(w).Encode(out)
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+			ServeTrace(w, r, tr)
+		})
+	}
+	if ar != nil {
+		mux.HandleFunc("/audit", func(w http.ResponseWriter, r *http.Request) {
+			ServeAudit(w, r, ar)
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -53,7 +137,7 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		w.Write([]byte("score observability\n/metrics\n/trace\n/debug/pprof/\n"))
+		w.Write([]byte("score observability\n/metrics\n/trace\n/audit\n/debug/pprof/\n"))
 	})
 	return mux
 }
@@ -90,12 +174,12 @@ type Server struct {
 // Serve starts the observability endpoint on addr (e.g. ":9090" or
 // "127.0.0.1:0") and returns once the listener is bound, so a caller can
 // scrape immediately. Close shuts it down.
-func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+func Serve(addr string, reg *Registry, tr *Tracer, ar *AuditRing) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg, tr), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: Handler(reg, tr, ar), ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
 	return &Server{ln: ln, srv: srv}, nil
 }

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"net/http"
+	"time"
+)
+
+// HTTPMetrics is the serve-plane SLO instrumentation: per-route request
+// latency histograms, in-flight gauges, and request counters, all keyed
+// by one bounded "route" label (the registered pattern, never the raw
+// URL — cardinality stays at the number of mounted routes). Wrap
+// resolves the route's children once, so the per-request record path is
+// three scalar atomic operations and zero allocations. There is
+// deliberately no status-code label: adding one would force a
+// ResponseWriter wrapper (an allocation per request) for a dimension the
+// error counters already cover.
+type HTTPMetrics struct {
+	requests *CounterVec
+	latency  *HistogramVec
+	inflight *GaugeVec
+}
+
+// NewHTTPMetrics registers the HTTP SLO families on reg.
+func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: reg.CounterVec("score_http_requests_total", "HTTP requests served, by route.", "route"),
+		latency:  reg.HistogramVec("score_http_request_seconds", "HTTP request latency, by route.", "route", DefLatencyBuckets),
+		inflight: reg.GaugeVec("score_http_inflight_requests", "HTTP requests currently being served, by route.", "route"),
+	}
+}
+
+// routeInstruments is one route's resolved children.
+type routeInstruments struct {
+	requests *Counter
+	latency  *Histogram
+	inflight *Gauge
+}
+
+// route resolves (or creates) the instruments for one route label. The
+// returned handle's Observe is the zero-alloc record path the
+// AllocsPerRun gate covers.
+func (m *HTTPMetrics) route(route string) *routeInstruments {
+	return &routeInstruments{
+		requests: m.requests.With(route),
+		latency:  m.latency.With(route),
+		inflight: m.inflight.With(route),
+	}
+}
+
+// Observe records one finished request that started at start.
+func (ri *routeInstruments) Observe(start time.Time) {
+	ri.inflight.Add(-1)
+	ri.latency.Observe(time.Since(start).Seconds())
+	ri.requests.Inc()
+}
+
+// Wrap instruments next under the given route label.
+func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
+	ri := m.route(route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ri.inflight.Add(1)
+		start := time.Now()
+		defer ri.Observe(start)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// WrapFunc is Wrap for a bare handler function.
+func (m *HTTPMetrics) WrapFunc(route string, next http.HandlerFunc) http.Handler {
+	return m.Wrap(route, next)
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHTTPMetricsWrapRecords(t *testing.T) {
+	reg := NewRegistry()
+	hm := NewHTTPMetrics(reg)
+	var sawInflight float64
+	h := hm.Wrap("/v1/test", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		sawInflight = hm.inflight.With("/v1/test").Value()
+		w.WriteHeader(http.StatusOK)
+	}))
+	for i := 0; i < 3; i++ {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/v1/test?x=1", nil))
+	}
+	if sawInflight != 1 {
+		t.Fatalf("in-flight gauge = %v during a request, want 1", sawInflight)
+	}
+	if got := hm.inflight.With("/v1/test").Value(); got != 0 {
+		t.Fatalf("in-flight gauge = %v after requests, want 0", got)
+	}
+	if got := hm.requests.With("/v1/test").Value(); got != 3 {
+		t.Fatalf("request counter = %d, want 3", got)
+	}
+	if got := hm.latency.With("/v1/test").Count(); got != 3 {
+		t.Fatalf("latency histogram count = %d, want 3", got)
+	}
+
+	// The label is the route pattern, never the raw URL: exposition must
+	// carry exactly one labeled series regardless of query strings.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	expo := sb.String()
+	if !strings.Contains(expo, `score_http_requests_total{route="/v1/test"} 3`) {
+		t.Fatalf("exposition lacks the labeled counter:\n%s", expo)
+	}
+	if strings.Contains(expo, "x=1") {
+		t.Fatalf("raw URL leaked into exposition:\n%s", expo)
+	}
+}
+
+// TestHTTPMetricsObserveAllocFree gates the per-request record path: the
+// middleware's bookkeeping around a handler must not allocate.
+func TestHTTPMetricsObserveAllocFree(t *testing.T) {
+	reg := NewRegistry()
+	hm := NewHTTPMetrics(reg)
+	ri := hm.route("/v1/test")
+	start := time.Now()
+	if n := testing.AllocsPerRun(1000, func() {
+		ri.inflight.Add(1)
+		ri.Observe(start)
+	}); n != 0 {
+		t.Fatalf("middleware observe path allocates %.1f times per request, want 0", n)
+	}
+}

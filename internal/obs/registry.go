@@ -232,6 +232,29 @@ type GaugeVec struct {
 	byIx atomic.Pointer[[]*Gauge]
 }
 
+// HistogramVec is a histogram family partitioned by one label (e.g.
+// route). Children share the family's buckets. Resolve children once at
+// construction (With) and hold the *Histogram — Observe is then the
+// scalar zero-alloc path.
+type HistogramVec struct {
+	f *family
+}
+
+// HistogramVec returns the labeled histogram family registered under
+// name. Empty bounds default to DefLatencyBuckets.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q bounds not sorted", name))
+	}
+	return &HistogramVec{f: r.family(name, help, kindHistogram, label, bounds)}
+}
+
+// With returns the child histogram for the given label value.
+func (v *HistogramVec) With(value string) *Histogram { return v.f.child(value).h }
+
 // CounterVec returns the labeled counter family registered under name.
 func (r *Registry) CounterVec(name, help, label string) *CounterVec {
 	return &CounterVec{f: r.family(name, help, kindCounter, label, nil)}

@@ -22,19 +22,62 @@ const maxBody = 1 << 20
 const maxBatchSamples = 4096
 
 // Handler returns the daemon's HTTP mux: the /v1 placement API plus the
-// observability plane (/metrics, /trace, /debug/pprof/) on the same
-// listener. Routing is manual (method switches per path) — the module
-// targets Go 1.21, before ServeMux learned method patterns.
+// observability plane (/metrics, /trace, /audit, /debug/pprof/) on the
+// same listener. Routing is manual (method switches per path) — the
+// module targets Go 1.21, before ServeMux learned method patterns.
+// Every route is wrapped in the SLO middleware, labeled by its mux
+// pattern (never the raw URL), so request latency, in-flight and volume
+// land on /metrics with bounded cardinality.
 func (d *Daemon) Handler() http.Handler {
+	hm := obs.NewHTTPMetrics(d.reg)
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/vms", d.handleVMs)
-	mux.HandleFunc("/v1/vms/", d.handleVMByID)
-	mux.HandleFunc("/v1/observe", d.handleObserve)
-	mux.HandleFunc("/v1/rounds", d.handleRounds)
-	mux.HandleFunc("/v1/status", d.handleStatus)
-	mux.HandleFunc("/v1/snapshot", d.handleSnapshot)
-	mux.Handle("/", obs.Handler(d.reg, d.tr))
+	mount := func(route string, h http.HandlerFunc) {
+		mux.Handle(route, hm.WrapFunc(route, h))
+	}
+	mount("/v1/vms", d.handleVMs)
+	mount("/v1/vms/", d.handleVMByID)
+	mount("/v1/observe", d.handleObserve)
+	mount("/v1/rounds", d.handleRounds)
+	mount("/v1/status", d.handleStatus)
+	mount("/v1/snapshot", d.handleSnapshot)
+	if d.ar != nil {
+		mount("/v1/audit", d.handleAudit)
+	}
+	if d.flight != nil {
+		mount("/v1/flightrecorder", d.handleFlightRecorder)
+	}
+	mux.Handle("/", hm.Wrap("/", obs.Handler(d.reg, d.tr, d.ar)))
 	return mux
+}
+
+// handleAudit serves the decision-provenance ring: every staged
+// migration's merge/reconcile verdict with staged and re-validated ΔC
+// bits, filtered by ?vm=N and/or ?round=N.
+func (d *Daemon) handleAudit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET /v1/audit")
+		return
+	}
+	obs.ServeAudit(w, r, d.ar)
+}
+
+type flightReply struct {
+	Path string `json:"path"`
+}
+
+// handleFlightRecorder forces one flight-recorder capture, bypassing
+// the anomaly rules and their rate limit, and returns the bundle path.
+func (d *Daemon) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST /v1/flightrecorder")
+		return
+	}
+	path, err := d.flight.Force("manual")
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, flightReply{Path: path})
 }
 
 // Server is a live daemon endpoint.

@@ -3,6 +3,8 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"sync"
 	"time"
@@ -83,6 +85,17 @@ type Config struct {
 	// nil builds a private one. Trace optionally records span events.
 	Obs   *obs.Registry
 	Trace *obs.Tracer
+	// Audit, when set, receives one decision-provenance record per
+	// merge/reconcile verdict and is served at /v1/audit.
+	Audit *obs.AuditRing
+	// Flight, when set, arms the anomaly-triggered flight recorder:
+	// round-latency spikes, backpressure drops and cost increases each
+	// capture a bundle into Flight.Dir, and POST /v1/flightrecorder
+	// forces one.
+	Flight *obs.FlightConfig
+	// Logger receives operational events (backpressure drops, flight
+	// captures); nil discards them.
+	Logger *slog.Logger
 }
 
 func (cfg *Config) applyDefaults() {
@@ -173,6 +186,7 @@ type op struct {
 	samples []RateSample
 	steps   int
 	path    string
+	enq     time.Time // when submit enqueued the op (queue-wait metric)
 	done    chan opResult
 }
 
@@ -197,7 +211,13 @@ type serveMetrics struct {
 	vms            *obs.Gauge
 	pairs          *obs.Gauge
 	cost           *obs.Gauge
+	foldLatency    *obs.Histogram
+	opQueueDepth   *obs.Histogram
+	opWait         *obs.Histogram
 }
+
+// opQueueBuckets covers the op-queue occupancy range (default cap 256).
+var opQueueBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 func newServeMetrics(reg *obs.Registry) serveMetrics {
 	return serveMetrics{
@@ -212,6 +232,9 @@ func newServeMetrics(reg *obs.Registry) serveMetrics {
 		vms:            reg.Gauge("score_service_vms", "VMs currently registered with the resident service."),
 		pairs:          reg.Gauge("score_service_pairs", "Communicating VM pairs currently tracked."),
 		cost:           sim.CostGauge(reg),
+		foldLatency:    reg.Histogram("score_ingest_fold_seconds", "Time to fold one observation batch into the traffic matrix.", obs.DefLatencyBuckets),
+		opQueueDepth:   reg.Histogram("score_op_queue_depth", "Op-queue occupancy sampled at each submission.", opQueueBuckets),
+		opWait:         reg.Histogram("score_op_wait_seconds", "Time an op spent queued before the state loop applied it.", obs.DefLatencyBuckets),
 	}
 }
 
@@ -220,10 +243,13 @@ func newServeMetrics(reg *obs.Registry) serveMetrics {
 // mutations through one state-loop goroutine, and (when RoundInterval
 // is set) runs auto-tuned scheduling rounds in the background.
 type Daemon struct {
-	cfg  Config
-	topo topology.Topology
-	reg  *obs.Registry
-	tr   *obs.Tracer
+	cfg    Config
+	topo   topology.Topology
+	reg    *obs.Registry
+	tr     *obs.Tracer
+	ar     *obs.AuditRing
+	flight *obs.FlightRecorder
+	log    *slog.Logger
 
 	// mu guards the plant. The state loop takes the write lock for every
 	// op batch and round; read-only HTTP handlers take the read lock and
@@ -290,13 +316,19 @@ func newDaemon(cfg Config, topo topology.Topology, cl *cluster.Cluster, tm *traf
 	if err != nil {
 		return nil, err
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctrl := control.New(topo, control.Config{Metrics: control.NewMetrics(reg)})
 	detach := ctrl.Bind(tm, cl)
+	shardMetrics := shard.NewMetrics(reg)
 	coord, err := shard.NewCoordinator(eng, shard.Config{
 		Tuner:   ctrl,
 		Workers: cfg.Workers,
-		Metrics: shard.NewMetrics(reg),
+		Metrics: shardMetrics,
 		Trace:   cfg.Trace,
+		Audit:   cfg.Audit,
 	})
 	if err != nil {
 		detach()
@@ -308,6 +340,8 @@ func newDaemon(cfg Config, topo topology.Topology, cl *cluster.Cluster, tm *traf
 		topo:       topo,
 		reg:        reg,
 		tr:         cfg.Trace,
+		ar:         cfg.Audit,
+		log:        logger,
 		cl:         cl,
 		tm:         tm,
 		eng:        eng,
@@ -326,6 +360,28 @@ func newDaemon(cfg Config, topo topology.Topology, cl *cluster.Cluster, tm *traf
 		ctrl.RestorePersisted(snap.Controller)
 		coord.SetRounds(snap.Rounds)
 		d.nextID = cluster.VMID(snap.NextID)
+	}
+	if cfg.Flight != nil {
+		fcfg := *cfg.Flight
+		if fcfg.Logger == nil {
+			fcfg.Logger = logger
+		}
+		fr, err := obs.NewFlightRecorder(fcfg, reg, cfg.Trace, cfg.Audit)
+		if err != nil {
+			coord.Close()
+			detach()
+			eng.Detach()
+			return nil, err
+		}
+		// The three anomalies the ISSUE of record calls out: a round
+		// suddenly slower than its own history, backpressure drops, and
+		// total cost rising (S-CORE rounds only lower it; a rise means
+		// ingest shifted the plant under the scheduler).
+		fr.WatchHistogramEWMA("round_latency", shardMetrics.RoundLatency, 3, 5)
+		fr.WatchCounterIncrease("backpressure", d.m.backpressure)
+		fr.WatchGaugeIncrease("cost_increase", d.m.cost, 1e-9)
+		fr.Start()
+		d.flight = fr
 	}
 	d.lastCost = eng.TotalCost()
 	d.m.cost.Set(d.lastCost)
@@ -351,6 +407,9 @@ func (d *Daemon) Close() error {
 	d.closeOnce.Do(func() {
 		close(d.stop)
 		<-d.done
+		if d.flight != nil {
+			d.flight.Close()
+		}
 		for {
 			select {
 			case o := <-d.ops:
@@ -407,6 +466,8 @@ func (d *Daemon) loop() {
 // when the queue has room, a bounded wait when it is full, then drop.
 func (d *Daemon) submit(o *op) opResult {
 	o.done = make(chan opResult, 1)
+	o.enq = time.Now()
+	d.m.opQueueDepth.Observe(float64(len(d.ops)))
 	select {
 	case <-d.stop:
 		return opResult{err: ErrClosed}
@@ -421,6 +482,7 @@ func (d *Daemon) submit(o *op) opResult {
 			t.Stop()
 		case <-t.C:
 			d.m.backpressure.Inc()
+			d.log.Warn("op dropped under backpressure", "kind", o.kind, "queue", len(d.ops))
 			return opResult{err: ErrBacklogged}
 		case <-d.stop:
 			t.Stop()
@@ -442,6 +504,7 @@ func (d *Daemon) submit(o *op) opResult {
 }
 
 func (d *Daemon) apply(o *op) {
+	d.m.opWait.Observe(time.Since(o.enq).Seconds())
 	var res opResult
 	switch o.kind {
 	case opAdmit:
@@ -556,6 +619,7 @@ func (d *Daemon) demandOf(vm cluster.VMID) (ram, cpu int, err error) {
 }
 
 func (d *Daemon) applyObserve(o *op) opResult {
+	t0 := time.Now()
 	applied, rejected := 0, 0
 	for _, s := range o.samples {
 		if s.A == s.B || s.RateMbps < 0 || math.IsNaN(s.RateMbps) || math.IsInf(s.RateMbps, 0) {
@@ -576,6 +640,7 @@ func (d *Daemon) applyObserve(o *op) opResult {
 	d.m.ingestBatches.Inc()
 	d.m.ingestSamples.Add(uint64(applied))
 	d.m.ingestRejected.Add(uint64(rejected))
+	d.m.foldLatency.Observe(time.Since(t0).Seconds())
 	if d.tr != nil {
 		d.tr.Record(obs.Event{
 			Kind:  obs.EvIngest,

@@ -52,6 +52,11 @@ type Config struct {
 	Metrics *Metrics
 	// Trace, when set, records round/ring/verdict span events.
 	Trace *obs.Tracer
+	// Audit, when set, receives one decision-provenance record per
+	// staged move's merge/reconcile verdict (see obs.AuditRing). Nil
+	// leaves every record site an untaken branch and skips the hop
+	// bookkeeping entirely.
+	Audit *obs.AuditRing
 }
 
 // ShardRound reports one shard ring's activity within a round.
@@ -243,10 +248,15 @@ func (c *Coordinator) partition() (*Partition, error) {
 }
 
 // shardOutcome is one ring's private result, merged sequentially.
+// commitHops/proposalHops align with commits/proposals and carry the
+// token-visit hop each move was staged at; they are only maintained
+// when auditing is on.
 type shardOutcome struct {
-	stats     ShardRound
-	commits   []core.Decision
-	proposals []core.Decision
+	stats        ShardRound
+	commits      []core.Decision
+	proposals    []core.Decision
+	commitHops   []int32
+	proposalHops []int32
 }
 
 // RunRound executes one full cycle: partition the current allocation,
@@ -300,6 +310,7 @@ func (c *Coordinator) RunRound() (*Round, error) {
 	cm := c.eng.Config().MigrationCost
 	env := EngineEnv(c.eng)
 	var proposals []core.Decision
+	var propMeta []AuditMeta
 	for s := 0; s < n; s++ {
 		o := outcomes[s]
 		round.TotalHops += o.stats.Hops
@@ -308,7 +319,19 @@ func (c *Coordinator) RunRound() (*Round, error) {
 		}
 		// Merge the ring's staged intra-shard moves via the shared
 		// re-validating replay (see MergeStaged).
-		applied, stale, err := MergeStaged(env, cm, o.commits)
+		var au *AuditPass
+		if c.cfg.Audit != nil {
+			meta := make([]AuditMeta, len(o.commits))
+			for i := range meta {
+				hop := int32(-1)
+				if i < len(o.commitHops) {
+					hop = o.commitHops[i]
+				}
+				meta[i] = AuditMeta{Hop: hop, Shard: int16(s)}
+			}
+			au = &AuditPass{Ring: c.cfg.Audit, Round: c.round, Meta: meta}
+		}
+		applied, stale, err := MergeStaged(env, cm, o.commits, au)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: merging staged moves: %w", s, err)
 		}
@@ -320,6 +343,15 @@ func (c *Coordinator) RunRound() (*Round, error) {
 		}
 		round.Shards = append(round.Shards, o.stats)
 		proposals = append(proposals, o.proposals...)
+		if c.cfg.Audit != nil {
+			for i := range o.proposals {
+				hop := int32(-1)
+				if i < len(o.proposalHops) {
+					hop = o.proposalHops[i]
+				}
+				propMeta = append(propMeta, AuditMeta{Hop: hop, Shard: int16(s)})
+			}
+		}
 		if tr != nil {
 			tr.Record(obs.Event{Kind: obs.EvRingDone, Round: c.round, Shard: int16(s), Arg: int64(o.stats.Hops)})
 			for _, d := range applied {
@@ -334,7 +366,11 @@ func (c *Coordinator) RunRound() (*Round, error) {
 	// Reconcile cross-shard proposals through the shared canonical-order
 	// re-validating pass (see ReconcileProposals).
 	nProposed := len(proposals)
-	applied, rejected := ReconcileProposals(env, cm, proposals)
+	var pau *AuditPass
+	if c.cfg.Audit != nil {
+		pau = &AuditPass{Ring: c.cfg.Audit, Round: c.round, Meta: propMeta}
+	}
+	applied, rejected := ReconcileProposals(env, cm, proposals, pau)
 	round.CrossRejected = len(rejected)
 	round.CrossApplied = len(applied)
 	for _, d := range applied {
@@ -399,9 +435,12 @@ func (c *Coordinator) ringPass(s int, part *Partition, view *core.AllocView, pol
 	o.stats = ShardRound{Shard: s, VMs: len(vms)}
 	o.commits = nil
 	o.proposals = o.proposals[:0]
+	o.commitHops = o.commitHops[:0]
+	o.proposalHops = o.proposalHops[:0]
 	if len(vms) == 0 {
 		return
 	}
+	auditing := c.cfg.Audit != nil
 	depth := uint8(c.eng.Topology().Depth())
 	tok := c.toks[s].Fill(vms, depth)
 	tm := c.eng.Traffic()
@@ -417,12 +456,21 @@ func (c *Coordinator) ringPass(s int, part *Partition, view *core.AllocView, pol
 		o.stats.Hops++
 		if dec, ok := view.BestMigration(holder); ok {
 			if part.ShardOfHost(dec.Target) == s {
+				// Hop alignment uses the view's commit list, not the
+				// error: a self-move "succeeds" without staging anything.
+				nStaged := len(view.Commits())
 				if _, err := view.Commit(dec); err == nil {
 					o.stats.Committed++
+				}
+				if auditing && len(view.Commits()) > nStaged {
+					o.commitHops = append(o.commitHops, int32(hop))
 				}
 			} else {
 				o.proposals = append(o.proposals, dec)
 				o.stats.Proposed++
+				if auditing {
+					o.proposalHops = append(o.proposalHops, int32(hop))
+				}
 			}
 		}
 		hv := token.HolderView{Holder: holder}

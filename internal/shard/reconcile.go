@@ -7,6 +7,7 @@ import (
 
 	"github.com/score-dc/score/internal/cluster"
 	"github.com/score-dc/score/internal/core"
+	"github.com/score-dc/score/internal/obs"
 )
 
 // Env abstracts the authoritative allocation state a reconciliation pass
@@ -49,6 +50,94 @@ func (e engineEnv) Apply(d core.Decision) (float64, error) {
 	return e.eng.Apply(d)
 }
 
+// AuditMeta is per-decision provenance riding alongside a pass's input
+// decisions: the ring that staged the move, the token attempt it was
+// staged under, and the 0-based token-visit hop at staging time (-1
+// when untracked). Both planes fill it from their own bookkeeping — the
+// Coordinator from ringPass loop indexes, the distributed reconciler
+// from the StagedMove wire fields.
+type AuditMeta struct {
+	Hop     int32
+	Attempt uint32
+	Shard   int16
+}
+
+// AuditPass binds an audit ring to one reconciliation pass. Meta[i]
+// aligns with the pass's input decision slice (and is kept aligned
+// through the canonical proposal sort); a nil or short Meta records
+// unknown provenance (-1 hop/shard) rather than failing. Because the
+// record sites live in the shared passes below, every plane running
+// them — the in-process Coordinator and the distributed Reconciler —
+// emits audit records by construction.
+type AuditPass struct {
+	Ring  *obs.AuditRing
+	Round uint32
+	Meta  []AuditMeta
+
+	// t stamps every record of this pass with one clock read — a pass
+	// is a single merge window, and per-record time.Now() is measurable
+	// at 100k-VM rounds (~65k decisions).
+	t int64
+}
+
+func (a *AuditPass) metaAt(i int) AuditMeta {
+	if a == nil || i < 0 || i >= len(a.Meta) {
+		return AuditMeta{Hop: -1, Shard: -1}
+	}
+	return a.Meta[i]
+}
+
+// record appends one verdict for input decision index i. staged is the
+// ΔC the move was staged with; final the re-validated (applied:
+// realized) ΔC. Nil receivers and nil rings disable auditing.
+func (a *AuditPass) record(i int, vm cluster.VMID, from, to cluster.HostID, staged, final float64, verdict uint8) {
+	if a == nil || a.Ring == nil {
+		return
+	}
+	if a.t == 0 {
+		a.t = time.Now().UnixNano()
+	}
+	m := a.metaAt(i)
+	a.Ring.Append(obs.AuditRecord{
+		T:          a.t,
+		StagedBits: math.Float64bits(staged),
+		FinalBits:  math.Float64bits(final),
+		VM:         uint32(vm),
+		Round:      a.Round,
+		Attempt:    m.Attempt,
+		Hop:        m.Hop,
+		From:       int32(from),
+		To:         int32(to),
+		Shard:      m.Shard,
+		Verdict:    verdict,
+	})
+}
+
+// proposalOrder sorts decisions by the canonical comparator, carrying an
+// optional meta slice through the same swaps so provenance stays aligned.
+type proposalOrder struct {
+	ps   []core.Decision
+	meta []AuditMeta
+}
+
+func (o proposalOrder) Len() int { return len(o.ps) }
+func (o proposalOrder) Less(i, j int) bool {
+	a, b := o.ps[i], o.ps[j]
+	if a.Delta != b.Delta {
+		return a.Delta > b.Delta
+	}
+	if a.VM != b.VM {
+		return a.VM < b.VM
+	}
+	return a.Target < b.Target
+}
+func (o proposalOrder) Swap(i, j int) {
+	o.ps[i], o.ps[j] = o.ps[j], o.ps[i]
+	if o.meta != nil {
+		o.meta[i], o.meta[j] = o.meta[j], o.meta[i]
+	}
+}
+
 // OrderProposals sorts cross-shard proposals into the canonical
 // reconciliation order: strongest staged ΔC first, ties by VM then
 // target. Every reconciliation pass — the Coordinator's and the
@@ -56,16 +145,7 @@ func (e engineEnv) Apply(d core.Decision) (float64, error) {
 // order for sharded runs to be deterministic and comparable across
 // planes.
 func OrderProposals(ps []core.Decision) {
-	sort.Slice(ps, func(i, j int) bool {
-		a, b := ps[i], ps[j]
-		if a.Delta != b.Delta {
-			return a.Delta > b.Delta
-		}
-		if a.VM != b.VM {
-			return a.VM < b.VM
-		}
-		return a.Target < b.Target
-	})
+	sort.Sort(proposalOrder{ps: ps})
 }
 
 // BatchEnv optionally extends Env for planes where re-validation and
@@ -282,22 +362,31 @@ func prefetchTargets(env BatchEnv, ds []core.Decision) {
 // ReconcileProposals does) must not discard the round's remaining work.
 // The error return is reserved for future envs with aborting failures;
 // the current implementations never set it.
-func MergeStaged(env Env, cm float64, commits []core.Decision) (applied []core.Decision, stale int, err error) {
+//
+// au, when non-nil, receives one audit record per input decision —
+// merged with the realized ΔC, stale with the re-validated one — so
+// every plane running this pass emits decision provenance by
+// construction. Nil disables auditing with a single untaken branch.
+func MergeStaged(env Env, cm float64, commits []core.Decision, au *AuditPass) (applied []core.Decision, stale int, err error) {
 	if be, ok := env.(BatchEnv); ok {
-		applied, stale = mergeStagedBatched(be, cm, commits)
+		applied, stale = mergeStagedBatched(be, cm, commits, au)
 		return applied, stale, nil
 	}
-	for _, d := range commits {
-		if env.Delta(d.VM, d.Target) <= cm || !env.Admissible(d.VM, d.Target) {
+	for i, d := range commits {
+		rd := env.Delta(d.VM, d.Target)
+		if rd <= cm || !env.Admissible(d.VM, d.Target) {
 			stale++
+			au.record(i, d.VM, d.From, d.Target, d.Delta, rd, obs.VerdictStale)
 			continue
 		}
 		realized, err := env.Apply(d)
 		if err != nil {
 			stale++
+			au.record(i, d.VM, d.From, d.Target, d.Delta, rd, obs.VerdictStale)
 			continue
 		}
 		applied = append(applied, core.Decision{VM: d.VM, From: d.From, Target: d.Target, Delta: realized})
+		au.record(i, d.VM, d.From, d.Target, d.Delta, realized, obs.VerdictMerged)
 	}
 	return applied, stale, nil
 }
@@ -306,19 +395,25 @@ func MergeStaged(env Env, cm float64, commits []core.Decision) (applied []core.D
 // prefetched in one concurrent wave, and consecutive pairwise-
 // independent commits are validated against the shared pre-window state
 // and applied as one pipelined wave.
-func mergeStagedBatched(env BatchEnv, cm float64, commits []core.Decision) (applied []core.Decision, stale int) {
+func mergeStagedBatched(env BatchEnv, cm float64, commits []core.Decision, au *AuditPass) (applied []core.Decision, stale int) {
 	prefetchTargets(env, commits)
 	tuner := tunerOf(env)
 	for i := 0; i < len(commits); {
 		w := batchWindow(env, commits[i:], tuner.window(len(commits)-i))
 		observeWindow(env, w)
 		exec := make([]core.Decision, 0, w)
-		for _, d := range commits[i : i+w] {
-			if env.Delta(d.VM, d.Target) <= cm || !env.Admissible(d.VM, d.Target) {
+		execIx := make([]int, 0, w)   // input indexes, for audit provenance
+		execRd := make([]float64, 0, w) // re-validated ΔC per exec entry
+		for k, d := range commits[i : i+w] {
+			rd := env.Delta(d.VM, d.Target)
+			if rd <= cm || !env.Admissible(d.VM, d.Target) {
 				stale++
+				au.record(i+k, d.VM, d.From, d.Target, d.Delta, rd, obs.VerdictStale)
 				continue
 			}
 			exec = append(exec, d)
+			execIx = append(execIx, i+k)
+			execRd = append(execRd, rd)
 		}
 		start := time.Now()
 		realized, errs := env.ApplyAll(exec)
@@ -328,9 +423,11 @@ func mergeStagedBatched(env BatchEnv, cm float64, commits []core.Decision) (appl
 		for j, d := range exec {
 			if errs[j] != nil {
 				stale++
+				au.record(execIx[j], d.VM, d.From, d.Target, d.Delta, execRd[j], obs.VerdictStale)
 				continue
 			}
 			applied = append(applied, core.Decision{VM: d.VM, From: d.From, Target: d.Target, Delta: realized[j]})
+			au.record(execIx[j], d.VM, d.From, d.Target, d.Delta, realized[j], obs.VerdictMerged)
 		}
 		i += w
 	}
@@ -341,25 +438,34 @@ func mergeStagedBatched(env BatchEnv, cm float64, commits []core.Decision) (appl
 // canonical OrderProposals order, re-validating ΔC and admissibility
 // against the merged state before each apply — Theorem 1 for every move
 // that lands. Proposals that fail re-validation (or whose Apply errors)
-// are rejected. The input slice is reordered in place.
-func ReconcileProposals(env Env, cm float64, proposals []core.Decision) (applied []core.Decision, rejected []core.Decision) {
-	OrderProposals(proposals)
-	if be, ok := env.(BatchEnv); ok {
-		return reconcileProposalsBatched(be, cm, proposals)
+// are rejected. The input slice is reordered in place; when au carries
+// aligned Meta, its entries are carried through the same sort so each
+// audit record keeps the hop/attempt the proposal was staged under.
+func ReconcileProposals(env Env, cm float64, proposals []core.Decision, au *AuditPass) (applied []core.Decision, rejected []core.Decision) {
+	if au != nil && len(au.Meta) == len(proposals) {
+		sort.Sort(proposalOrder{ps: proposals, meta: au.Meta})
+	} else {
+		OrderProposals(proposals)
 	}
-	for _, pr := range proposals {
+	if be, ok := env.(BatchEnv); ok {
+		return reconcileProposalsBatched(be, cm, proposals, au)
+	}
+	for i, pr := range proposals {
 		d := env.Delta(pr.VM, pr.Target)
 		if d <= cm || !env.Admissible(pr.VM, pr.Target) {
 			rejected = append(rejected, pr)
+			au.record(i, pr.VM, pr.From, pr.Target, pr.Delta, d, obs.VerdictCrossRejected)
 			continue
 		}
 		from := env.HostOf(pr.VM)
 		realized, err := env.Apply(core.Decision{VM: pr.VM, From: from, Target: pr.Target, Delta: d})
 		if err != nil {
 			rejected = append(rejected, pr)
+			au.record(i, pr.VM, from, pr.Target, pr.Delta, d, obs.VerdictCrossRejected)
 			continue
 		}
 		applied = append(applied, core.Decision{VM: pr.VM, From: from, Target: pr.Target, Delta: realized})
+		au.record(i, pr.VM, from, pr.Target, pr.Delta, realized, obs.VerdictCrossApplied)
 	}
 	return applied, rejected
 }
@@ -368,7 +474,7 @@ func ReconcileProposals(env Env, cm float64, proposals []core.Decision) (applied
 // BatchEnv: same order, same re-validation, same floats — with probe
 // prefetching and pipelined commits inside each pairwise-independent
 // window.
-func reconcileProposalsBatched(env BatchEnv, cm float64, proposals []core.Decision) (applied []core.Decision, rejected []core.Decision) {
+func reconcileProposalsBatched(env BatchEnv, cm float64, proposals []core.Decision, au *AuditPass) (applied []core.Decision, rejected []core.Decision) {
 	prefetchTargets(env, proposals)
 	tuner := tunerOf(env)
 	for i := 0; i < len(proposals); {
@@ -376,14 +482,17 @@ func reconcileProposalsBatched(env BatchEnv, cm float64, proposals []core.Decisi
 		observeWindow(env, w)
 		exec := make([]core.Decision, 0, w)
 		orig := make([]core.Decision, 0, w)
-		for _, pr := range proposals[i : i+w] {
+		execIx := make([]int, 0, w)
+		for k, pr := range proposals[i : i+w] {
 			d := env.Delta(pr.VM, pr.Target)
 			if d <= cm || !env.Admissible(pr.VM, pr.Target) {
 				rejected = append(rejected, pr)
+				au.record(i+k, pr.VM, pr.From, pr.Target, pr.Delta, d, obs.VerdictCrossRejected)
 				continue
 			}
 			exec = append(exec, core.Decision{VM: pr.VM, From: env.HostOf(pr.VM), Target: pr.Target, Delta: d})
 			orig = append(orig, pr)
+			execIx = append(execIx, i+k)
 		}
 		start := time.Now()
 		realized, errs := env.ApplyAll(exec)
@@ -393,9 +502,11 @@ func reconcileProposalsBatched(env BatchEnv, cm float64, proposals []core.Decisi
 		for j, d := range exec {
 			if errs[j] != nil {
 				rejected = append(rejected, orig[j])
+				au.record(execIx[j], d.VM, d.From, d.Target, orig[j].Delta, d.Delta, obs.VerdictCrossRejected)
 				continue
 			}
 			applied = append(applied, core.Decision{VM: d.VM, From: d.From, Target: d.Target, Delta: realized[j]})
+			au.record(execIx[j], d.VM, d.From, d.Target, orig[j].Delta, realized[j], obs.VerdictCrossApplied)
 		}
 		i += w
 	}

@@ -160,7 +160,7 @@ func TestTunerObserve(t *testing.T) {
 	}
 
 	env := &batEnv{s: newFakeState(8), tuner: &BatchTuner{}, delay: time.Millisecond}
-	ReconcileProposals(env, 0, proposalsFor(8))
+	ReconcileProposals(env, 0, proposalsFor(8), nil)
 	if env.tuner.rttNS <= 0 {
 		t.Fatal("batched pass did not feed the tuner")
 	}
@@ -181,11 +181,11 @@ func TestAdaptiveBatchedMatchesSequential(t *testing.T) {
 	for name, rtt := range windows {
 		t.Run(name, func(t *testing.T) {
 			seq := newFakeState(n)
-			seqApplied, seqRejected := ReconcileProposals(seqEnv{seq}, 0, proposalsFor(n))
+			seqApplied, seqRejected := ReconcileProposals(seqEnv{seq}, 0, proposalsFor(n), nil)
 
 			bat := newFakeState(n)
 			env := &batEnv{s: bat, tuner: &BatchTuner{rttNS: rtt}}
-			batApplied, batRejected := ReconcileProposals(env, 0, proposalsFor(n))
+			batApplied, batRejected := ReconcileProposals(env, 0, proposalsFor(n), nil)
 
 			if len(batApplied) != len(seqApplied) || len(batRejected) != len(seqRejected) {
 				t.Fatalf("applied/rejected = %d/%d, sequential %d/%d",
@@ -217,14 +217,14 @@ func TestAdaptiveBatchedMatchesSequential(t *testing.T) {
 func TestAdaptiveMergeMatchesSequential(t *testing.T) {
 	const n = 40
 	seq := newFakeState(n)
-	seqApplied, seqStale, err := MergeStaged(seqEnv{seq}, 0, proposalsFor(n))
+	seqApplied, seqStale, err := MergeStaged(seqEnv{seq}, 0, proposalsFor(n), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	bat := newFakeState(n)
 	env := &batEnv{s: bat, tuner: &BatchTuner{rttNS: float64(20 * time.Millisecond)}}
-	batApplied, batStale, err := MergeStaged(env, 0, proposalsFor(n))
+	batApplied, batStale, err := MergeStaged(env, 0, proposalsFor(n), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

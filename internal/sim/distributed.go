@@ -137,6 +137,7 @@ func (r *Runner) buildAgentPlane() (*agentPlane, error) {
 		EvictAttempts:    r.cfg.DistributedEvictAttempts,
 		Metrics:          r.ob.plane,
 		Trace:            r.ob.trace,
+		Audit:            r.cfg.Audit,
 	}
 	// Under auto-tuning the reconciler consults the controller — bound
 	// to the engine mirror's traffic matrix and cluster, which replay

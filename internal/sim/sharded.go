@@ -135,6 +135,7 @@ func (r *Runner) runSharded() (*Metrics, error) {
 		NewPolicy:   r.shardPolicyFactory(),
 		Metrics:     r.ob.plane.Metrics,
 		Trace:       r.ob.trace,
+		Audit:       r.cfg.Audit,
 	}
 	if ctrl != nil {
 		scfg.Tuner = ctrl

@@ -118,6 +118,10 @@ type Config struct {
 	// regenerations, evictions, reconcile verdicts, compactions) in the
 	// obs ring buffer.
 	Trace *obs.Tracer
+	// Audit, when set, receives one decision-provenance record per
+	// staged move's merge/reconcile verdict, on whichever scheduler
+	// plane the run uses.
+	Audit *obs.AuditRing
 }
 
 // DefaultConfig covers a scaled-down Fig. 3 style run.

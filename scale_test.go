@@ -25,6 +25,8 @@ import (
 	"github.com/score-dc/score"
 	"github.com/score-dc/score/internal/control"
 	"github.com/score-dc/score/internal/experiments"
+	"github.com/score-dc/score/internal/obs"
+	"github.com/score-dc/score/internal/shard"
 )
 
 // scalePoints are the recorded trajectory points; k=24 is the 100k-VM
@@ -123,6 +125,57 @@ func BenchmarkRound100k(b *testing.B) {
 					b.Fatal(err)
 				}
 				ctrl.Recommendation() // absorb the restore-triggered rebuild untimed
+				b.StartTimer()
+				if _, err := coord.RunRound(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportMemory(b)
+		})
+	}
+}
+
+// BenchmarkRound100kInstrumented is BenchmarkRound100k with the full
+// observability plane attached — metrics registry, round tracer and
+// decision-audit ring at their production defaults (scored's
+// -audit-events default is 1<<14; a cache-resident ring keeps the ~65k
+// appends of a k=24 round off main memory) — at the k=24 and k=32
+// points. CI's bench-scale job compares its k=24 ns/op against the
+// uninstrumented round: the always-on instrumentation budget is 2%.
+func BenchmarkRound100kInstrumented(b *testing.B) {
+	for _, pt := range scalePoints {
+		if pt.k != 24 && pt.k != 32 {
+			continue
+		}
+		b.Run(fmt.Sprintf("k=%d", pt.k), func(b *testing.B) {
+			sc := scaleScenario(b, pt.k, pt.vmsPerHost)
+			snap := sc.Cl.Snapshot()
+			ctrl := control.New(sc.Topo, control.Config{})
+			detach := ctrl.Bind(sc.TM, sc.Cl)
+			defer detach()
+			reg := obs.NewRegistry()
+			coord, err := score.NewShardCoordinator(sc.Eng, score.ShardConfig{
+				Tuner:     ctrl,
+				NewPolicy: func(int) score.TokenPolicy { return score.RoundRobin{} },
+				Metrics:   shard.NewMetrics(reg),
+				Trace:     obs.NewTracer(1 << 14),
+				Audit:     obs.NewAuditRing(1 << 14),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(sc.Cl.NumVMs()), "vms")
+			if _, err := coord.RunRound(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := sc.Cl.Restore(snap); err != nil {
+					b.Fatal(err)
+				}
+				ctrl.Recommendation()
 				b.StartTimer()
 				if _, err := coord.RunRound(); err != nil {
 					b.Fatal(err)
